@@ -1,0 +1,154 @@
+// Command handlerbench regenerates the generic-miss-handler experiments of
+// §4.2 of "Informing Memory Operations" (ISCA 1996):
+//
+//	handlerbench -experiment fig2      Figure 2 (13 benchmarks, 1/10-instr handlers)
+//	handlerbench -experiment fig3      Figure 3 (su2cor)
+//	handlerbench -experiment h100      100-instruction handlers (§4.2.2 text)
+//	handlerbench -experiment trapmode  trap-as-branch vs trap-as-exception
+//	handlerbench -experiment condcode  explicit condition-code checks vs traps
+//	handlerbench -experiment sampling  sampled 100-instruction handlers
+//	handlerbench -experiment counters  §1 strawman: serializing miss counters
+//	handlerbench -experiment all       everything above
+//
+// handlerbench -list describes the benchmark suite.
+//
+// Use -scale to grow/shrink the workloads and -raw for per-run statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"informing/internal/experiments"
+	"informing/internal/workload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "fig2|fig3|h100|trapmode|condcode|sampling|counters|all")
+		scale = flag.Int64("scale", 1, "workload iteration multiplier")
+		raw   = flag.Bool("raw", false, "also print raw per-run statistics")
+		list  = flag.Bool("list", false, "describe the benchmark suite and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("SPEC92 stand-in suite (see DESIGN.md for the substitution argument):")
+		for _, bm := range workload.All() {
+			fmt.Printf("  %-10s %-4s %s\n", bm.Name, bm.Class, bm.About)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	opt.Scale = *scale
+
+	run := func(name string) error {
+		switch name {
+		case "fig2":
+			res, err := experiments.Figure2(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure(
+				"Figure 2: performance of generic miss handlers (1 and 10 instructions)", res))
+			fmt.Println()
+			fmt.Print(experiments.FormatOverheadSummary(res))
+			if *raw {
+				fmt.Print(experiments.FormatRuns(res))
+			}
+		case "fig3":
+			res, err := experiments.Figure3(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure(
+				"Figure 3: su2cor with generic miss handlers", res))
+			if *raw {
+				fmt.Print(experiments.FormatRuns(res))
+			}
+		case "h100":
+			res, err := experiments.H100(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure(
+				"100-instruction handlers (paper: compress ~6x, su2cor ~7x, ora ~2%)", res))
+			if *raw {
+				fmt.Print(experiments.FormatRuns(res))
+			}
+		case "trapmode":
+			ratios, res, err := experiments.TrapModeComparison(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Trap handling on the out-of-order machine: exception vs branch")
+			fmt.Println("(paper §4.2.2: exceptions cost compress +9% with 1-instr and +7% with 10-instr handlers)")
+			for _, k := range []string{"S1", "S10"} {
+				fmt.Printf("  compress %-4s exception/branch execution-time ratio: %.3f (%+.1f%%)\n",
+					k, ratios[k], 100*(ratios[k]-1))
+			}
+			if *raw {
+				fmt.Print(experiments.FormatRuns(res))
+			}
+		case "condcode":
+			res, err := experiments.HandlerOverhead(workload.Fig2Set(), experiments.CondCodePlans(), opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure(
+				"Condition-code checks (CC) vs unique-handler traps (U)", res))
+			fmt.Println()
+			fmt.Print(experiments.FormatOverheadSummary(res))
+			if *raw {
+				fmt.Print(experiments.FormatRuns(res))
+			}
+		case "counters":
+			bms := []workload.Benchmark{}
+			for _, name := range []string{"compress", "espresso", "alvinn", "tomcatv"} {
+				bm, _ := workload.ByName(name)
+				bms = append(bms, bm)
+			}
+			res, err := experiments.HandlerOverhead(bms, experiments.MotivationPlans(), opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure(
+				"§1 motivation: serializing miss counters (CNT) vs informing mechanisms", res))
+			if *raw {
+				fmt.Print(experiments.FormatRuns(res))
+			}
+		case "sampling":
+			bms := []workload.Benchmark{}
+			for _, name := range []string{"compress", "su2cor", "tomcatv"} {
+				bm, _ := workload.ByName(name)
+				bms = append(bms, bm)
+			}
+			res, err := experiments.HandlerOverhead(bms, experiments.SamplingPlans(), opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure(
+				"Sampled 100-instruction handlers (§4.2.2 mitigation)", res))
+			if *raw {
+				fmt.Print(experiments.FormatRuns(res))
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig2", "fig3", "h100", "trapmode", "condcode", "sampling", "counters"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "handlerbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command informsim assembles and runs a program on either of the paper's
+// machine models with any informing scheme:
+//
+//	informsim -machine ooo -scheme trap-branch prog.s
+//	informsim -machine inorder -scheme condcode -dis prog.s
+//
+// The assembler syntax is documented in internal/asm (see Assemble).
+// Statistics — cycles, IPC, the graduation-slot breakdown, miss and trap
+// counts — are printed on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"informing/internal/asm"
+	"informing/internal/core"
+	"informing/internal/stats"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "ooo", "machine model: ooo|inorder")
+		scheme  = flag.String("scheme", "off", "informing scheme: off|condcode|trap-branch|trap-exception")
+		maxInst = flag.Uint64("maxinsts", 100_000_000, "dynamic instruction limit")
+		dis     = flag.Bool("dis", false, "print the disassembled program before running")
+		dump    = flag.Bool("dump", false, "print round-trippable assembler text and exit")
+		trace   = flag.Int("trace", 0, "print pipeline timing for the first N instructions")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: informsim [flags] prog.s")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fail(fmt.Errorf("assemble %s: %w", flag.Arg(0), err))
+	}
+	if *dump {
+		fmt.Print(asm.Disassemble(prog))
+		return
+	}
+	if *dis {
+		for k, in := range prog.Text {
+			fmt.Printf("%#08x:  %v\n", prog.PCOf(k), in)
+		}
+		fmt.Println()
+	}
+
+	var s core.Scheme
+	switch *scheme {
+	case "off":
+		s = core.Off
+	case "condcode":
+		s = core.CondCode
+	case "trap-branch":
+		s = core.TrapBranch
+	case "trap-exception":
+		s = core.TrapException
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	var cfg core.Config
+	switch *machine {
+	case "ooo":
+		cfg = core.R10000(s)
+	case "inorder":
+		cfg = core.Alpha21164(s)
+	default:
+		fail(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	cfg = cfg.WithMaxInsts(*maxInst)
+	if *trace > 0 {
+		n := 0
+		fmt.Printf("%-6s %-10s %-8s %-8s %-8s %-8s %-5s %s\n",
+			"seq", "pc", "fetch", "issue", "compl", "grad", "mem", "instruction")
+		cfg = cfg.WithTrace(func(ev stats.TraceEvent) {
+			if n >= *trace {
+				return
+			}
+			n++
+			lvl := "-"
+			if ev.MemLevel > 0 {
+				lvl = fmt.Sprintf("L%d", ev.MemLevel)
+				if ev.MemLevel == 3 {
+					lvl = "mem"
+				}
+			}
+			mark := ""
+			if ev.Trap {
+				mark = "  <trap>"
+			}
+			fmt.Printf("%-6d %-#10x %-8d %-8d %-8d %-8d %-5s %s%s\n",
+				ev.Seq, ev.PC, ev.Fetch, ev.Issue, ev.Complete, ev.Graduate, lvl, ev.Disasm, mark)
+		})
+	}
+	run, err := cfg.Run(prog)
+	if err != nil {
+		fail(err)
+	}
+	if *trace > 0 {
+		fmt.Println()
+	}
+	busy, other, cache := run.Fractions()
+	fmt.Printf("machine:            %v (%v scheme)\n", cfg.Machine, cfg.Scheme)
+	fmt.Printf("cycles:             %d\n", run.Cycles)
+	fmt.Printf("instructions:       %d (IPC %.2f)\n", run.Instrs, run.IPC())
+	fmt.Printf("memory references:  %d (L1 miss %.2f%%, L2 miss %d)\n",
+		run.MemRefs, 100*run.L1MissRate(), run.L2Misses)
+	fmt.Printf("icache misses:      %d\n", run.IMisses)
+	fmt.Printf("informing traps:    %d (handler instructions %d)\n", run.Traps, run.HandlerInsts)
+	fmt.Printf("bmiss taken:        %d\n", run.BmissTaken)
+	fmt.Printf("branch accuracy:    %.2f%% (%d lookups)\n",
+		100*(1-safeDiv(run.BranchMispredicts, run.BranchLookups)), run.BranchLookups)
+	fmt.Printf("graduation slots:   busy %.1f%%  other %.1f%%  cache %.1f%%\n",
+		100*busy, 100*other, 100*cache)
+	fmt.Printf("MSHR:               peak %d, merges %d, full stalls %d\n",
+		run.MSHRPeak, run.MSHRMerges, run.MSHRFullStalls)
+}
+
+func safeDiv(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "informsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Prefetch reproduces the paper's §4.1.2 idea of adaptive
+// software-controlled prefetching: the prefetch instructions live in the
+// informing miss handler, so prefetch overhead is only paid while the
+// application is actually suffering misses — when the data is resident the
+// handler never runs and the loop carries zero overhead.
+//
+// The kernel streams a large array. With the handler armed, every miss
+// launches prefetches a few lines ahead, overlapping the fills with the
+// sweep. The example runs the identical binary with the handler disabled
+// (MHAR = 0) and enabled, on both machine models, and reports the speedup.
+//
+//	go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"informing/internal/asm"
+	"informing/internal/core"
+	"informing/internal/isa"
+)
+
+func build(armed bool) *asm.Builder {
+	b := asm.NewBuilder()
+	arr := b.Alloc("arr", 512<<10)
+
+	b.J("start")
+
+	// Miss handler: fetch the next three lines. The loop's cursor lives
+	// in r1 by convention (the paper's "tailor the response to its
+	// context" usage pattern), so the handler knows what is coming.
+	b.Label("prefetch_ahead")
+	b.Prefetch(isa.R1, 32)
+	b.Prefetch(isa.R1, 64)
+	b.Prefetch(isa.R1, 96)
+	b.Rfmh()
+
+	b.Label("start")
+	if armed {
+		b.MtmharLabel("prefetch_ahead")
+	}
+	b.LoadImm(isa.R1, int64(arr))
+	b.LoadImm(isa.R2, 512<<10/8)
+	b.Label("loop")
+	b.Ld(isa.R3, isa.R1, 0, true)
+	b.Add(isa.R4, isa.R4, isa.R3)
+	b.Xor(isa.R5, isa.R4, isa.R3)
+	b.Add(isa.R6, isa.R6, isa.R5)
+	b.Addi(isa.R1, isa.R1, 8)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "loop")
+	b.Halt()
+	return b
+}
+
+func main() {
+	for _, machine := range []struct {
+		name string
+		mk   func(core.Scheme) core.Config
+	}{
+		{"out-of-order", core.R10000},
+		{"in-order", core.Alpha21164},
+	} {
+		baseProg, err := build(false).Finish()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pfProg, err := build(true).Finish()
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := machine.mk(core.TrapBranch).Run(baseProg)
+		if err != nil {
+			log.Fatalf("%s base: %v", machine.name, err)
+		}
+		pf, err := machine.mk(core.TrapBranch).Run(pfProg)
+		if err != nil {
+			log.Fatalf("%s prefetch: %v", machine.name, err)
+		}
+		fmt.Printf("%s machine:\n", machine.name)
+		fmt.Printf("  no handler:        %8d cycles (%d L1 misses)\n", base.Cycles, base.L1Misses)
+		fmt.Printf("  prefetch handler:  %8d cycles (%d traps, %d handler instructions)\n",
+			pf.Cycles, pf.Traps, pf.HandlerInsts)
+		fmt.Printf("  speedup:           %.2fx\n\n", float64(base.Cycles)/float64(pf.Cycles))
+	}
+	fmt.Println("prefetches are launched only when the loop is actually missing —")
+	fmt.Println("a resident working set would execute the identical code with zero overhead.")
+}

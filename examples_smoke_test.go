@@ -1,0 +1,38 @@
+package informing
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example end-to-end via `go run`; each
+// example self-checks its results (handler counts vs simulator truth,
+// computed sums, scheme orderings) and exits non-zero on a mismatch.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under go run")
+	}
+	examples := []string{
+		"./examples/quickstart",
+		"./examples/missprofiler",
+		"./examples/prefetch",
+		"./examples/multithread",
+		"./examples/coherence",
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, "go", "run", ex).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", ex)
+			}
+		})
+	}
+}

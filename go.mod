@@ -1,0 +1,3 @@
+module informing
+
+go 1.22

@@ -1,0 +1,194 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"informing/internal/isa"
+)
+
+func TestBuilderBranchFixups(t *testing.T) {
+	b := NewBuilder()
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Bne(isa.R1, isa.R2, "top") // backward: target = pc-8
+	b.Beq(isa.R1, isa.R2, "end") // forward
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Text[1].Imm; got != -16 {
+		t.Errorf("backward branch imm %d, want -16", got)
+	}
+	if got := p.Text[2].Imm; got != 8 {
+		t.Errorf("forward branch imm %d, want 8", got)
+	}
+}
+
+func TestBuilderJumpAndMtmharAbsolute(t *testing.T) {
+	b := NewBuilder()
+	b.J("main")
+	b.Label("handler")
+	b.Rfmh()
+	b.Label("main")
+	b.MtmharLabel("handler")
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlerPC := p.Symbols["handler"]
+	if uint64(p.Text[0].Imm) != p.Symbols["main"] {
+		t.Errorf("jump target %#x, want %#x", p.Text[0].Imm, p.Symbols["main"])
+	}
+	if uint64(p.Text[2].Imm) != handlerPC {
+		t.Errorf("mtmhar imm %#x, want %#x", p.Text[2].Imm, handlerPC)
+	}
+}
+
+func TestBuilderLoadLabel(t *testing.T) {
+	b := NewBuilder()
+	b.LoadLabel(isa.R7, "target")
+	b.Label("target")
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(p.Text[0].Imm) != p.Symbols["target"] {
+		t.Errorf("LoadLabel imm %#x, want %#x", p.Text[0].Imm, p.Symbols["target"])
+	}
+	if p.Text[0].Op != isa.Addi || p.Text[0].Rd != isa.R7 {
+		t.Errorf("LoadLabel emitted %v", p.Text[0])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate label", func(t *testing.T) {
+		b := NewBuilder()
+		b.Label("x")
+		b.Label("x")
+		b.Halt()
+		if _, err := b.Finish(); err == nil {
+			t.Error("duplicate label accepted")
+		}
+	})
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder()
+		b.J("nowhere")
+		b.Halt()
+		if _, err := b.Finish(); err == nil {
+			t.Error("undefined label accepted")
+		}
+	})
+	t.Run("loadimm out of range", func(t *testing.T) {
+		b := NewBuilder()
+		b.LoadImm(isa.R1, 1<<40)
+		b.Halt()
+		if _, err := b.Finish(); err == nil {
+			t.Error("oversized immediate accepted")
+		}
+	})
+	t.Run("duplicate data symbol", func(t *testing.T) {
+		b := NewBuilder()
+		b.Alloc("d", 8)
+		b.Alloc("d", 8)
+		b.Halt()
+		if _, err := b.Finish(); err == nil {
+			t.Error("duplicate data symbol accepted")
+		}
+	})
+	t.Run("bad alignment", func(t *testing.T) {
+		b := NewBuilder()
+		b.AllocAligned("d", 8, 3)
+		b.Halt()
+		if _, err := b.Finish(); err == nil {
+			t.Error("non-power-of-two alignment accepted")
+		}
+	})
+}
+
+func TestBuilderDataLayout(t *testing.T) {
+	b := NewBuilder()
+	a1 := b.Alloc("a1", 10) // rounds to 16
+	a2 := b.Alloc("a2", 8)
+	a3 := b.AllocAligned("a3", 32, 4096)
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1+16 {
+		t.Errorf("a2 at %#x, want %#x (size rounding)", a2, a1+16)
+	}
+	if a3%4096 != 0 {
+		t.Errorf("a3 %#x not 4096-aligned", a3)
+	}
+	if p.DataSize == 0 || p.DataBase != isa.DefaultDataBase {
+		t.Errorf("data segment %#x+%d wrong", p.DataBase, p.DataSize)
+	}
+	if p.Symbols["a1"] != a1 || p.Symbols["a3"] != a3 {
+		t.Error("data symbols not recorded")
+	}
+}
+
+func TestBuilderWordsAndFloats(t *testing.T) {
+	b := NewBuilder()
+	w := b.Words("w", 1, 2, 3)
+	f := b.Floats("f", 1.5, -2.5)
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m isa.DataMem
+	m.LoadInit(p)
+	for k, want := range []uint64{1, 2, 3} {
+		if got := m.Load(w + uint64(k)*8); got != want {
+			t.Errorf("word %d = %d, want %d", k, got, want)
+		}
+	}
+	if m.LoadF(f) != 1.5 || m.LoadF(f+8) != -2.5 {
+		t.Error("float init wrong")
+	}
+}
+
+func TestBuilderUniqueLabels(t *testing.T) {
+	b := NewBuilder()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		l := b.Unique("x")
+		if seen[l] {
+			t.Fatalf("duplicate unique label %q", l)
+		}
+		seen[l] = true
+		if !strings.HasPrefix(l, "x$") {
+			t.Fatalf("unexpected label format %q", l)
+		}
+	}
+}
+
+func TestBuilderValidatesProgram(t *testing.T) {
+	b := NewBuilder()
+	// A hand-rolled branch to a misaligned target must be caught by
+	// Program.Validate during Finish.
+	b.Emit(isa.Inst{Op: isa.Beq, Imm: 4})
+	b.Halt()
+	if _, err := b.Finish(); err == nil {
+		t.Error("misaligned branch target accepted")
+	}
+}
+
+func TestMustFinishPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinish did not panic")
+		}
+	}()
+	b := NewBuilder()
+	b.J("nowhere")
+	b.MustFinish()
+}

@@ -1,0 +1,113 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"informing/internal/isa"
+)
+
+// Disassemble renders a program back into assembler text accepted by
+// Assemble. Control-transfer targets inside the text segment become
+// synthetic labels (L<index>); initialised data is emitted as .word
+// directives (with anonymous .data padding for gaps) so that the
+// reassembled program has an identical text image and identical initial
+// memory. Round-tripping is verified by property tests.
+func Disassemble(p *isa.Program) string {
+	var sb strings.Builder
+
+	// Pass 1: find text targets needing labels.
+	labels := map[int]string{}
+	needLabel := func(target uint64) (string, bool) {
+		k, ok := p.IndexOf(target)
+		if !ok {
+			return "", false
+		}
+		l, seen := labels[k]
+		if !seen {
+			l = fmt.Sprintf("L%d", k)
+			labels[k] = l
+		}
+		return l, true
+	}
+	type ref struct {
+		label string
+		ok    bool
+	}
+	refs := make([]ref, len(p.Text))
+	for k, in := range p.Text {
+		switch in.Op {
+		case isa.Beq, isa.Bne, isa.Blt, isa.Bge, isa.Bmiss:
+			l, ok := needLabel(p.PCOf(k) + isa.InstBytes + uint64(in.Imm))
+			refs[k] = ref{l, ok}
+		case isa.J, isa.Jal:
+			l, ok := needLabel(uint64(in.Imm))
+			refs[k] = ref{l, ok}
+		case isa.Mtmhar, isa.Mtmhrr:
+			// Label form only for absolute text addresses built from r0.
+			if in.Rs1 == isa.R0 && in.Imm != 0 {
+				if l, ok := needLabel(uint64(in.Imm)); ok {
+					refs[k] = ref{l, true}
+				}
+			}
+		}
+	}
+
+	// Pass 2: data image. Emit .word runs in address order and .data
+	// padding for gaps so addresses reproduce exactly.
+	if len(p.Init) > 0 {
+		addrs := make([]uint64, 0, len(p.Init))
+		for a := range p.Init {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		cursor := p.DataBase
+		seg := 0
+		i := 0
+		for i < len(addrs) {
+			if addrs[i] > cursor {
+				fmt.Fprintf(&sb, ".data pad%d %d\n", seg, addrs[i]-cursor)
+				seg++
+				cursor = addrs[i]
+			}
+			// Collect a contiguous run (bounded per line for readability).
+			var vals []string
+			for i < len(addrs) && addrs[i] == cursor && len(vals) < 8 {
+				vals = append(vals, fmt.Sprintf("%d", int64(p.Init[addrs[i]])))
+				cursor += 8
+				i++
+			}
+			fmt.Fprintf(&sb, ".word w%d %s\n", seg, strings.Join(vals, " "))
+			seg++
+		}
+	}
+
+	// Pass 3: instructions.
+	for k, in := range p.Text {
+		if l, ok := labels[k]; ok {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		sb.WriteString("\t")
+		switch {
+		case in.Op == isa.Prefetch:
+			fmt.Fprintf(&sb, "prefetch %d(%s)", in.Imm, in.Rs1)
+		case in.IsCondBranch() && refs[k].ok:
+			if in.Op == isa.Bmiss {
+				fmt.Fprintf(&sb, "bmiss %s, %s", in.Rd, refs[k].label)
+			} else {
+				fmt.Fprintf(&sb, "%s %s, %s, %s", in.Op, in.Rs1, in.Rs2, refs[k].label)
+			}
+		case in.Op == isa.J && refs[k].ok:
+			fmt.Fprintf(&sb, "j %s", refs[k].label)
+		case in.Op == isa.Jal && refs[k].ok:
+			fmt.Fprintf(&sb, "jal %s, %s", in.Rd, refs[k].label)
+		case (in.Op == isa.Mtmhar || in.Op == isa.Mtmhrr) && refs[k].ok:
+			fmt.Fprintf(&sb, "%s %s", in.Op, refs[k].label)
+		default:
+			sb.WriteString(in.String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

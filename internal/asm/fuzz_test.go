@@ -1,0 +1,126 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"informing/internal/isa"
+)
+
+// TestAssembleNeverPanics: the assembler must reject arbitrary garbage
+// with an error, never a panic.
+func TestAssembleNeverPanics(t *testing.T) {
+	chars := []byte("abcdefghijklmnopqrstuvwxyz0123456789 ,():;.$-#\n\tr f.iwldst")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: panic: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < 400; i++ {
+			sb.WriteByte(chars[r.Intn(len(chars))])
+		}
+		_, _ = Assemble(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssembleMutatedValidSource: mutations of a valid program must either
+// assemble or fail cleanly.
+func TestAssembleMutatedValidSource(t *testing.T) {
+	valid := `
+start:	li r1, 10
+	la r2, buf
+loop:	ld.i r3, 0(r2)
+	bmiss r22, h
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+h:	rfmh
+.data buf 64`
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: panic: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		b := []byte(valid)
+		for k := 0; k < 1+r.Intn(5); k++ {
+			b[r.Intn(len(b))] = byte(r.Intn(128))
+		}
+		if p, err := Assemble(string(b)); err == nil {
+			// If it assembled, it must also validate and encode.
+			if err := p.Validate(); err != nil {
+				t.Logf("seed %d: assembled but invalid: %v", seed, err)
+				return false
+			}
+			if _, err := p.EncodeText(); err != nil {
+				t.Logf("seed %d: assembled but unencodable: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisassembleNeverPanicsOnRandomPrograms: any encodable, valid program
+// must disassemble without panicking, and the output must reassemble.
+func TestDisassembleRandomInstructionSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		b.Words("d", uint64(r.Int63()), uint64(r.Int63()))
+		n := 5 + r.Intn(30)
+		b.Label("top")
+		for i := 0; i < n; i++ {
+			switch r.Intn(6) {
+			case 0:
+				b.Add(isa.R(1+r.Intn(15)), isa.R(r.Intn(16)), isa.R(r.Intn(16)))
+			case 1:
+				b.Addi(isa.R(1+r.Intn(15)), isa.R(r.Intn(16)), int64(int32(r.Uint32())))
+			case 2:
+				b.Ld(isa.R(1+r.Intn(15)), isa.R(r.Intn(16)), int64(r.Intn(256))*8, r.Intn(2) == 0)
+			case 3:
+				b.Fadd(isa.F(r.Intn(16)), isa.F(r.Intn(16)), isa.F(r.Intn(16)))
+			case 4:
+				b.Beq(isa.R(r.Intn(16)), isa.R(r.Intn(16)), "top")
+			case 5:
+				b.Fst(isa.F(r.Intn(16)), isa.R(r.Intn(16)), int64(r.Intn(64))*8, r.Intn(2) == 0)
+			}
+		}
+		b.Halt()
+		p, err := b.Finish()
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		q, err := Assemble(Disassemble(p))
+		if err != nil {
+			t.Logf("seed %d: round trip: %v", seed, err)
+			return false
+		}
+		for k := range p.Text {
+			if p.Text[k] != q.Text[k] {
+				t.Logf("seed %d: inst %d differs", seed, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"informing/internal/isa"
+)
+
+func TestAssembleFullSyntax(t *testing.T) {
+	src := `
+; comment line
+# another comment style
+.data buf 64
+.word tbl 1 -2 0x10
+.float ftbl 1.5 -0.25
+
+start:  addi r1, r0, 100        ; trailing comment
+        li   r2, -7
+        la   r3, buf
+        la   r4, start
+        add  r5, r1, r2
+        sub  r6, r1, r2
+        mul  r7, r1, r2
+        and  r8, r1, r2
+        slli r9, r1, 3
+        lui  r10, 1
+        ld   r11, 8(r1)
+        ld.i r12, 0(r3)
+        st   r11, 16(r3)
+        st.i r11, 24(r3)
+        fld  f1, 0(r3)
+        fld.i f2, 8(r3)
+        fst  f1, 0(r3)
+        prefetch 32(r3)
+        fadd f3, f1, f2
+        fsqrt f4, f3
+        fcvt f5, r1
+        icvt r13, f5
+        fclt r14, f1, f2
+loop:   beq  r1, r2, done
+        bne  r1, r0, loop
+        blt  r2, r1, loop
+        bge  r1, r2, loop
+        jal  r15, sub1
+        j    done
+sub1:   jr   r15
+done:   mtmhar handler
+        mtmhar r3, 8
+        mtmhrr r3
+        mfmhar r20
+        mfmhrr r21
+        bmiss r22, handler
+        nop
+        halt
+handler: rfmh
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Spot checks.
+	get := func(label string, off int) isa.Inst {
+		k, ok := p.IndexOf(p.Symbols[label])
+		if !ok {
+			t.Fatalf("label %q missing", label)
+		}
+		return p.Text[k+off]
+	}
+	if in := get("start", 0); in.Op != isa.Addi || in.Imm != 100 {
+		t.Errorf("addi parsed as %v", in)
+	}
+	if in := get("start", 2); uint64(in.Imm) != p.Symbols["buf"] {
+		t.Errorf("la buf imm %#x, want %#x", in.Imm, p.Symbols["buf"])
+	}
+	if in := get("start", 3); uint64(in.Imm) != p.Symbols["start"] {
+		t.Errorf("la start imm %#x, want %#x", in.Imm, p.Symbols["start"])
+	}
+	if in := get("start", 11); !in.Informing || in.Op != isa.Ld {
+		t.Errorf("ld.i parsed as %v", in)
+	}
+	if in := get("start", 10); in.Informing {
+		t.Errorf("plain ld marked informing: %v", in)
+	}
+	if in := get("start", 13); !in.Informing || in.Op != isa.St {
+		t.Errorf("st.i parsed as %v", in)
+	}
+	if in := get("done", 0); in.Op != isa.Mtmhar || uint64(in.Imm) != p.Symbols["handler"] {
+		t.Errorf("mtmhar label form parsed as %v", in)
+	}
+	if in := get("done", 2); in.Op != isa.Mtmhrr || in.Rs1 != isa.R3 {
+		t.Errorf("mtmhrr parsed as %v", in)
+	}
+	if in := get("done", 5); in.Op != isa.Bmiss || in.Rd != isa.R22 {
+		t.Errorf("bmiss parsed as %v", in)
+	}
+	// Data directives.
+	var m isa.DataMem
+	m.LoadInit(p)
+	tbl := p.Symbols["tbl"]
+	minusTwo := int64(-2)
+	if m.Load(tbl) != 1 || m.Load(tbl+8) != uint64(minusTwo) || m.Load(tbl+16) != 0x10 {
+		t.Error(".word init wrong")
+	}
+	if m.LoadF(p.Symbols["ftbl"]) != 1.5 {
+		t.Error(".float init wrong")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "frobnicate r1, r2", "unknown mnemonic"},
+		{"bad register", "add r1, r99, r2", "bad register"},
+		{"wrong operand count", "add r1, r2", "wants 3 operands"},
+		{"bad memory operand", "ld r1, r2", "bad memory operand"},
+		{"unknown directive", ".quux x 1", "unknown directive"},
+		{"bad word value", ".word t zz", "value"},
+		{"undefined branch target", "beq r1, r2, nowhere\nhalt", "undefined label"},
+		{"undefined la symbol", "la r1, nowhere\nhalt", "undefined symbol"},
+		{"bad data size", ".data b notanumber", "size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAssembleErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus r1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v lacks line number", err)
+	}
+}
+
+func TestAssembleLabelSharingLine(t *testing.T) {
+	p, err := Assemble("a: b: nop\nj a\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != p.Symbols["b"] {
+		t.Error("stacked labels differ")
+	}
+}
+
+func TestAssembledProgramRunsOnEncoder(t *testing.T) {
+	// Everything the assembler emits must be encodable.
+	p, err := Assemble("li r1, 5\nadd r2, r1, r1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EncodeText(); err != nil {
+		t.Fatal(err)
+	}
+}

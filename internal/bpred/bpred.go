@@ -1,0 +1,77 @@
+// Package bpred implements the branch prediction scheme used by both
+// machine models in the paper: a table of 2-bit saturating counters
+// indexed by the branch PC. BMISS instructions are statically predicted
+// not-taken (the paper optimises the explicit miss check for the common
+// cache-hit case), so they bypass the counter table.
+package bpred
+
+import "informing/internal/isa"
+
+// Predictor is a PC-indexed table of 2-bit saturating counters.
+// Counter values 0-1 predict not-taken, 2-3 predict taken; counters start
+// weakly not-taken (1).
+type Predictor struct {
+	counters []uint8
+	mask     uint64
+
+	// Statistics.
+	Lookups    uint64
+	Mispredict uint64
+}
+
+// DefaultEntries is the default table size.
+const DefaultEntries = 2048
+
+// New builds a predictor with n counters (n must be a power of two; 0
+// selects DefaultEntries).
+func New(n int) *Predictor {
+	if n == 0 {
+		n = DefaultEntries
+	}
+	if n&(n-1) != 0 {
+		panic("bpred: table size must be a power of two")
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &Predictor{counters: c, mask: uint64(n - 1)}
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	return pc / isa.InstBytes & p.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.Lookups++
+	return p.counters[p.index(pc)] >= 2
+}
+
+// Update trains the counter with the resolved direction and records
+// whether the earlier prediction (implied by the pre-update counter) was
+// wrong.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	c := p.counters[i]
+	if (c >= 2) != taken {
+		p.Mispredict++
+	}
+	if taken {
+		if c < 3 {
+			p.counters[i] = c + 1
+		}
+	} else {
+		if c > 0 {
+			p.counters[i] = c - 1
+		}
+	}
+}
+
+// Accuracy returns the fraction of correct predictions so far.
+func (p *Predictor) Accuracy() float64 {
+	if p.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(p.Mispredict)/float64(p.Lookups)
+}

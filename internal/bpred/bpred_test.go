@@ -1,0 +1,122 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"informing/internal/isa"
+)
+
+func TestInitialPredictionNotTaken(t *testing.T) {
+	p := New(64)
+	if p.Predict(0x1000) {
+		t.Error("fresh counter predicts taken")
+	}
+}
+
+func TestCounterSaturationAndTraining(t *testing.T) {
+	p := New(64)
+	pc := uint64(0x1000)
+	// Train taken.
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("trained-taken branch predicted not-taken")
+	}
+	// A single not-taken outcome must not flip a saturated counter.
+	p.Update(pc, false)
+	if !p.Predict(pc) {
+		t.Error("saturated counter flipped by one outcome")
+	}
+	p.Update(pc, false)
+	p.Update(pc, false)
+	if p.Predict(pc) {
+		t.Error("counter did not retrain to not-taken")
+	}
+}
+
+func TestMispredictCounting(t *testing.T) {
+	p := New(64)
+	pc := uint64(0x2000)
+	p.Update(pc, true)  // predicted NT (weak), actual T -> mispredict
+	p.Update(pc, true)  // counter now 2: predicted T? pre-update counter was 2 -> predict T, correct
+	p.Update(pc, false) // counter 3 -> predict T, actual NT -> mispredict
+	if p.Mispredict != 2 {
+		t.Errorf("mispredicts %d, want 2", p.Mispredict)
+	}
+}
+
+func TestLoopBranchAccuracy(t *testing.T) {
+	// A loop branch (taken N-1 times, then not taken) should reach high
+	// accuracy with 2-bit counters.
+	p := New(1024)
+	pc := uint64(0x3000)
+	for iter := 0; iter < 100; iter++ {
+		for i := 0; i < 20; i++ {
+			if got := p.Predict(pc); true {
+				_ = got
+			}
+			p.Update(pc, i != 19)
+		}
+	}
+	if acc := p.Accuracy(); acc < 0.85 {
+		t.Errorf("loop-branch accuracy %.2f, want >= 0.85", acc)
+	}
+}
+
+func TestAliasingUsesDistinctCounters(t *testing.T) {
+	p := New(8)
+	a, b := uint64(0), uint64(8*isa.InstBytes) // alias in an 8-entry table
+	p.Update(a, true)
+	p.Update(a, true)
+	if !p.Predict(b) {
+		t.Error("aliased PCs should share a counter in a tiny table")
+	}
+	big := New(2048)
+	big.Update(a, true)
+	big.Update(a, true)
+	if big.Predict(uint64(16 * isa.InstBytes)) {
+		t.Error("distinct PCs share state in a large table")
+	}
+}
+
+func TestPredictorSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two size accepted")
+		}
+	}()
+	New(100)
+}
+
+func TestDefaultSize(t *testing.T) {
+	p := New(0)
+	if len(p.counters) != DefaultEntries {
+		t.Errorf("default size %d", len(p.counters))
+	}
+}
+
+// TestBiasedBranchConvergence: for any strongly biased branch, accuracy
+// converges above the bias floor.
+func TestBiasedBranchConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := New(256)
+		pc := uint64(r.Intn(1000)) * isa.InstBytes
+		correct, total := 0, 0
+		for i := 0; i < 2000; i++ {
+			taken := r.Float64() < 0.95
+			if p.Predict(pc) == taken {
+				correct++
+			}
+			total++
+			p.Update(pc, taken)
+		}
+		return float64(correct)/float64(total) > 0.85
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

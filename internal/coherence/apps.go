@@ -1,0 +1,250 @@
+package coherence
+
+import "informing/internal/multi"
+
+// The five parallel applications exercising the classic sharing patterns
+// (see DESIGN.md: these substitute for the paper's unnamed TangoLite
+// workloads and span read- and write-dominated mixes so the Figure 4
+// crossover structure is preserved):
+//
+//	ocean   nearest-neighbour stencil: owner sweeps + boundary exchange
+//	lu      producer→consumers pivot broadcast
+//	barnes  read-mostly shared tree with a hot subset
+//	water   migratory read-modify-write objects
+//	fft     all-to-all transpose
+//
+// Shared lines are reused many times between ownership changes — the
+// regime real parallel programs live in — so the schemes' detection costs
+// (per-reference lookup vs fault vs miss handler) are exercised against a
+// realistic hit/action mix. All generators are deterministic.
+
+const (
+	sharedBase  = 0x4000_0000
+	privateBase = 0x8000_0000
+	lineBytes   = 32
+)
+
+type stream struct {
+	refs    []multi.Ref
+	privPtr uint64
+	proc    int
+}
+
+func newStream(proc int) *stream {
+	return &stream{proc: proc, privPtr: privateBase + uint64(proc)<<20}
+}
+
+// work interleaves compute cycles and a private scratch reference (the
+// local stack traffic surrounding each shared access).
+func (s *stream) work(cycles int64) {
+	s.refs = append(s.refs, multi.Ref{Addr: s.privPtr, Write: s.privPtr%16 == 8, Compute: cycles})
+	s.privPtr += 8
+	if s.privPtr >= privateBase+uint64(s.proc)<<20+(4<<10) {
+		s.privPtr = privateBase + uint64(s.proc)<<20
+	}
+}
+
+func (s *stream) read(line, word uint64) {
+	s.refs = append(s.refs, multi.Ref{
+		Addr: sharedBase + line*lineBytes + word%4*8, Shared: true, Compute: 2})
+}
+
+func (s *stream) write(line, word uint64) {
+	s.refs = append(s.refs, multi.Ref{
+		Addr: sharedBase + line*lineBytes + word%4*8, Write: true, Shared: true, Compute: 2})
+}
+
+// sweepLine touches every word of a line: reads it, computes, writes part
+// of it back — the inner-loop body of an owner-computes phase.
+func (s *stream) sweepLine(line uint64, writes int) {
+	for w := uint64(0); w < 4; w++ {
+		s.read(line, w)
+		s.work(2)
+	}
+	for w := 0; w < writes; w++ {
+		s.write(line, uint64(w)*2)
+		s.work(2)
+	}
+}
+
+func phase(procs int, gen func(p int, s *stream)) [][]multi.Ref {
+	out := make([][]multi.Ref, procs)
+	for p := 0; p < procs; p++ {
+		s := newStream(p)
+		gen(p, s)
+		out[p] = s.refs
+	}
+	return out
+}
+
+// Ocean is a nearest-neighbour stencil: each processor repeatedly sweeps
+// its own strip and reads both neighbours' boundary lines each iteration.
+// The boundary lines sit at the end of the strip, so after a neighbour
+// reads them (downgrading them to READONLY) the ECC scheme write-faults on
+// the whole surrounding page during the next sweep.
+func Ocean(procs int) multi.App {
+	const strip = 256   // lines per processor (8 KB, two pages, L1-resident)
+	const boundary = 32 // trailing lines read by neighbours
+	var phases [][][]multi.Ref
+	for iter := 0; iter < 5; iter++ {
+		phases = append(phases, phase(procs, func(p int, s *stream) {
+			own := uint64(p) * strip
+			for sweep := 0; sweep < 5; sweep++ {
+				for l := uint64(0); l < strip; l++ {
+					s.sweepLine(own+l, 2)
+				}
+			}
+			for _, nb := range []int{(p + 1) % procs, (p + procs - 1) % procs} {
+				nbase := uint64(nb)*strip + strip - boundary
+				for l := uint64(0); l < boundary; l++ {
+					for w := uint64(0); w < 4; w++ {
+						s.read(nbase+l, w)
+						s.work(3)
+					}
+				}
+			}
+		}))
+	}
+	return multi.App{Name: "ocean", Phases: phases}
+}
+
+// LU is pivot broadcasting: in each phase one producer rewrites the pivot
+// block — whose pages are covered with READONLY copies from the previous
+// round's consumers — then every processor reads it repeatedly while
+// updating its own trailing block.
+func LU(procs int) multi.App {
+	const pivot = 64
+	const trailing = 64
+	var phases [][][]multi.Ref
+	for k := 0; k < 10; k++ {
+		owner := k % procs
+		pbase := uint64(procs)*trailing + uint64(k%2)*pivot
+		// Factorisation phase: the owner rewrites the pivot block (whose
+		// pages are covered with READONLY consumer copies from an earlier
+		// round); everyone else runs a short local pass.
+		phases = append(phases, phase(procs, func(p int, s *stream) {
+			if p == owner {
+				for l := uint64(0); l < pivot; l++ {
+					s.sweepLine(pbase+l, 2)
+				}
+				return
+			}
+			own := uint64(p) * trailing
+			for l := uint64(0); l < trailing; l++ {
+				s.sweepLine(own+l, 1)
+			}
+		}))
+		// Update phase: every processor reads the pivot repeatedly while
+		// updating its own trailing block.
+		phases = append(phases, phase(procs, func(p int, s *stream) {
+			own := uint64(p) * trailing
+			for pass := 0; pass < 5; pass++ {
+				for l := uint64(0); l < trailing; l++ {
+					s.read(pbase+l%pivot, l)
+					s.work(3)
+					s.sweepLine(own+l, 1)
+				}
+			}
+		}))
+	}
+	return multi.App{Name: "lu", Phases: phases}
+}
+
+// Barnes is read-mostly: processor 0 builds a shared tree, then everyone
+// repeatedly reads pseudo-random tree lines — most hits going to a hot
+// L1-resident subset — with only occasional updates to per-processor body
+// blocks. The per-reference tax of reference checking dominates here,
+// while ECC and informing are both nearly free.
+func Barnes(procs int) multi.App {
+	const tree = 1024
+	const hot = 192 // L1-resident hot subset
+	const bodies = 16
+	var phases [][][]multi.Ref
+	phases = append(phases, phase(procs, func(p int, s *stream) {
+		if p != 0 {
+			return
+		}
+		for l := uint64(0); l < tree; l++ {
+			s.write(l, 0)
+			s.write(l, 2)
+			s.work(2)
+		}
+	}))
+	for iter := 0; iter < 4; iter++ {
+		phases = append(phases, phase(procs, func(p int, s *stream) {
+			x := uint64(p*2654435761) + uint64(iter)*97 + 1
+			bbase := uint64(tree) + uint64(p)*bodies
+			for n := 0; n < 6000; n++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				line := (x >> 33) % hot
+				if x>>8%8 == 0 { // 1 in 8 reads goes to the cold tree
+					line = (x >> 33) % tree
+				}
+				s.read(line, x>>50)
+				s.work(5)
+				if n%250 == 0 {
+					s.write(bbase+uint64(n/250)%bodies, 0)
+				}
+			}
+		}))
+	}
+	return multi.App{Name: "barnes", Phases: phases}
+}
+
+// Water is migratory sharing: each phase rotates ownership of molecule
+// blocks; a molecule is read-modify-written over several passes before it
+// moves on, so each migration amortises over many accesses. ECC pays an
+// invalid-read fault plus a write fault per migration; informing pays one
+// miss handler.
+func Water(procs int) multi.App {
+	const perProc = 48
+	var phases [][][]multi.Ref
+	for iter := 0; iter < 8; iter++ {
+		phases = append(phases, phase(procs, func(p int, s *stream) {
+			base := uint64((p+iter)%procs) * perProc
+			for l := uint64(0); l < perProc; l++ {
+				for pass := 0; pass < 10; pass++ {
+					s.sweepLine(base+l, 2)
+				}
+			}
+		}))
+	}
+	return multi.App{Name: "water", Phases: phases}
+}
+
+// FFT is an all-to-all transpose: each round every processor rewrites its
+// own block, synchronises, then reads a slice of every other processor's
+// block several times while accumulating locally.
+func FFT(procs int) multi.App {
+	const block = 128
+	var phases [][][]multi.Ref
+	for iter := 0; iter < 4; iter++ {
+		phases = append(phases, phase(procs, func(p int, s *stream) {
+			own := uint64(p) * block
+			for l := uint64(0); l < block; l++ {
+				s.sweepLine(own+l, 2)
+			}
+		}))
+		phases = append(phases, phase(procs, func(p int, s *stream) {
+			slice := uint64(block / procs)
+			for q := 0; q < procs; q++ {
+				qbase := uint64(q) * block
+				off := uint64(p) * slice
+				for pass := 0; pass < 6; pass++ {
+					for l := uint64(0); l < slice; l++ {
+						for w := uint64(0); w < 4; w++ {
+							s.read(qbase+off+l, w)
+							s.work(3)
+						}
+					}
+				}
+			}
+		}))
+	}
+	return multi.App{Name: "fft", Phases: phases}
+}
+
+// Apps returns the five applications for n processors.
+func Apps(n int) []multi.App {
+	return []multi.App{Ocean(n), LU(n), Barnes(n), Water(n), FFT(n)}
+}

@@ -1,0 +1,223 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"informing/internal/multi"
+)
+
+func TestDefaultCostsMatchTable2(t *testing.T) {
+	c := DefaultCosts()
+	if c.RefCheckLookup != 18 {
+		t.Errorf("ref-check lookup %d, want 18", c.RefCheckLookup)
+	}
+	if c.ECCReadFault != 250 || c.ECCWriteFault != 230 {
+		t.Errorf("ECC faults %d/%d, want 250/230", c.ECCReadFault, c.ECCWriteFault)
+	}
+	if c.InformingLookup != 33 {
+		t.Errorf("informing lookup %d, want 33", c.InformingLookup)
+	}
+}
+
+func TestDetectCostMatrix(t *testing.T) {
+	c := DefaultCosts()
+	ref, ecc, inf := RefCheck{c}, ECC{c}, Informing{c}
+	cfg := multi.DefaultConfig()
+
+	cases := []struct {
+		name          string
+		ev            multi.AccessEvent
+		ref, ecc, inf int64
+	}{
+		{
+			name: "read hit",
+			ev:   multi.AccessEvent{State: multi.ReadOnly, Sufficient: true, L1Hit: true},
+			ref:  18, ecc: 0, inf: 0,
+		},
+		{
+			name: "read capacity miss (still permitted)",
+			ev:   multi.AccessEvent{State: multi.ReadOnly, Sufficient: true, L1Hit: false},
+			ref:  18, ecc: 0, inf: 33,
+		},
+		{
+			name: "read to invalid block",
+			ev:   multi.AccessEvent{State: multi.Invalid},
+			ref:  18, ecc: 250, inf: 33,
+		},
+		{
+			name: "write hit, clean page",
+			ev:   multi.AccessEvent{Write: true, State: multi.ReadWrite, Sufficient: true, L1Hit: true},
+			ref:  18, ecc: 0, inf: 0,
+		},
+		{
+			name: "write hit on page with READONLY data",
+			ev: multi.AccessEvent{Write: true, State: multi.ReadWrite, Sufficient: true,
+				L1Hit: true, PageHasReadonly: true},
+			ref: 18, ecc: 230, inf: 0,
+		},
+		{
+			name: "write to READONLY line (upgrade)",
+			ev: multi.AccessEvent{Write: true, State: multi.ReadOnly,
+				PageHasReadonly: true},
+			ref: 18, ecc: 230, inf: 43,
+		},
+		{
+			name: "write to invalid line",
+			ev:   multi.AccessEvent{Write: true, State: multi.Invalid},
+			ref:  18, ecc: 230, inf: 33,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ref.DetectCost(tc.ev, cfg); got != tc.ref {
+				t.Errorf("ref-check: %d, want %d", got, tc.ref)
+			}
+			if got := ecc.DetectCost(tc.ev, cfg); got != tc.ecc {
+				t.Errorf("ecc: %d, want %d", got, tc.ecc)
+			}
+			if got := inf.DetectCost(tc.ev, cfg); got != tc.inf {
+				t.Errorf("informing: %d, want %d", got, tc.inf)
+			}
+		})
+	}
+}
+
+func TestAppsWellFormed(t *testing.T) {
+	const procs = 8
+	for _, app := range Apps(procs) {
+		if app.Name == "" {
+			t.Error("unnamed app")
+		}
+		if len(app.Phases) == 0 {
+			t.Errorf("%s: no phases", app.Name)
+		}
+		var shared, private uint64
+		for k, phase := range app.Phases {
+			if len(phase) != procs {
+				t.Fatalf("%s phase %d: %d streams, want %d", app.Name, k, len(phase), procs)
+			}
+			for _, refs := range phase {
+				for _, r := range refs {
+					if r.Shared {
+						shared++
+						if r.Addr < sharedBase || r.Addr >= privateBase {
+							t.Fatalf("%s: shared ref at %#x outside shared region", app.Name, r.Addr)
+						}
+					} else {
+						private++
+					}
+					if r.Compute < 0 {
+						t.Fatalf("%s: negative compute", app.Name)
+					}
+				}
+			}
+		}
+		if shared == 0 {
+			t.Errorf("%s: no shared references", app.Name)
+		}
+		if private == 0 {
+			t.Errorf("%s: no private references", app.Name)
+		}
+	}
+}
+
+func TestAppsDeterministic(t *testing.T) {
+	a := Water(4)
+	b := Water(4)
+	for k := range a.Phases {
+		for p := range a.Phases[k] {
+			if len(a.Phases[k][p]) != len(b.Phases[k][p]) {
+				t.Fatal("app generation nondeterministic")
+			}
+			for i := range a.Phases[k][p] {
+				if a.Phases[k][p][i] != b.Phases[k][p][i] {
+					t.Fatal("app refs nondeterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	// Each processor's private scratch must not collide with another's.
+	app := Ocean(4)
+	seen := map[uint64]int{}
+	for _, phase := range app.Phases {
+		for p, refs := range phase {
+			for _, r := range refs {
+				if r.Shared {
+					continue
+				}
+				if prev, ok := seen[r.Addr]; ok && prev != p {
+					t.Fatalf("private addr %#x used by procs %d and %d", r.Addr, prev, p)
+				}
+				seen[r.Addr] = p
+			}
+		}
+	}
+}
+
+func TestFigure4InformingAlwaysWins(t *testing.T) {
+	cfg := multi.DefaultConfig()
+	cfg.Processors = 8 // smaller for test speed
+	rows, speedup, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d apps", len(rows))
+	}
+	for _, row := range rows {
+		inf := row.Norm[Informing{}.Name()]
+		if inf != 1.0 {
+			t.Errorf("%s: informing not the normalisation base: %f", row.App, inf)
+		}
+		for _, other := range []string{RefCheck{}.Name(), ECC{}.Name()} {
+			if row.Norm[other] < 1.0 {
+				t.Errorf("%s: %s beat informing (%.3f) — the paper's headline result is informing always wins",
+					row.App, other, row.Norm[other])
+			}
+		}
+	}
+	for name, s := range speedup {
+		if s <= 0 {
+			t.Errorf("average speedup vs %s is %.3f, want positive", name, s)
+		}
+	}
+}
+
+func TestFigure4Formatting(t *testing.T) {
+	cfg := multi.DefaultConfig()
+	cfg.Processors = 4
+	rows, speedup, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatFigure4(rows, speedup)
+	for _, want := range []string{"ocean", "water", "informing", "ecc-fault", "average slowdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+	detail := FormatFigure4Detail(rows)
+	if !strings.Contains(detail, "protocol=") {
+		t.Error("detail output missing breakdowns")
+	}
+}
+
+func TestSchemesList(t *testing.T) {
+	s := Schemes()
+	if len(s) != 3 {
+		t.Fatalf("%d schemes", len(s))
+	}
+	names := map[string]bool{}
+	for _, pol := range s {
+		names[pol.Name()] = true
+	}
+	for _, want := range []string{"reference-checking", "ecc-fault", "informing"} {
+		if !names[want] {
+			t.Errorf("missing scheme %q", want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+
+	"informing/internal/multi"
+)
+
+// Fig4Row is one application's result across the three schemes.
+type Fig4Row struct {
+	App     string
+	Results map[string]multi.Result // by scheme name
+	Norm    map[string]float64      // execution time / informing execution time
+}
+
+// Figure4 runs every application under every access-control scheme and
+// returns rows in application order plus the paper's two headline
+// averages: how much faster informing is than the ECC and
+// reference-checking schemes (paper: 18% and 24%).
+func Figure4(cfg multi.Config) ([]Fig4Row, map[string]float64, error) {
+	var rows []Fig4Row
+	speedup := map[string]float64{}
+	counts := 0
+	for _, app := range Apps(cfg.Processors) {
+		row := Fig4Row{App: app.Name, Results: map[string]multi.Result{}, Norm: map[string]float64{}}
+		for _, pol := range Schemes() {
+			r, err := multi.Simulate(app, pol, cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", app.Name, pol.Name(), err)
+			}
+			row.Results[pol.Name()] = r
+		}
+		inf := row.Results[Informing{}.Name()]
+		if inf.Cycles == 0 {
+			return nil, nil, fmt.Errorf("%s: informing run produced zero cycles", app.Name)
+		}
+		for name, r := range row.Results {
+			row.Norm[name] = float64(r.Cycles) / float64(inf.Cycles)
+		}
+		rows = append(rows, row)
+		counts++
+		for _, name := range []string{RefCheck{}.Name(), ECC{}.Name()} {
+			speedup[name] += row.Norm[name] - 1
+		}
+	}
+	for name := range speedup {
+		speedup[name] /= float64(counts)
+	}
+	return rows, speedup, nil
+}
+
+// FormatFigure4 renders the rows as the paper's Figure 4 (execution time
+// normalised to the informing scheme).
+func FormatFigure4(rows []Fig4Row, speedup map[string]float64) string {
+	var sb strings.Builder
+	title := "Figure 4: normalized execution times for three access control methods"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	sb.WriteString("(normalized to the informing-memory-operations scheme; lower is better)\n\n")
+	names := []string{RefCheck{}.Name(), ECC{}.Name(), Informing{}.Name()}
+	fmt.Fprintf(&sb, "%-8s", "app")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %20s", n)
+	}
+	sb.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-8s", row.App)
+		for _, n := range names {
+			fmt.Fprintf(&sb, " %20.3f", row.Norm[n])
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "\naverage slowdown vs informing: reference-checking %+.1f%%, ecc %+.1f%%\n",
+		100*speedup[RefCheck{}.Name()], 100*speedup[ECC{}.Name()])
+	sb.WriteString("(paper: informing is on average 24% faster than reference-checking and 18% faster than ECC)\n")
+	return sb.String()
+}
+
+// FormatFigure4Detail prints the per-scheme cycle breakdowns.
+func FormatFigure4Detail(rows []Fig4Row) string {
+	var sb strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%s:\n", row.App)
+		for _, name := range []string{RefCheck{}.Name(), ECC{}.Name(), Informing{}.Name()} {
+			r := row.Results[name]
+			fmt.Fprintf(&sb,
+				"  %-20s cycles=%-10d detect=%-9d protocol=%-10d mem=%-8d actions=%d invals=%d\n",
+				name, r.Cycles, r.DetectCycles, r.ProtocolCycles, r.MemoryCycles,
+				r.CoherenceActions, r.Invalidations)
+		}
+	}
+	return sb.String()
+}

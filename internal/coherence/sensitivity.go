@@ -1,0 +1,59 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+
+	"informing/internal/multi"
+)
+
+// SensitivityPoint is one configuration of the §4.3.2 sensitivity study.
+type SensitivityPoint struct {
+	MsgLatency int64
+	L1KB       int
+	// Advantage is the average execution-time advantage of the informing
+	// scheme over each competitor (competitor/informing - 1, averaged
+	// over the applications).
+	Advantage map[string]float64
+}
+
+// Sensitivity reproduces the paper's §4.3.2 observation: "either smaller
+// network latencies or larger primary cache sizes tend to improve the
+// relative performance of the informing memory implementation". It sweeps
+// one-way message latency and L1 size around the Table 2 operating point
+// and reports the informing scheme's average advantage at each point.
+func Sensitivity(base multi.Config, msgLatencies []int64, l1KBs []int) ([]SensitivityPoint, error) {
+	var out []SensitivityPoint
+	for _, lat := range msgLatencies {
+		for _, kb := range l1KBs {
+			cfg := base
+			cfg.MsgLatency = lat
+			cfg.BarrierCost = 2 * lat
+			cfg.L1.SizeBytes = kb << 10
+			_, speedup, err := Figure4(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity lat=%d l1=%dKB: %w", lat, kb, err)
+			}
+			out = append(out, SensitivityPoint{
+				MsgLatency: lat,
+				L1KB:       kb,
+				Advantage:  speedup,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatSensitivity renders the sweep as a table.
+func FormatSensitivity(points []SensitivityPoint) string {
+	var sb strings.Builder
+	title := "Sensitivity (§4.3.2): informing advantage vs message latency and L1 size"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&sb, "%-10s %-8s %22s %22s\n", "msg-lat", "L1", "vs ref-check", "vs ECC")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-10d %-8s %21.1f%% %21.1f%%\n",
+			p.MsgLatency, fmt.Sprintf("%dKB", p.L1KB),
+			100*p.Advantage[RefCheck{}.Name()], 100*p.Advantage[ECC{}.Name()])
+	}
+	return sb.String()
+}

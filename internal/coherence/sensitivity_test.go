@@ -1,0 +1,54 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"informing/internal/multi"
+)
+
+// TestSensitivityTrends pins the paper's §4.3.2 observation: the informing
+// scheme's relative advantage grows with smaller network latencies and
+// with larger primary caches.
+func TestSensitivityTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep is slow")
+	}
+	base := multi.DefaultConfig()
+	base.Processors = 8 // keep the sweep quick
+	points, err := Sensitivity(base, []int64{300, 1800}, []int{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	idx := map[[2]int64]SensitivityPoint{}
+	for _, p := range points {
+		idx[[2]int64{p.MsgLatency, int64(p.L1KB)}] = p
+	}
+	for _, scheme := range []string{RefCheck{}.Name(), ECC{}.Name()} {
+		// Smaller latency helps, at both cache sizes.
+		for _, kb := range []int64{4, 64} {
+			lo := idx[[2]int64{300, kb}].Advantage[scheme]
+			hi := idx[[2]int64{1800, kb}].Advantage[scheme]
+			if lo <= hi {
+				t.Errorf("%s @ %dKB: advantage %.3f at 300cy <= %.3f at 1800cy",
+					scheme, kb, lo, hi)
+			}
+		}
+		// Larger L1 helps, at both latencies.
+		for _, lat := range []int64{300, 1800} {
+			big := idx[[2]int64{lat, 64}].Advantage[scheme]
+			small := idx[[2]int64{lat, 4}].Advantage[scheme]
+			if big <= small {
+				t.Errorf("%s @ %dcy: advantage %.3f at 64KB <= %.3f at 4KB",
+					scheme, lat, big, small)
+			}
+		}
+	}
+	out := FormatSensitivity(points)
+	if !strings.Contains(out, "vs ref-check") || !strings.Contains(out, "64KB") {
+		t.Error("sensitivity table malformed")
+	}
+}

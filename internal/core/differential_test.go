@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"informing/internal/asm"
+	"informing/internal/interp"
+	"informing/internal/isa"
+)
+
+// randStructured generates a random but always-terminating program: a
+// few counted loops whose bodies mix ALU work, loads/stores into a masked
+// buffer, and forward skip branches. Memory addresses are derived from
+// register values masked into the buffer, so runs exercise real hit/miss
+// variety.
+func randStructured(r *rand.Rand, informing bool) *isa.Program {
+	b := asm.NewBuilder()
+	buf := b.Alloc("buf", 1<<15) // 32 KB
+	if informing {
+		b.J("main")
+		b.Label("h")
+		b.Addi(isa.R20, isa.R20, 1)
+		b.Rfmh()
+		b.Label("main")
+		b.MtmharLabel("h")
+	}
+	b.LoadImm(isa.R1, int64(buf))
+	for i := 2; i <= 9; i++ {
+		b.LoadImm(isa.R(i), int64(int32(r.Uint64())))
+	}
+	aluOps := []isa.Op{isa.Add, isa.Sub, isa.Mul, isa.And, isa.Or, isa.Xor,
+		isa.Sll, isa.Srl, isa.Slt, isa.Addi, isa.Xori, isa.Slli}
+	nLoops := 1 + r.Intn(3)
+	for l := 0; l < nLoops; l++ {
+		iters := int64(20 + r.Intn(200))
+		b.LoadImm(isa.R16, iters)
+		top := b.Unique("top")
+		b.Label(top)
+		bodyLen := 4 + r.Intn(14)
+		for k := 0; k < bodyLen; k++ {
+			rd := isa.R(2 + r.Intn(10))
+			rs1 := isa.R(1 + r.Intn(11))
+			rs2 := isa.R(1 + r.Intn(11))
+			switch r.Intn(6) {
+			case 0: // load
+				b.Andi(isa.R13, rs1, 1<<15-8)
+				b.Add(isa.R13, isa.R13, isa.R1)
+				b.Ld(rd, isa.R13, 0, informing)
+			case 1: // store
+				b.Andi(isa.R13, rs1, 1<<15-8)
+				b.Add(isa.R13, isa.R13, isa.R1)
+				b.St(rs2, isa.R13, 0, informing)
+			case 2: // forward skip branch
+				skip := b.Unique("skip")
+				switch r.Intn(3) {
+				case 0:
+					b.Beq(rs1, rs2, skip)
+				case 1:
+					b.Bne(rs1, rs2, skip)
+				default:
+					b.Blt(rs1, rs2, skip)
+				}
+				b.Emit(isa.Inst{Op: aluOps[r.Intn(len(aluOps))], Rd: rd, Rs1: rs1, Rs2: rs2, Imm: int64(r.Intn(64))})
+				b.Label(skip)
+			default:
+				op := aluOps[r.Intn(len(aluOps))]
+				b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: int64(r.Intn(64))})
+			}
+		}
+		b.Addi(isa.R16, isa.R16, -1)
+		b.Bne(isa.R16, isa.R0, top)
+	}
+	b.Halt()
+	return b.MustFinish()
+}
+
+// TestMachinesAgreeWithFunctionalModel: with informing off, the two
+// timing cores must compute exactly the same architectural result as the
+// functional reference model, on random programs.
+func TestMachinesAgreeWithFunctionalModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randStructured(r, false)
+
+		ref := interp.New(prog, interp.ModeOff, nil)
+		if err := ref.Run(5_000_000); err != nil {
+			t.Logf("functional: %v", err)
+			return false
+		}
+		for _, cfg := range []Config{R10000(Off), Alpha21164(Off)} {
+			_, m, err := cfg.WithMaxInsts(5_000_000).RunDetailed(prog)
+			if err != nil {
+				t.Logf("%v: %v", cfg.Machine, err)
+				return false
+			}
+			if m.G != ref.G {
+				t.Logf("seed %d: %v register file diverges", seed, cfg.Machine)
+				return false
+			}
+			if m.Seq != ref.Seq {
+				t.Logf("seed %d: %v executed %d instrs, functional %d",
+					seed, cfg.Machine, m.Seq, ref.Seq)
+				return false
+			}
+			// Compare the data segment.
+			for addr := prog.DataBase; addr < prog.DataBase+prog.DataSize; addr += 8 {
+				if m.Mem.Load(addr) != ref.Mem.Load(addr) {
+					t.Logf("seed %d: %v memory diverges at %#x", seed, cfg.Machine, addr)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrapCountEqualsMissCountOnRandomPrograms: with the trap scheme and a
+// counting handler, the software-visible count must equal the simulator's
+// miss count on both machines, for random programs.
+func TestTrapCountEqualsMissCountOnRandomPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randStructured(r, true)
+		for _, cfg := range []Config{R10000(TrapBranch), R10000(TrapException), Alpha21164(TrapBranch)} {
+			run, m, err := cfg.WithMaxInsts(5_000_000).RunDetailed(prog)
+			if err != nil {
+				t.Logf("%v: %v", cfg.Machine, err)
+				return false
+			}
+			if m.G[20] != run.Traps {
+				t.Logf("seed %d %v/%v: handler count %d, traps %d",
+					seed, cfg.Machine, cfg.Scheme, m.G[20], run.Traps)
+				return false
+			}
+			if run.Traps != run.L1Misses {
+				t.Logf("seed %d %v/%v: traps %d, misses %d",
+					seed, cfg.Machine, cfg.Scheme, run.Traps, run.L1Misses)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrapModesArchitecturallyIdentical: branch- and exception-style trap
+// handling differ only in timing, never in architectural outcome.
+func TestTrapModesArchitecturallyIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	prog := randStructured(r, true)
+	_, mBr, err := R10000(TrapBranch).WithMaxInsts(5_000_000).RunDetailed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mEx, err := R10000(TrapException).WithMaxInsts(5_000_000).RunDetailed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mBr.G != mEx.G || mBr.Seq != mEx.Seq {
+		t.Error("trap modes diverge architecturally")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"informing/internal/asm"
+	"informing/internal/interp"
+	"informing/internal/isa"
+)
+
+// buildStrided builds a sweep whose references hit L2 after the first pass
+// but miss L1 every time (stride = one L1-way-conflict apart), so L1-miss
+// traps and L2-miss traps differ sharply in count.
+func buildStrided() *isa.Program {
+	b := asm.NewBuilder()
+	arr := b.Alloc("arr", 256<<10)
+	b.J("start")
+	b.Label("h")
+	b.Addi(isa.R20, isa.R20, 1)
+	b.Rfmh()
+	b.Label("start")
+	b.MtmharLabel("h")
+	b.LoadImm(isa.R1, int64(arr))
+	b.LoadImm(isa.R2, 3) // passes: pass 1 cold (memory), later passes L2
+	b.Label("outer")
+	b.LoadImm(isa.R3, int64(arr))
+	b.LoadImm(isa.R4, 4096)
+	b.Label("inner")
+	b.Ld(isa.R5, isa.R3, 0, true)
+	b.Addi(isa.R3, isa.R3, 64)
+	b.Addi(isa.R4, isa.R4, -1)
+	b.Bne(isa.R4, isa.R0, "inner")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "outer")
+	b.Halt()
+	return b.MustFinish()
+}
+
+// buildResident builds a loop over an 8 KB working set: after the cold
+// pass everything hits L1, so informing traps are rare — unless something
+// (a context switch) flushes the cache.
+func buildResident() *isa.Program {
+	b := asm.NewBuilder()
+	arr := b.Alloc("arr", 8<<10)
+	b.J("start")
+	b.Label("h")
+	b.Addi(isa.R20, isa.R20, 1)
+	b.Rfmh()
+	b.Label("start")
+	b.MtmharLabel("h")
+	b.LoadImm(isa.R2, 20) // passes
+	b.Label("outer")
+	b.LoadImm(isa.R3, int64(arr))
+	b.LoadImm(isa.R4, 1024)
+	b.Label("inner")
+	b.Ld(isa.R5, isa.R3, 0, true)
+	b.Add(isa.R6, isa.R6, isa.R5)
+	b.Addi(isa.R3, isa.R3, 8)
+	b.Addi(isa.R4, isa.R4, -1)
+	b.Bne(isa.R4, isa.R0, "inner")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "outer")
+	b.Halt()
+	return b.MustFinish()
+}
+
+func TestTrapThresholdSecondaryMissesOnly(t *testing.T) {
+	prog := buildStrided()
+
+	all := R10000(TrapBranch)
+	runAll, mAll, err := all.WithMaxInsts(10_000_000).RunDetailed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l2only := R10000(TrapBranch)
+	l2only.OOO.TrapThreshold = interp.LevelL2
+	runL2, mL2, err := l2only.WithMaxInsts(10_000_000).RunDetailed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if runAll.Traps != runAll.L1Misses {
+		t.Errorf("default threshold: traps %d != L1 misses %d", runAll.Traps, runAll.L1Misses)
+	}
+	if runL2.Traps != runL2.L2Misses {
+		t.Errorf("L2 threshold: traps %d != L2 misses %d", runL2.Traps, runL2.L2Misses)
+	}
+	if runL2.Traps >= runAll.Traps {
+		t.Errorf("L2-only traps (%d) should be far fewer than all-miss traps (%d)",
+			runL2.Traps, runAll.Traps)
+	}
+	if mAll.G[20] != runAll.Traps || mL2.G[20] != runL2.Traps {
+		t.Error("handler counts disagree with trap counts")
+	}
+	// The program's non-handler results are identical: total r5 sums etc.
+	if mAll.G[5] != mL2.G[5] {
+		t.Error("threshold changed program-visible data")
+	}
+}
+
+func TestCacheStateNondeterminismAcrossContextSwitches(t *testing.T) {
+	// §3.3 "Cache as Visible State": trap counts are a property of the
+	// machine's transient cache state — flushing the L1 periodically (as
+	// context switches would) changes how many traps fire but must not
+	// change the program's architectural results.
+	prog := buildResident()
+	base := R10000(TrapBranch)
+	runA, mA, err := base.WithMaxInsts(10_000_000).RunDetailed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flushy := R10000(TrapBranch)
+	flushy.OOO.FlushEvery = 1000
+	runB, mB, err := flushy.WithMaxInsts(10_000_000).RunDetailed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if runB.Traps <= runA.Traps {
+		t.Errorf("flushing did not increase traps: %d vs %d", runB.Traps, runA.Traps)
+	}
+	// Architectural results (other than the handler's own tally, which
+	// *is* the observed nondeterminism) are unchanged.
+	if mA.G[6] != mB.G[6] || mA.G[5] != mB.G[5] {
+		t.Error("context-switch flushing changed program results")
+	}
+	if mB.G[20] != runB.Traps {
+		t.Error("handler count inconsistent under flushing")
+	}
+}
+
+func TestFlushEveryInOrder(t *testing.T) {
+	prog := buildResident()
+	cfg := Alpha21164(TrapBranch)
+	cfg.IO.FlushEvery = 500
+	run, m, err := cfg.WithMaxInsts(10_000_000).RunDetailed(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.G[20] != run.Traps {
+		t.Error("in-order flushing broke trap accounting")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"informing/internal/asm"
+	"informing/internal/isa"
+)
+
+// buildDualScheme creates a program instrumented for BOTH schemes at once:
+// every reference is informing (for the trap scheme) and followed by a
+// BMISS check (for the condition-code scheme); each path counts into its
+// own register. Depending on the machine's configured scheme exactly one
+// counter advances — and because both mechanisms observe the same
+// architectural hit/miss stream, the two counts must be equal across runs.
+func buildDualScheme() *isa.Program {
+	b := asm.NewBuilder()
+	arr := b.Alloc("arr", 96<<10)
+	b.J("start")
+
+	b.Label("traph")
+	b.Addi(isa.R20, isa.R20, 1)
+	b.Rfmh()
+	b.Label("cch")
+	b.Addi(isa.R19, isa.R19, 1)
+	b.Jr(isa.R22)
+
+	b.Label("start")
+	b.MtmharLabel("traph")
+	b.LoadImm(isa.R1, int64(arr))
+	b.LoadImm(isa.R2, 96<<10/8)
+	b.Label("loop")
+	b.Ld(isa.R3, isa.R1, 0, true)
+	b.Bmiss(isa.R22, "cch")
+	b.Add(isa.R4, isa.R4, isa.R3)
+	b.Addi(isa.R1, isa.R1, 8)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "loop")
+	b.Halt()
+	return b.MustFinish()
+}
+
+func TestCondCodeAndTrapObserveSameMisses(t *testing.T) {
+	prog := buildDualScheme()
+	for _, machine := range []func(Scheme) Config{R10000, Alpha21164} {
+		name := machine(Off).Machine
+		_, trapM, err := machine(TrapBranch).WithMaxInsts(10_000_000).RunDetailed(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccRun, ccM, err := machine(CondCode).WithMaxInsts(10_000_000).RunDetailed(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trapM.G[20] == 0 {
+			t.Fatal("trap scheme counted nothing")
+		}
+		// In trap mode the BMISS still fires (CC is ordinary user state),
+		// so r19 counts there too; in CC mode no traps fire.
+		if ccM.G[20] != 0 {
+			t.Errorf("%v: condcode scheme fired traps", name)
+		}
+		if trapM.G[20] != ccM.G[19] {
+			t.Errorf("%v: trap count %d != condcode count %d — the two schemes observed different misses",
+				name, trapM.G[20], ccM.G[19])
+		}
+		if ccRun.BmissTaken != ccRun.L1Misses {
+			t.Errorf("%v: BMISS taken %d, L1 misses %d", name, ccRun.BmissTaken, ccRun.L1Misses)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"informing/internal/asm"
+	"informing/internal/isa"
+)
+
+// buildSweep returns a program that sums `words` sequential memory words
+// `iters` times; every load is informing and a single miss handler (one
+// register increment + return) counts misses into r20.
+func buildSweep(words, iters int64, withHandler bool) *isa.Program {
+	b := asm.NewBuilder()
+	arr := b.Alloc("arr", uint64(words*8))
+
+	b.J("start")
+	b.Label("handler")
+	b.Addi(isa.R20, isa.R20, 1)
+	b.Rfmh()
+
+	b.Label("start")
+	if withHandler {
+		b.MtmharLabel("handler")
+	}
+	b.LoadImm(isa.R1, int64(arr)) // base
+	b.LoadImm(isa.R2, iters)      // outer counter
+	b.Label("outer")
+	b.Move(isa.R3, isa.R1)
+	b.LoadImm(isa.R4, words)
+	b.Label("inner")
+	b.Ld(isa.R5, isa.R3, 0, true)
+	b.Add(isa.R6, isa.R6, isa.R5)
+	b.Addi(isa.R3, isa.R3, 8)
+	b.Addi(isa.R4, isa.R4, -1)
+	b.Bne(isa.R4, isa.R0, "inner")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "outer")
+	b.Halt()
+	return b.MustFinish()
+}
+
+func TestSmokeAllMachines(t *testing.T) {
+	prog := buildSweep(4096, 3, true) // 32 KB array: misses on in-order 8KB L1
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"ooo-off", R10000(Off)},
+		{"ooo-trap-branch", R10000(TrapBranch)},
+		{"ooo-trap-exc", R10000(TrapException)},
+		{"ooo-condcode", R10000(CondCode)},
+		{"io-off", Alpha21164(Off)},
+		{"io-trap", Alpha21164(TrapBranch)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run, err := tc.cfg.WithMaxInsts(10_000_000).Run(prog)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if run.Cycles <= 0 || run.Instrs <= 0 {
+				t.Fatalf("degenerate stats: %+v", run)
+			}
+			if run.MemRefs == 0 {
+				t.Fatal("no memory references recorded")
+			}
+			if got := run.TotalSlots(); got < run.BusySlots() {
+				t.Fatalf("slot accounting broken: total %d < busy %d", got, run.BusySlots())
+			}
+			t.Logf("%s: %v", tc.name, run)
+		})
+	}
+}
+
+func TestTrapHandlerCountsMisses(t *testing.T) {
+	prog := buildSweep(4096, 2, true)
+	cfg := R10000(TrapBranch).WithMaxInsts(10_000_000)
+	run, err := cfg.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Traps == 0 {
+		t.Fatal("expected informing traps on a 32KB sweep")
+	}
+	// The handler increments r20 once per trap; validate against the
+	// functional record by re-running and inspecting final state.
+	if run.Traps != run.L1Misses {
+		// Every miss of an informing load with MHAR set traps exactly
+		// once (handler loads are not informing and traps don't nest).
+		t.Fatalf("traps %d != L1 misses %d", run.Traps, run.L1Misses)
+	}
+}
+
+func TestSchemeOffHasNoTraps(t *testing.T) {
+	prog := buildSweep(2048, 2, true)
+	run, err := R10000(Off).WithMaxInsts(10_000_000).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Traps != 0 {
+		t.Fatalf("informing disabled but %d traps fired", run.Traps)
+	}
+}

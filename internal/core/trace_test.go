@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"informing/internal/stats"
+)
+
+// TestTraceInvariants checks per-instruction pipeline timestamps on both
+// machines: one event per graduated instruction, strictly increasing
+// sequence numbers, per-instruction stage ordering (fetch ≤ issue <
+// complete < graduate), and non-decreasing graduation times.
+func TestTraceInvariants(t *testing.T) {
+	prog := buildResident()
+	for _, cfg := range []Config{R10000(TrapBranch), Alpha21164(TrapBranch)} {
+		var events []stats.TraceEvent
+		traced := cfg.WithMaxInsts(10_000_000).WithTrace(func(ev stats.TraceEvent) {
+			events = append(events, ev)
+		})
+		run, err := traced.Run(prog)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Machine, err)
+		}
+		if int64(len(events)) != run.Instrs {
+			t.Fatalf("%v: %d events for %d instructions", cfg.Machine, len(events), run.Instrs)
+		}
+		var traps uint64
+		for i, ev := range events {
+			if i > 0 && ev.Seq <= events[i-1].Seq {
+				t.Fatalf("%v: seq not increasing at %d", cfg.Machine, i)
+			}
+			if i > 0 && ev.Graduate < events[i-1].Graduate {
+				t.Fatalf("%v: graduation went backwards at seq %d", cfg.Machine, ev.Seq)
+			}
+			if ev.Issue < ev.Fetch {
+				t.Fatalf("%v: seq %d issued (%d) before fetch (%d)", cfg.Machine, ev.Seq, ev.Issue, ev.Fetch)
+			}
+			if ev.Complete < ev.Issue {
+				t.Fatalf("%v: seq %d completed (%d) before issue (%d)", cfg.Machine, ev.Seq, ev.Complete, ev.Issue)
+			}
+			if ev.Graduate <= ev.Complete && ev.Disasm != "halt" {
+				t.Fatalf("%v: seq %d graduated (%d) before completing (%d)",
+					cfg.Machine, ev.Seq, ev.Graduate, ev.Complete)
+			}
+			if ev.Trap {
+				traps++
+				if ev.MemLevel <= 1 {
+					t.Fatalf("%v: seq %d trapped on level %d", cfg.Machine, ev.Seq, ev.MemLevel)
+				}
+			}
+			if ev.Disasm == "" {
+				t.Fatalf("%v: seq %d has no disassembly", cfg.Machine, ev.Seq)
+			}
+		}
+		if traps != run.Traps {
+			t.Errorf("%v: %d trap events, run counted %d", cfg.Machine, traps, run.Traps)
+		}
+	}
+}

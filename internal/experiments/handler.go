@@ -1,0 +1,207 @@
+// Package experiments drives the paper's evaluation: the generic
+// miss-handler overhead studies of §4.2 (Figures 2 and 3, the
+// 100-instruction handler results, and the trap-as-branch vs
+// trap-as-exception comparison) over the workload suite, and formats the
+// results as the tables/series the paper reports. The coherence case
+// study (Figure 4) lives in internal/coherence.
+package experiments
+
+import (
+	"fmt"
+
+	"informing/internal/core"
+	"informing/internal/stats"
+	"informing/internal/workload"
+)
+
+// PlanSpec pairs an instrumentation plan constructor with the machine
+// scheme it requires.
+type PlanSpec struct {
+	Label  string
+	Scheme core.Scheme
+	Make   func() workload.Plan
+}
+
+// Figure2Plans returns the five bars of Figures 2 and 3: no informing
+// (N), single and unique handlers with 1- and 10-instruction bodies.
+func Figure2Plans() []PlanSpec {
+	return []PlanSpec{
+		{"N", core.Off, func() workload.Plan { return workload.NewPlanNone() }},
+		{"S1", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(1) }},
+		{"U1", core.TrapBranch, func() workload.Plan { return workload.NewPlanUnique(1) }},
+		{"S10", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(10) }},
+		{"U10", core.TrapBranch, func() workload.Plan { return workload.NewPlanUnique(10) }},
+	}
+}
+
+// H100Plans returns the 100-instruction handler variants discussed in
+// §4.2.2.
+func H100Plans() []PlanSpec {
+	return []PlanSpec{
+		{"N", core.Off, func() workload.Plan { return workload.NewPlanNone() }},
+		{"S100", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(100) }},
+		{"U100", core.TrapBranch, func() workload.Plan { return workload.NewPlanUnique(100) }},
+	}
+}
+
+// SamplingPlans compares a full 100-instruction handler against sampled
+// variants (§4.2.2: "optimizations such as sampling could be used to
+// reduce the overhead").
+func SamplingPlans() []PlanSpec {
+	return []PlanSpec{
+		{"N", core.Off, func() workload.Plan { return workload.NewPlanNone() }},
+		{"S100", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(100) }},
+		{"SMP100/16", core.TrapBranch, func() workload.Plan { return workload.NewPlanSampled(100, 16) }},
+		{"SMP100/64", core.TrapBranch, func() workload.Plan { return workload.NewPlanSampled(100, 64) }},
+	}
+}
+
+// MotivationPlans reproduces the paper's §1 argument: per-reference miss
+// detection via serializing hardware counters (the status quo the paper
+// improves on) versus the condition-code check and the single-handler
+// trap.
+func MotivationPlans() []PlanSpec {
+	return []PlanSpec{
+		{"N", core.Off, func() workload.Plan { return workload.NewPlanNone() }},
+		{"CNT", core.Off, func() workload.Plan { return workload.NewPlanCounter() }},
+		{"CC1", core.CondCode, func() workload.Plan { return workload.NewPlanCondCode(1) }},
+		{"S1", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(1) }},
+	}
+}
+
+// CondCodePlans compares the explicit condition-code check (§2.1) against
+// the equivalent trap plans.
+func CondCodePlans() []PlanSpec {
+	return []PlanSpec{
+		{"N", core.Off, func() workload.Plan { return workload.NewPlanNone() }},
+		{"CC1", core.CondCode, func() workload.Plan { return workload.NewPlanCondCode(1) }},
+		{"U1", core.TrapBranch, func() workload.Plan { return workload.NewPlanUnique(1) }},
+		{"CC10", core.CondCode, func() workload.Plan { return workload.NewPlanCondCode(10) }},
+		{"U10", core.TrapBranch, func() workload.Plan { return workload.NewPlanUnique(10) }},
+	}
+}
+
+// Result is one benchmark × machine × plan measurement.
+type Result struct {
+	Benchmark string
+	Machine   core.Machine
+	Plan      string
+	Run       stats.Run
+	// Norm is the slot breakdown normalised to the same benchmark and
+	// machine's "N" run (the paper's y-axis).
+	Norm stats.Normalized
+}
+
+// Options controls experiment size.
+type Options struct {
+	Scale    int64  // workload iteration multiplier (1 = paper-shaped default)
+	MaxInsts uint64 // per-run dynamic instruction guard
+	Machines []core.Machine
+}
+
+// DefaultOptions returns full-size settings for both machines.
+func DefaultOptions() Options {
+	return Options{Scale: 1, MaxInsts: 100_000_000,
+		Machines: []core.Machine{core.OutOfOrder, core.InOrder}}
+}
+
+func configFor(machine core.Machine, scheme core.Scheme) core.Config {
+	if machine == core.InOrder {
+		return core.Alpha21164(scheme)
+	}
+	return core.R10000(scheme)
+}
+
+// HandlerOverhead runs every benchmark under every plan on the selected
+// machines. The first plan in specs is treated as the normalisation
+// baseline (by convention "N").
+func HandlerOverhead(bms []workload.Benchmark, specs []PlanSpec, opt Options) ([]Result, error) {
+	var out []Result
+	for _, bm := range bms {
+		for _, machine := range opt.Machines {
+			var base stats.Run
+			for i, spec := range specs {
+				prog, err := workload.Build(bm, spec.Make(), opt.Scale)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", bm.Name, spec.Label, err)
+				}
+				cfg := configFor(machine, spec.Scheme).WithMaxInsts(opt.MaxInsts)
+				run, err := cfg.Run(prog)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%v: %w", bm.Name, spec.Label, machine, err)
+				}
+				if i == 0 {
+					base = run
+				}
+				out = append(out, Result{
+					Benchmark: bm.Name,
+					Machine:   machine,
+					Plan:      spec.Label,
+					Run:       run,
+					Norm:      run.NormalizeTo(base),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Figure2 reproduces Figure 2 (thirteen benchmarks, 1- and 10-instruction
+// handlers, both machines).
+func Figure2(opt Options) ([]Result, error) {
+	return HandlerOverhead(workload.Fig2Set(), Figure2Plans(), opt)
+}
+
+// Figure3 reproduces Figure 3 (the su2cor outlier).
+func Figure3(opt Options) ([]Result, error) {
+	bm, _ := workload.ByName("su2cor")
+	return HandlerOverhead([]workload.Benchmark{bm}, Figure2Plans(), opt)
+}
+
+// H100 reproduces the §4.2.2 text results for 100-instruction handlers on
+// the three benchmarks the paper names (compress ~6x, su2cor ~7x, ora low
+// overhead).
+func H100(opt Options) ([]Result, error) {
+	var bms []workload.Benchmark
+	for _, name := range []string{"compress", "su2cor", "ora"} {
+		bm, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		bms = append(bms, bm)
+	}
+	return HandlerOverhead(bms, H100Plans(), opt)
+}
+
+// TrapModeComparison reproduces the §4.2.2 branch-vs-exception result:
+// compress with single 1- and 10-instruction handlers on the out-of-order
+// machine under both trap implementations. It returns the exception/branch
+// execution-time ratios for each handler size.
+func TrapModeComparison(opt Options) (map[string]float64, []Result, error) {
+	bm, _ := workload.ByName("compress")
+	specs := []PlanSpec{
+		{"S1/branch", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(1) }},
+		{"S1/exception", core.TrapException, func() workload.Plan { return workload.NewPlanSingle(1) }},
+		{"S10/branch", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(10) }},
+		{"S10/exception", core.TrapException, func() workload.Plan { return workload.NewPlanSingle(10) }},
+	}
+	o := opt
+	o.Machines = []core.Machine{core.OutOfOrder}
+	res, err := HandlerOverhead([]workload.Benchmark{bm}, specs, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	byPlan := map[string]stats.Run{}
+	for _, r := range res {
+		byPlan[r.Plan] = r.Run
+	}
+	ratios := map[string]float64{}
+	for _, k := range []string{"S1", "S10"} {
+		br := byPlan[k+"/branch"]
+		ex := byPlan[k+"/exception"]
+		if br.Cycles > 0 {
+			ratios[k] = float64(ex.Cycles) / float64(br.Cycles)
+		}
+	}
+	return ratios, res, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"informing/internal/core"
+)
+
+// FormatFigure renders results as the paper's stacked-bar figures in text
+// form: one table per machine, one row per benchmark, one column per plan,
+// each cell showing the normalised execution time and its busy/other/cache
+// split.
+func FormatFigure(title string, results []Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	sb.WriteString("(cells: normalized execution time = busy + other-stall + cache-stall)\n")
+
+	for _, machine := range []core.Machine{core.OutOfOrder, core.InOrder} {
+		var plans []string
+		var benches []string
+		seenPlan := map[string]bool{}
+		seenBench := map[string]bool{}
+		cell := map[string]Result{}
+		for _, r := range results {
+			if r.Machine != machine {
+				continue
+			}
+			if !seenPlan[r.Plan] {
+				seenPlan[r.Plan] = true
+				plans = append(plans, r.Plan)
+			}
+			if !seenBench[r.Benchmark] {
+				seenBench[r.Benchmark] = true
+				benches = append(benches, r.Benchmark)
+			}
+			cell[r.Benchmark+"\x00"+r.Plan] = r
+		}
+		if len(benches) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n--- %v machine ---\n", machine)
+		fmt.Fprintf(&sb, "%-10s", "benchmark")
+		for _, p := range plans {
+			fmt.Fprintf(&sb, " %22s", p)
+		}
+		sb.WriteString("\n")
+		for _, bm := range benches {
+			fmt.Fprintf(&sb, "%-10s", bm)
+			for _, p := range plans {
+				r, ok := cell[bm+"\x00"+p]
+				if !ok {
+					fmt.Fprintf(&sb, " %22s", "-")
+					continue
+				}
+				n := r.Norm
+				fmt.Fprintf(&sb, "  %5.2f(%4.2f/%4.2f/%4.2f)",
+					n.Total(), n.Busy, n.Other, n.Cache)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// FormatOverheadSummary prints, per machine and plan, the min/mean/max
+// overhead versus the baseline plan across benchmarks — the numbers the
+// paper's prose quotes ("less than 40%", "only a 2% overhead", ...).
+func FormatOverheadSummary(results []Result) string {
+	type key struct {
+		m core.Machine
+		p string
+	}
+	overheads := map[key][]float64{}
+	for _, r := range results {
+		if r.Plan == "N" {
+			continue
+		}
+		overheads[key{r.Machine, r.Plan}] = append(overheads[key{r.Machine, r.Plan}], r.Norm.Total()-1)
+	}
+	var keys []key
+	for k := range overheads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].m != keys[j].m {
+			return keys[i].m < keys[j].m
+		}
+		return keys[i].p < keys[j].p
+	})
+	var sb strings.Builder
+	sb.WriteString("overhead vs. N (execution-time increase)\n")
+	for _, k := range keys {
+		v := overheads[k]
+		lo, hi, sum := v[0], v[0], 0.0
+		for _, x := range v {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			sum += x
+		}
+		fmt.Fprintf(&sb, "  %-13v %-5s min %6.1f%%  mean %6.1f%%  max %6.1f%%  (n=%d)\n",
+			k.m, k.p, 100*lo, 100*sum/float64(len(v)), 100*hi, len(v))
+	}
+	return sb.String()
+}
+
+// FormatRuns prints the raw per-run statistics (for -v output and
+// EXPERIMENTS.md appendices).
+func FormatRuns(results []Result) string {
+	var sb strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %-12v %-14s %v\n", r.Benchmark, r.Machine, r.Plan, r.Run)
+	}
+	return sb.String()
+}

@@ -1,0 +1,368 @@
+// Package inorder implements the paper's in-order-issue machine model,
+// patterned on the Alpha 21164 (§3.1 and Table 1): a 4-wide in-order
+// superscalar with presence-bit operand stalls, 2-bit-counter branch
+// prediction, a lockup-free two-level cache hierarchy, and informing
+// memory operations realised with the 21164's replay-trap mechanism (the
+// pipeline is flushed and the fetcher redirected to the miss handler when
+// an informing reference misses).
+//
+// The model is an execution-driven, dynamic-order scheduler: the
+// functional front end (internal/interp) resolves each instruction,
+// including informing control flow, and this package assigns fetch, issue,
+// completion and retirement times under the machine's structural and data
+// constraints.
+package inorder
+
+import (
+	"fmt"
+
+	"informing/internal/bpred"
+	"informing/internal/interp"
+	"informing/internal/isa"
+	"informing/internal/mem"
+	"informing/internal/stats"
+)
+
+// Config parameterises the machine. DefaultConfig returns the paper's
+// Table 1 in-order column.
+type Config struct {
+	IssueWidth int
+	FetchWidth int
+	Units      [isa.NumFUClasses]int
+
+	// FrontDepth is the fetch-to-issue depth in cycles; a mispredicted
+	// branch costs FrontDepth + MispredictExtra cycles of refetch.
+	FrontDepth        int64
+	TakenBubble       int64 // bubble after a correctly-predicted taken branch
+	MispredictPenalty int64 // fetch restart delay after branch resolution
+	ReplayPenalty     int64 // informing-trap (replay) pipeline flush cost
+
+	Lat    isa.LatencyTable
+	Hier   mem.HierConfig
+	Timing mem.TimingConfig
+
+	// ICache models the primary instruction cache (Table 1); a zero
+	// SizeBytes disables it (perfect instruction fetch). Misses stall
+	// the fetcher for the L2 latency (program text always fits the
+	// unified secondary cache at our scales).
+	ICache mem.CacheConfig
+
+	BPredEntries int
+	Mode         interp.Mode
+
+	// TrapThreshold selects which misses trap (interp.LevelL1 = any
+	// primary miss, the default; interp.LevelL2 = secondary misses only).
+	TrapThreshold int
+
+	// FlushEvery, when non-zero, flushes the L1 data cache every N memory
+	// references, modelling context switches (§3.3).
+	FlushEvery uint64
+
+	// MaxInsts bounds the dynamic instruction count (0 = 1e9).
+	MaxInsts uint64
+
+	// Trace, when non-nil, receives one TraceEvent per instruction in
+	// retirement order (debugging/visualisation; adds overhead).
+	Trace func(stats.TraceEvent)
+}
+
+// DefaultConfig returns the Table 1 in-order machine: 4-wide, 2 INT, 2 FP,
+// 1 branch unit (plus one memory port), 8 KB direct-mapped L1, 2 MB 4-way
+// L2, 11-cycle L2 latency, 50-cycle memory latency.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:        4,
+		FetchWidth:        4,
+		Units:             [isa.NumFUClasses]int{isa.FUInt: 2, isa.FUFP: 2, isa.FUBranch: 1, isa.FUMem: 1},
+		FrontDepth:        4,
+		TakenBubble:       1,
+		MispredictPenalty: 5,
+		ReplayPenalty:     5,
+		Lat: isa.LatencyTable{
+			IntMul: 12, IntDiv: 76, FPDiv: 17, FPSqrt: 20, FPOther: 4,
+			IntALU: 1, Branch: 1,
+		},
+		Hier: mem.HierConfig{
+			L1: mem.CacheConfig{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
+			L2: mem.CacheConfig{SizeBytes: 2 << 20, LineBytes: 32, Assoc: 4},
+		},
+		ICache: mem.CacheConfig{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
+		Timing: mem.TimingConfig{
+			L1HitLat: 2, L2Lat: 11, MemLat: 50,
+			MSHRs: 8, Banks: 2, FillTime: 4, MemInterval: 20, LineBytes: 32,
+		},
+		BPredEntries: bpred.DefaultEntries,
+		Mode:         interp.ModeOff,
+	}
+}
+
+const ccReg = isa.NumRegs // pseudo-register index for the cache condition code
+
+// Run simulates prog to completion and returns the measured statistics.
+func Run(prog *isa.Program, cfg Config) (stats.Run, error) {
+	r, _, err := RunDetailed(prog, cfg)
+	return r, err
+}
+
+// RunDetailed is Run but also returns the functional machine, giving
+// callers access to the final architectural state (registers, data memory,
+// MHAR/MHRR) — used by the examples and by differential tests.
+func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, error) {
+	hier := mem.NewHierarchy(cfg.Hier)
+	var icache *mem.Cache
+	if cfg.ICache.SizeBytes > 0 {
+		icache = mem.NewCache(cfg.ICache)
+	}
+	probe := hier.ProbeData
+	if cfg.FlushEvery > 0 {
+		var refs uint64
+		probe = func(addr uint64, write bool) int {
+			refs++
+			if refs%cfg.FlushEvery == 0 {
+				hier.L1.Flush()
+			}
+			return hier.ProbeData(addr, write)
+		}
+	}
+	m := interp.New(prog, cfg.Mode, probe)
+	m.TrapThreshold = cfg.TrapThreshold
+	timing := mem.NewTiming(cfg.Timing)
+	bp := bpred.New(cfg.BPredEntries)
+
+	var (
+		regReady [isa.NumRegs + 1]int64
+
+		fetchCycle int64 // cycle in which the next instruction is fetched
+		fetchSlots int   // instructions already fetched in fetchCycle
+
+		issueCycle int64 // cycle currently being filled by the issue stage
+		issuedInC  int
+		fuUsed     [isa.NumFUClasses]int
+		lastIssue  int64 // in-order issue: next inst may not issue earlier
+
+		retireCycle int64 // cycle of the most recent retirement
+		retiredInC  int
+
+		lastILine = ^uint64(0) // current instruction-fetch line
+
+		out       stats.Run
+		inHandler bool
+	)
+	out.IssueWidth = cfg.IssueWidth
+
+	limit := cfg.MaxInsts
+	if limit == 0 {
+		limit = 1e9
+	}
+
+	// findIssue returns the first cycle >= earliest with an issue-width
+	// slot and a free unit of class fu, honouring in-order issue.
+	findIssue := func(earliest int64, fu isa.FUClass) int64 {
+		t := earliest
+		if t < lastIssue {
+			t = lastIssue
+		}
+		for {
+			if t > issueCycle {
+				issueCycle = t
+				issuedInC = 0
+				fuUsed = [isa.NumFUClasses]int{}
+			}
+			if issuedInC < cfg.IssueWidth && fuUsed[fu] < cfg.Units[fu] {
+				issuedInC++
+				fuUsed[fu]++
+				lastIssue = t
+				return t
+			}
+			t++
+		}
+	}
+
+	for !m.Halted {
+		if m.Seq >= limit {
+			return out, m, fmt.Errorf("inorder: instruction limit %d exceeded", limit)
+		}
+		wasInHandler := inHandler
+		rec, err := m.Step()
+		if err != nil {
+			return out, m, err
+		}
+		in := rec.Inst
+
+		// --- fetch ---------------------------------------------------
+		if fetchSlots == cfg.FetchWidth {
+			fetchCycle++
+			fetchSlots = 0
+		}
+		if icache != nil {
+			if line := icache.Line(rec.PC); line != lastILine {
+				// Sequential next-line prefetching hides in-line
+				// misses; only control transfers to cold lines stall
+				// the fetcher.
+				sequential := line == lastILine+uint64(cfg.ICache.LineBytes)
+				lastILine = line
+				if hit, _, _ := icache.Access(rec.PC, false); !hit && !sequential {
+					out.IMisses++
+					fetchCycle += int64(cfg.Timing.L2Lat)
+					fetchSlots = 0
+				}
+			}
+		}
+		ft := fetchCycle
+		fetchSlots++
+
+		// --- operand readiness ----------------------------------------
+		earliest := ft + cfg.FrontDepth
+		for _, s := range in.Sources() {
+			if r := regReady[s]; r > earliest {
+				earliest = r
+			}
+		}
+		if in.Op == isa.Bmiss {
+			if r := regReady[ccReg]; r > earliest {
+				earliest = r
+			}
+		}
+
+		// --- issue & execute -------------------------------------------
+		fu := in.FU()
+		issueAt := findIssue(earliest, fu)
+		var complete int64
+		missStart, missEnd := int64(-1), int64(-1)
+
+		if in.IsMem() {
+			out.MemRefs++
+			if rec.Level > interp.LevelL1 {
+				out.L1Misses++
+			}
+			if rec.Level > interp.LevelL2 {
+				out.L2Misses++
+			}
+			done, ok := timing.Request(issueAt, rec.Level, rec.EA)
+			for !ok {
+				issueAt = findIssue(issueAt+1, fu)
+				done, ok = timing.Request(issueAt, rec.Level, rec.EA)
+			}
+			tagKnown := issueAt + int64(cfg.Timing.L1HitLat)
+			regReady[ccReg] = tagKnown
+			switch {
+			case in.IsLoad():
+				complete = done
+				if d, okd := in.Dest(); okd {
+					regReady[d] = done
+				}
+				if rec.Level > interp.LevelL1 {
+					missStart, missEnd = tagKnown, done
+				}
+			default: // stores and prefetches retire from the write buffer
+				complete = tagKnown
+			}
+			if rec.Trap {
+				// Replay trap: flush and refetch from the MHAR.
+				fetchCycle = tagKnown + cfg.ReplayPenalty
+				fetchSlots = 0
+			}
+		} else {
+			complete = issueAt + int64(cfg.Lat.Latency(in.Op))
+			if d, okd := in.Dest(); okd {
+				regReady[d] = complete
+			}
+		}
+
+		// --- control flow ---------------------------------------------
+		switch in.Op {
+		case isa.Beq, isa.Bne, isa.Blt, isa.Bge:
+			pred := bp.Predict(rec.PC)
+			bp.Update(rec.PC, rec.Taken)
+			if pred != rec.Taken {
+				fetchCycle = complete + cfg.MispredictPenalty
+				fetchSlots = 0
+			} else if rec.Taken {
+				fetchCycle = ft + 1 + cfg.TakenBubble
+				fetchSlots = 0
+			}
+		case isa.Bmiss:
+			// Statically predicted not-taken (optimised for hits).
+			if rec.Taken {
+				out.BmissTaken++
+				fetchCycle = complete + cfg.MispredictPenalty
+				fetchSlots = 0
+			}
+		case isa.J, isa.Jal, isa.Jr, isa.Jalr, isa.Rfmh:
+			// Direct targets and return-style jumps are predicted;
+			// only the taken-redirect bubble applies.
+			fetchCycle = ft + 1 + cfg.TakenBubble
+			fetchSlots = 0
+		}
+
+		// --- in-order retirement & slot accounting ---------------------
+		rt := complete + 1
+		if rt < retireCycle {
+			rt = retireCycle
+		}
+		if rt == retireCycle && retiredInC == cfg.IssueWidth {
+			rt++
+		}
+		if rt > retireCycle {
+			// Cycles (retireCycle, rt) exclusive retire nothing; charge
+			// those overlapping this instruction's outstanding miss
+			// window to the data cache.
+			if missStart >= 0 {
+				lo, hi := retireCycle+1, rt-1
+				if lo < missStart {
+					lo = missStart
+				}
+				if hi > missEnd {
+					hi = missEnd
+				}
+				if hi >= lo {
+					out.CacheSlots += int64(cfg.IssueWidth) * (hi - lo + 1)
+				}
+			}
+			retireCycle = rt
+			retiredInC = 0
+		}
+		retiredInC++
+		out.Instrs++
+		if cfg.Trace != nil {
+			cfg.Trace(stats.TraceEvent{
+				Seq:      rec.Seq,
+				PC:       rec.PC,
+				Disasm:   in.String(),
+				Fetch:    ft,
+				Issue:    issueAt,
+				Complete: complete,
+				Graduate: retireCycle,
+				MemLevel: rec.Level,
+				Trap:     rec.Trap,
+			})
+		}
+
+		if rec.Trap {
+			inHandler = true
+			out.Traps++
+		}
+		if wasInHandler {
+			out.HandlerInsts++
+			if in.Op == isa.Rfmh {
+				inHandler = false
+			}
+		}
+	}
+
+	out.Cycles = retireCycle
+	if out.Cycles < 1 {
+		out.Cycles = 1
+	}
+	out.DynInsts = m.Seq
+	out.OtherSlots = out.TotalSlots() - out.BusySlots() - out.CacheSlots
+	if out.OtherSlots < 0 {
+		out.OtherSlots = 0
+	}
+	out.BranchLookups = bp.Lookups
+	out.BranchMispredicts = bp.Mispredict
+	out.MSHRFullStalls = timing.MSHRFullStalls
+	out.MSHRMerges = timing.Merges
+	out.MSHRPeak = timing.PeakInUse
+	return out, m, nil
+}

@@ -1,0 +1,394 @@
+// Package interp implements the functional (untimed) model of the
+// simulated machine, including the architectural semantics of informing
+// memory operations. Both timing cores (internal/inorder, internal/ooo)
+// drive a Machine as their front end: the Machine executes instructions in
+// dynamic order, resolving each memory reference's hit/miss outcome through
+// a pluggable probe, and emits one Rec per dynamic instruction for the
+// timing back end to schedule. Used stand-alone it is the golden reference
+// model for differential tests.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"informing/internal/isa"
+)
+
+// Mode selects which informing mechanism is architecturally active.
+type Mode uint8
+
+const (
+	// ModeOff disables informing behaviour entirely: memory ops still
+	// record the cache condition code (it is ordinary user state), but
+	// no traps fire. BMISS still tests the condition code.
+	ModeOff Mode = iota
+	// ModeCondCode is the paper's §2.1 scheme: hit/miss is recorded in a
+	// condition code tested by explicit BMISS instructions. No traps.
+	ModeCondCode
+	// ModeTrap is the paper's §2.2 scheme: an informing memory operation
+	// that misses in the primary data cache with a non-zero MHAR
+	// transfers control to the MHAR, capturing the return address in
+	// the MHRR.
+	ModeTrap
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeCondCode:
+		return "condcode"
+	case ModeTrap:
+		return "trap"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Memory levels returned by a Probe.
+const (
+	LevelL1  = 1 // primary data cache hit
+	LevelL2  = 2 // secondary cache hit
+	LevelMem = 3 // main memory
+)
+
+// Probe architecturally resolves a data reference: it looks up (and
+// updates, with allocate-on-miss) the cache tag state and reports which
+// level of the hierarchy satisfies the access. A nil Probe means a perfect
+// cache (every access is an L1 hit).
+type Probe func(addr uint64, write bool) int
+
+// Rec describes one dynamically executed instruction. The timing cores
+// consume these records in order.
+type Rec struct {
+	Seq    uint64
+	PC     uint64
+	Inst   isa.Inst
+	NextPC uint64
+
+	// Memory operations only.
+	EA    uint64
+	Level int // LevelL1..LevelMem; 0 for non-memory instructions
+
+	// Control flow.
+	Taken bool // branch taken (conditional branches and BMISS)
+	Trap  bool // an informing miss trap fired after this memory op
+}
+
+// ErrPC is returned when execution falls outside the text segment.
+var ErrPC = errors.New("interp: PC outside text segment")
+
+// ErrLimit is returned by Run when the step budget is exhausted.
+var ErrLimit = errors.New("interp: instruction limit exceeded")
+
+// Machine is the architectural state plus execution configuration.
+type Machine struct {
+	Prog *isa.Program
+	Mem  *isa.DataMem
+
+	G  [32]uint64  // integer registers; G[0] ignored (reads as 0)
+	FR [32]float64 // floating-point registers
+
+	PC     uint64
+	MHAR   uint64
+	MHRR   uint64
+	CCMiss bool // cache-outcome condition code of the last memory op
+
+	// InHandler is the hardware in-handler bit: set on trap entry and
+	// cleared by RFMH, it suppresses nested informing traps so the MHRR
+	// is not clobbered by misses inside the handler (§5 of DESIGN.md).
+	InHandler bool
+
+	// AllowNest permits nested traps (for tests that demonstrate why
+	// suppression is needed).
+	AllowNest bool
+
+	Mode  Mode
+	Probe Probe
+
+	// TrapThreshold is the hierarchy level a reference must miss past to
+	// trigger an informing trap: LevelL1 (default when zero) traps on any
+	// primary-cache miss; LevelL2 traps only on secondary-cache misses —
+	// the refinement §4.1.3 proposes for software multithreading, where
+	// short L2 hits are not worth a context switch.
+	TrapThreshold int
+
+	Halted bool
+	Seq    uint64 // dynamic instruction count
+
+	// Traps counts informing trap entries; BmissTaken counts taken
+	// BMISS branches. MissCounter is the architected hardware miss
+	// counter read by MFCNT (the paper's §1 strawman).
+	Traps       uint64
+	BmissTaken  uint64
+	MissCounter uint64
+}
+
+// New returns a Machine ready to run p from its text base, with memory
+// initialised from the program image.
+func New(p *isa.Program, mode Mode, probe Probe) *Machine {
+	mem := &isa.DataMem{}
+	mem.LoadInit(p)
+	return &Machine{Prog: p, Mem: mem, PC: p.TextBase, Mode: mode, Probe: probe}
+}
+
+func (m *Machine) g(r isa.Reg) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	if r.IsFP() {
+		// Integer read of an FP register: raw bits. Generators never
+		// do this, but keep semantics total for fuzzing.
+		return math.Float64bits(m.FR[r.Index()])
+	}
+	return m.G[r.Index()]
+}
+
+func (m *Machine) f(r isa.Reg) float64 {
+	if r.IsFP() {
+		return m.FR[r.Index()]
+	}
+	return math.Float64frombits(m.g(r))
+}
+
+func (m *Machine) setG(r isa.Reg, v uint64) {
+	if r == isa.R0 {
+		return
+	}
+	if r.IsFP() {
+		m.FR[r.Index()] = math.Float64frombits(v)
+		return
+	}
+	m.G[r.Index()] = v
+}
+
+func (m *Machine) setF(r isa.Reg, v float64) {
+	if r.IsFP() {
+		m.FR[r.Index()] = v
+		return
+	}
+	m.setG(r, math.Float64bits(v))
+}
+
+func (m *Machine) probe(addr uint64, write bool) int {
+	if m.Probe == nil {
+		return LevelL1
+	}
+	return m.Probe(addr, write)
+}
+
+// Step executes one instruction and returns its dynamic record.
+func (m *Machine) Step() (Rec, error) {
+	if m.Halted {
+		return Rec{}, errors.New("interp: step on halted machine")
+	}
+	in, ok := m.Prog.Fetch(m.PC)
+	if !ok {
+		return Rec{}, fmt.Errorf("%w: %#x", ErrPC, m.PC)
+	}
+	rec := Rec{Seq: m.Seq, PC: m.PC, Inst: in}
+	m.Seq++
+	next := m.PC + isa.InstBytes
+
+	switch in.Op {
+	case isa.Nop:
+	case isa.Halt:
+		m.Halted = true
+
+	case isa.Add:
+		m.setG(in.Rd, m.g(in.Rs1)+m.g(in.Rs2))
+	case isa.Sub:
+		m.setG(in.Rd, m.g(in.Rs1)-m.g(in.Rs2))
+	case isa.Mul:
+		m.setG(in.Rd, m.g(in.Rs1)*m.g(in.Rs2))
+	case isa.Div:
+		d := m.g(in.Rs2)
+		if d == 0 {
+			m.setG(in.Rd, 0) // defined: divide by zero yields 0
+		} else {
+			m.setG(in.Rd, uint64(int64(m.g(in.Rs1))/int64(d)))
+		}
+	case isa.Rem:
+		d := m.g(in.Rs2)
+		if d == 0 {
+			m.setG(in.Rd, m.g(in.Rs1)) // defined: rem by zero yields rs1
+		} else {
+			m.setG(in.Rd, uint64(int64(m.g(in.Rs1))%int64(d)))
+		}
+	case isa.And:
+		m.setG(in.Rd, m.g(in.Rs1)&m.g(in.Rs2))
+	case isa.Or:
+		m.setG(in.Rd, m.g(in.Rs1)|m.g(in.Rs2))
+	case isa.Xor:
+		m.setG(in.Rd, m.g(in.Rs1)^m.g(in.Rs2))
+	case isa.Nor:
+		m.setG(in.Rd, ^(m.g(in.Rs1) | m.g(in.Rs2)))
+	case isa.Sll:
+		m.setG(in.Rd, m.g(in.Rs1)<<(m.g(in.Rs2)&63))
+	case isa.Srl:
+		m.setG(in.Rd, m.g(in.Rs1)>>(m.g(in.Rs2)&63))
+	case isa.Sra:
+		m.setG(in.Rd, uint64(int64(m.g(in.Rs1))>>(m.g(in.Rs2)&63)))
+	case isa.Slt:
+		m.setG(in.Rd, b2u(int64(m.g(in.Rs1)) < int64(m.g(in.Rs2))))
+	case isa.Sltu:
+		m.setG(in.Rd, b2u(m.g(in.Rs1) < m.g(in.Rs2)))
+
+	case isa.Addi:
+		m.setG(in.Rd, m.g(in.Rs1)+uint64(in.Imm))
+	case isa.Andi:
+		m.setG(in.Rd, m.g(in.Rs1)&uint64(in.Imm))
+	case isa.Ori:
+		m.setG(in.Rd, m.g(in.Rs1)|uint64(in.Imm))
+	case isa.Xori:
+		m.setG(in.Rd, m.g(in.Rs1)^uint64(in.Imm))
+	case isa.Slli:
+		m.setG(in.Rd, m.g(in.Rs1)<<(uint64(in.Imm)&63))
+	case isa.Srli:
+		m.setG(in.Rd, m.g(in.Rs1)>>(uint64(in.Imm)&63))
+	case isa.Srai:
+		m.setG(in.Rd, uint64(int64(m.g(in.Rs1))>>(uint64(in.Imm)&63)))
+	case isa.Slti:
+		m.setG(in.Rd, b2u(int64(m.g(in.Rs1)) < in.Imm))
+	case isa.Lui:
+		m.setG(in.Rd, uint64(in.Imm)<<32)
+
+	case isa.Fadd:
+		m.setF(in.Rd, m.f(in.Rs1)+m.f(in.Rs2))
+	case isa.Fsub:
+		m.setF(in.Rd, m.f(in.Rs1)-m.f(in.Rs2))
+	case isa.Fmul:
+		m.setF(in.Rd, m.f(in.Rs1)*m.f(in.Rs2))
+	case isa.Fdiv:
+		m.setF(in.Rd, m.f(in.Rs1)/m.f(in.Rs2))
+	case isa.Fsqrt:
+		m.setF(in.Rd, math.Sqrt(m.f(in.Rs1)))
+	case isa.Fneg:
+		m.setF(in.Rd, -m.f(in.Rs1))
+	case isa.Fmov:
+		m.setF(in.Rd, m.f(in.Rs1))
+	case isa.Fcvt:
+		m.setF(in.Rd, float64(int64(m.g(in.Rs1))))
+	case isa.Icvt:
+		m.setG(in.Rd, uint64(int64(m.f(in.Rs1))))
+	case isa.Fclt:
+		m.setG(in.Rd, b2u(m.f(in.Rs1) < m.f(in.Rs2)))
+	case isa.Fceq:
+		m.setG(in.Rd, b2u(m.f(in.Rs1) == m.f(in.Rs2)))
+
+	case isa.Ld, isa.Fld, isa.St, isa.Fst, isa.Prefetch:
+		ea := m.g(in.Rs1) + uint64(in.Imm)
+		rec.EA = ea
+		rec.Level = m.probe(ea, in.IsStore())
+		switch in.Op {
+		case isa.Ld:
+			m.setG(in.Rd, m.Mem.Load(ea))
+		case isa.Fld:
+			m.setF(in.Rd, m.Mem.LoadF(ea))
+		case isa.St:
+			m.Mem.Store(ea, m.g(in.Rs2))
+		case isa.Fst:
+			m.Mem.StoreF(ea, m.f(in.Rs2))
+		case isa.Prefetch:
+			// Tag update only (done by probe); never informs.
+		}
+		if in.Op != isa.Prefetch {
+			m.CCMiss = rec.Level > LevelL1
+			if m.CCMiss {
+				m.MissCounter++
+			}
+			threshold := m.TrapThreshold
+			if threshold < LevelL1 {
+				threshold = LevelL1
+			}
+			if m.Mode == ModeTrap && in.Informing && rec.Level > threshold &&
+				m.MHAR != 0 && (!m.InHandler || m.AllowNest) {
+				// Low-overhead miss trap: the memory operation
+				// completes (it is non-blocking) and control
+				// transfers to the handler atomically.
+				m.MHRR = m.PC + isa.InstBytes
+				next = m.MHAR
+				m.InHandler = true
+				m.Traps++
+				rec.Trap = true
+			}
+		}
+
+	case isa.Beq:
+		rec.Taken = m.g(in.Rs1) == m.g(in.Rs2)
+	case isa.Bne:
+		rec.Taken = m.g(in.Rs1) != m.g(in.Rs2)
+	case isa.Blt:
+		rec.Taken = int64(m.g(in.Rs1)) < int64(m.g(in.Rs2))
+	case isa.Bge:
+		rec.Taken = int64(m.g(in.Rs1)) >= int64(m.g(in.Rs2))
+
+	case isa.J:
+		next = uint64(in.Imm)
+	case isa.Jal:
+		m.setG(in.Rd, m.PC+isa.InstBytes)
+		next = uint64(in.Imm)
+	case isa.Jr:
+		next = m.g(in.Rs1)
+	case isa.Jalr:
+		ret := m.PC + isa.InstBytes
+		next = m.g(in.Rs1)
+		m.setG(in.Rd, ret)
+
+	case isa.Bmiss:
+		if m.CCMiss {
+			rec.Taken = true
+			m.setG(in.Rd, m.PC+isa.InstBytes)
+			m.BmissTaken++
+		}
+
+	case isa.Mtmhar:
+		m.MHAR = m.g(in.Rs1) + uint64(in.Imm)
+	case isa.Mtmhrr:
+		m.MHRR = m.g(in.Rs1) + uint64(in.Imm)
+	case isa.Mfmhar:
+		m.setG(in.Rd, m.MHAR)
+	case isa.Mfmhrr:
+		m.setG(in.Rd, m.MHRR)
+	case isa.Mfcnt:
+		m.setG(in.Rd, m.MissCounter)
+	case isa.Rfmh:
+		next = m.MHRR
+		m.InHandler = false
+
+	default:
+		return Rec{}, fmt.Errorf("interp: %#x: unimplemented op %v", m.PC, in.Op)
+	}
+
+	if in.IsCondBranch() && rec.Taken {
+		next = m.PC + isa.InstBytes + uint64(in.Imm)
+	}
+	rec.NextPC = next
+	m.PC = next
+	return rec, nil
+}
+
+// Run executes until Halt or until limit instructions have run (0 means
+// a default guard of 1e9).
+func (m *Machine) Run(limit uint64) error {
+	if limit == 0 {
+		limit = 1e9
+	}
+	for !m.Halted {
+		if m.Seq >= limit {
+			return fmt.Errorf("%w (%d)", ErrLimit, limit)
+		}
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

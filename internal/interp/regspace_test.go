@@ -1,0 +1,74 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"informing/internal/isa"
+)
+
+// TestCrossSpaceRegisterAccess pins the total semantics of reading and
+// writing across the integer/FP register spaces (generators never do this,
+// but fuzzed programs can, and Step must stay deterministic).
+func TestCrossSpaceRegisterAccess(t *testing.T) {
+	p := &isa.Program{TextBase: 0x1000, Text: []isa.Inst{
+		// Integer add whose source names an FP register: reads raw bits.
+		{Op: isa.Add, Rd: isa.R1, Rs1: isa.F(2), Rs2: isa.R0},
+		// Integer write targeting an FP register: bits land in FR.
+		{Op: isa.Addi, Rd: isa.F(3), Rs1: isa.R0, Imm: 0x3ff0}, // not a valid double, still defined
+		// FP move whose source names an integer register: bit reinterpretation.
+		{Op: isa.Fmov, Rd: isa.F(4), Rs1: isa.R5},
+		{Op: isa.Halt},
+	}}
+	m := New(p, ModeOff, nil)
+	m.FR[2] = 1.5
+	m.G[5] = math.Float64bits(2.25)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.G[1] != math.Float64bits(1.5) {
+		t.Errorf("int read of f2: %#x, want bits of 1.5", m.G[1])
+	}
+	if math.Float64bits(m.FR[3]) != 0x3ff0 {
+		t.Errorf("int write to f3: bits %#x", math.Float64bits(m.FR[3]))
+	}
+	if m.FR[4] != 2.25 {
+		t.Errorf("fp read of r5: %g", m.FR[4])
+	}
+}
+
+// TestSetFToIntegerRegister covers the setF path when the destination is an
+// integer register (e.g. a malformed Fadd writing to G-space).
+func TestSetFToIntegerRegister(t *testing.T) {
+	p := &isa.Program{TextBase: 0x1000, Text: []isa.Inst{
+		{Op: isa.Fadd, Rd: isa.R7, Rs1: isa.F(1), Rs2: isa.F(1)},
+		{Op: isa.Halt},
+	}}
+	m := New(p, ModeOff, nil)
+	m.FR[1] = 0.5
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.G[7] != math.Float64bits(1.0) {
+		t.Errorf("fp write to r7: %#x", m.G[7])
+	}
+}
+
+// TestLuiAndFceq rounds out opcode coverage through the interpreter.
+func TestLuiAndFceq(t *testing.T) {
+	p := &isa.Program{TextBase: 0x1000, Text: []isa.Inst{
+		{Op: isa.Lui, Rd: isa.R1, Imm: 5},
+		{Op: isa.Fceq, Rd: isa.R2, Rs1: isa.F(0), Rs2: isa.F(0)},
+		{Op: isa.Halt},
+	}}
+	m := New(p, ModeOff, nil)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.G[1] != 5<<32 {
+		t.Errorf("lui: %#x", m.G[1])
+	}
+	if m.G[2] != 1 {
+		t.Errorf("fceq equal regs: %d", m.G[2])
+	}
+}

@@ -1,0 +1,76 @@
+package isa
+
+import "fmt"
+
+// Binary encoding of one instruction in a 64-bit word:
+//
+//	[63:56] opcode       (8 bits)
+//	[55:50] rd           (6 bits, unified register space)
+//	[49:44] rs1          (6 bits)
+//	[43:38] rs2          (6 bits)
+//	[37:32] flags        (6 bits; bit 0 = informing)
+//	[31:0]  immediate    (32 bits, sign-extended on decode)
+//
+// The 32-bit immediate limits encodable branch offsets and absolute jump
+// targets to ±2 GiB, which is ample for simulated programs. Immediates
+// outside that range are rejected by Encode.
+
+const (
+	encFlagInforming = 1 << 0
+)
+
+// ErrImmRange is returned by Encode when an immediate does not fit in the
+// 32-bit encoding field.
+var ErrImmRange = fmt.Errorf("isa: immediate out of 32-bit encodable range")
+
+// Encode packs the instruction into its 64-bit binary form.
+func (i Inst) Encode() (uint64, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", uint8(i.Op))
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", i.Op)
+	}
+	if i.Imm < -(1<<31) || i.Imm > (1<<31)-1 {
+		return 0, fmt.Errorf("%w: %d in %v", ErrImmRange, i.Imm, i.Op)
+	}
+	var flags uint64
+	if i.Informing {
+		flags |= encFlagInforming
+	}
+	w := uint64(i.Op)<<56 |
+		uint64(i.Rd)<<50 |
+		uint64(i.Rs1)<<44 |
+		uint64(i.Rs2)<<38 |
+		flags<<32 |
+		uint64(uint32(int32(i.Imm)))
+	return w, nil
+}
+
+// MustEncode is like Encode but panics on error; intended for code
+// generators that construct instructions from validated inputs.
+func (i Inst) MustEncode() uint64 {
+	w, err := i.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 64-bit instruction word.
+func Decode(w uint64) (Inst, error) {
+	i := Inst{
+		Op:  Op(w >> 56),
+		Rd:  Reg(w >> 50 & 0x3f),
+		Rs1: Reg(w >> 44 & 0x3f),
+		Rs2: Reg(w >> 38 & 0x3f),
+		Imm: int64(int32(uint32(w))),
+	}
+	if w>>32&0x3f&encFlagInforming != 0 {
+		i.Informing = true
+	}
+	if !i.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d", uint8(i.Op))
+	}
+	return i, nil
+}

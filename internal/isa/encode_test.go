@@ -1,0 +1,103 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomInst produces a uniformly random *valid* instruction.
+func randomInst(r *rand.Rand) Inst {
+	return Inst{
+		Op:        Op(r.Intn(NumOps)),
+		Rd:        Reg(r.Intn(NumRegs)),
+		Rs1:       Reg(r.Intn(NumRegs)),
+		Rs2:       Reg(r.Intn(NumRegs)),
+		Imm:       int64(int32(r.Uint64())),
+		Informing: r.Intn(2) == 1,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInst(r)
+		w, err := in.Encode()
+		if err != nil {
+			t.Logf("encode %+v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#x: %v", w, err)
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadImmediate(t *testing.T) {
+	for _, imm := range []int64{math.MaxInt32 + 1, math.MinInt32 - 1, math.MaxInt64, math.MinInt64} {
+		in := Inst{Op: Addi, Rd: R1, Imm: imm}
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("imm %d: expected range error", imm)
+		}
+	}
+	for _, imm := range []int64{0, math.MaxInt32, math.MinInt32, -1} {
+		in := Inst{Op: Addi, Rd: R1, Imm: imm}
+		if _, err := in.Encode(); err != nil {
+			t.Errorf("imm %d: unexpected error %v", imm, err)
+		}
+	}
+}
+
+func TestEncodeRejectsBadOpAndRegs(t *testing.T) {
+	if _, err := (Inst{Op: Op(200)}).Encode(); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if _, err := (Inst{Op: Add, Rd: Reg(64)}).Encode(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	w := uint64(220) << 56
+	if _, err := Decode(w); err == nil {
+		t.Error("invalid opcode decoded without error")
+	}
+}
+
+func TestInformingFlagSurvivesEncoding(t *testing.T) {
+	in := Inst{Op: Ld, Rd: R3, Rs1: R4, Imm: 16, Informing: true}
+	out, err := Decode(in.MustEncode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Informing {
+		t.Error("informing flag lost in encoding")
+	}
+}
+
+func TestMustEncodePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on invalid instruction")
+		}
+	}()
+	(Inst{Op: Op(250)}).MustEncode()
+}
+
+func TestImmSignExtension(t *testing.T) {
+	in := Inst{Op: Addi, Rd: R1, Rs1: R2, Imm: -12345}
+	out, err := Decode(in.MustEncode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Imm != -12345 {
+		t.Errorf("imm sign extension: got %d", out.Imm)
+	}
+}

@@ -1,0 +1,75 @@
+package isa
+
+// FUClass names the functional-unit class an instruction executes on.
+type FUClass uint8
+
+const (
+	FUInt FUClass = iota
+	FUFP
+	FUBranch
+	FUMem
+	NumFUClasses
+)
+
+func (c FUClass) String() string {
+	switch c {
+	case FUInt:
+		return "int"
+	case FUFP:
+		return "fp"
+	case FUBranch:
+		return "branch"
+	case FUMem:
+		return "mem"
+	}
+	return "fu?"
+}
+
+// FU returns the functional-unit class of the instruction. Informing
+// special-register moves execute on the integer units; all control
+// transfers (including BMISS and RFMH) use the branch unit.
+func (i Inst) FU() FUClass {
+	switch {
+	case i.IsMem():
+		return FUMem
+	case i.IsBranch():
+		return FUBranch
+	case i.IsFP():
+		return FUFP
+	default:
+		return FUInt
+	}
+}
+
+// LatencyTable holds the execution latencies of Table 1; units are fully
+// pipelined (one instruction per class per cycle limited only by unit
+// count).
+type LatencyTable struct {
+	IntMul  int
+	IntDiv  int
+	FPDiv   int
+	FPSqrt  int
+	FPOther int
+	IntALU  int
+	Branch  int
+}
+
+// Latency returns the execution latency of op under the table.
+func (t LatencyTable) Latency(op Op) int {
+	switch op {
+	case Mul:
+		return t.IntMul
+	case Div, Rem:
+		return t.IntDiv
+	case Fdiv:
+		return t.FPDiv
+	case Fsqrt:
+		return t.FPSqrt
+	case Fadd, Fsub, Fmul, Fneg, Fmov, Fcvt, Icvt, Fclt, Fceq:
+		return t.FPOther
+	case Beq, Bne, Blt, Bge, J, Jal, Jr, Jalr, Bmiss, Rfmh:
+		return t.Branch
+	default:
+		return t.IntALU
+	}
+}

@@ -1,0 +1,87 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics: arbitrary 64-bit words either decode or error;
+// they never panic, and a successful decode re-encodes to a word that
+// decodes to the same instruction (encode∘decode is idempotent on the
+// decodable subset).
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d: panic: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		w := r.Uint64()
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		w2, err := in.Encode()
+		if err != nil {
+			t.Logf("seed %d: decoded %v but cannot re-encode: %v", seed, in, err)
+			return false
+		}
+		in2, err := Decode(w2)
+		if err != nil || in2 != in {
+			t.Logf("seed %d: re-decode mismatch", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstMethodsTotal: classification, Sources, Dest, FU, and String are
+// total over arbitrary (even nonsensical) register/immediate combinations
+// of every opcode.
+func TestInstMethodsTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for o := Op(0); int(o) < NumOps; o++ {
+		for k := 0; k < 50; k++ {
+			in := Inst{
+				Op:        o,
+				Rd:        Reg(r.Intn(NumRegs)),
+				Rs1:       Reg(r.Intn(NumRegs)),
+				Rs2:       Reg(r.Intn(NumRegs)),
+				Imm:       int64(int32(r.Uint64())),
+				Informing: r.Intn(2) == 0,
+			}
+			_ = in.IsMem()
+			_ = in.IsLoad()
+			_ = in.IsStore()
+			_ = in.IsBranch()
+			_ = in.IsCondBranch()
+			_ = in.IsFP()
+			_ = in.FU()
+			_ = in.Sources()
+			_, _ = in.Dest()
+			if in.String() == "" {
+				t.Fatalf("%v: empty disassembly", o)
+			}
+		}
+	}
+}
+
+// TestSourcesSubsetOfFields: every reported source register equals one of
+// the instruction's register fields.
+func TestSourcesSubsetOfFields(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for o := Op(0); int(o) < NumOps; o++ {
+		in := Inst{Op: o, Rd: Reg(r.Intn(NumRegs)), Rs1: Reg(1 + r.Intn(31)), Rs2: Reg(1 + r.Intn(31))}
+		for _, s := range in.Sources() {
+			if s != in.Rs1 && s != in.Rs2 && s != in.Rd {
+				t.Errorf("%v: source %v not an operand field", o, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a 64-bit RISC machine extended with the informing memory
+// operations proposed by Horowitz, Martonosi, Mowry and Smith (ISCA 1996).
+//
+// The ISA is deliberately MIPS-flavoured (the paper's out-of-order model is
+// the MIPS R10000). Every instruction occupies one 8-byte word; the program
+// counter therefore advances by InstBytes. Two register files exist: 32
+// general-purpose integer registers (R0 is hardwired to zero) and 32
+// floating-point registers. Informing extensions add three pieces of
+// user-visible state:
+//
+//   - the cache-outcome condition code, written by every memory operation
+//     and tested by BMISS (branch-and-link-on-miss);
+//   - the Miss Handler Address Register (MHAR), loaded by MTMHAR; a zero
+//     MHAR disables miss traps;
+//   - the Miss Handler Return Register (MHRR), captured on a miss trap and
+//     consumed by RFMH (return from miss handler).
+package isa
+
+import "fmt"
+
+// InstBytes is the size of one encoded instruction in bytes. PCs are byte
+// addresses and always multiples of InstBytes.
+const InstBytes = 8
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	// Nop does nothing.
+	Nop Op = iota
+
+	// Integer register-register ALU operations: Rd <- Rs1 op Rs2.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Nor
+	Sll
+	Srl
+	Sra
+	Slt  // set if signed less-than
+	Sltu // set if unsigned less-than
+
+	// Integer register-immediate ALU operations: Rd <- Rs1 op Imm.
+	Addi
+	Andi
+	Ori
+	Xori
+	Slli
+	Srli
+	Srai
+	Slti
+	Lui // Rd <- Imm << 32 (load upper immediate)
+
+	// Floating point: Fd <- Fs1 op Fs2 (register fields hold F-space regs).
+	Fadd
+	Fsub
+	Fmul
+	Fdiv
+	Fsqrt // Fd <- sqrt(Fs1)
+	Fneg  // Fd <- -Fs1
+	Fmov  // Fd <- Fs1
+	Fcvt  // Fd <- float64(int64 Rs1); Rs1 is a G-space register
+	Icvt  // Rd <- int64(Fs1); Rd is a G-space register
+	Fclt  // Rd(G) <- Fs1 < Fs2
+	Fceq  // Rd(G) <- Fs1 == Fs2
+
+	// Memory operations. Effective address is Rs1 + Imm (byte address).
+	// Ld/St move 8-byte integer words; Fld/Fst move float64 words.
+	// Prefetch touches the line without a register destination and never
+	// triggers an informing trap.
+	Ld
+	St // mem <- Rs2
+	Fld
+	Fst // mem <- Fs2 (register field Rs2 holds an F-space register)
+	Prefetch
+
+	// Control transfers. Conditional branches compare Rs1 and Rs2 and add
+	// Imm (a byte offset) to the PC of the next instruction when taken.
+	Beq
+	Bne
+	Blt // signed
+	Bge // signed
+	J   // PC <- Imm (absolute byte address)
+	Jal // Rd <- return address; PC <- Imm
+	Jr  // PC <- Rs1
+	Jalr
+
+	// Informing extensions.
+	Bmiss  // if last memory op missed: Rd <- return address; PC += Imm
+	Mtmhar // MHAR <- Rs1 + Imm
+	Mtmhrr // MHRR <- Rs1 + Imm (extension: enables software context switching)
+	Mfmhar // Rd <- MHAR
+	Mfmhrr // Rd <- MHRR
+	Rfmh   // PC <- MHRR (return from miss handler)
+	Mfcnt  // Rd <- hardware L1-miss counter (serializes an OoO pipeline)
+
+	Halt // stop the machine
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes (useful for table sizing and
+// property tests).
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	Nop: "nop",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Nor: "nor",
+	Sll: "sll", Srl: "srl", Sra: "sra", Slt: "slt", Sltu: "sltu",
+	Addi: "addi", Andi: "andi", Ori: "ori", Xori: "xori",
+	Slli: "slli", Srli: "srli", Srai: "srai", Slti: "slti", Lui: "lui",
+	Fadd: "fadd", Fsub: "fsub", Fmul: "fmul", Fdiv: "fdiv", Fsqrt: "fsqrt",
+	Fneg: "fneg", Fmov: "fmov", Fcvt: "fcvt", Icvt: "icvt",
+	Fclt: "fclt", Fceq: "fceq",
+	Ld: "ld", St: "st", Fld: "fld", Fst: "fst", Prefetch: "prefetch",
+	Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge",
+	J: "j", Jal: "jal", Jr: "jr", Jalr: "jalr",
+	Bmiss: "bmiss", Mtmhar: "mtmhar", Mtmhrr: "mtmhrr", Mfmhar: "mfmhar", Mfmhrr: "mfmhrr",
+	Rfmh: "rfmh", Mfcnt: "mfcnt", Halt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Inst is one decoded instruction. Register fields index the unified
+// register space (see Reg); which fields are meaningful depends on Op.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+
+	// Informing marks a memory operation as participating in the
+	// informing mechanism (the paper's "two sets of memory operations"
+	// footnote). Non-memory instructions ignore it.
+	Informing bool
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool {
+	switch i.Op {
+	case Ld, St, Fld, Fst, Prefetch:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads data memory into a register.
+func (i Inst) IsLoad() bool { return i.Op == Ld || i.Op == Fld }
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool { return i.Op == St || i.Op == Fst }
+
+// IsBranch reports whether the instruction may change control flow.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case Beq, Bne, Blt, Bge, J, Jal, Jr, Jalr, Bmiss, Rfmh:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsCondBranch() bool {
+	switch i.Op {
+	case Beq, Bne, Blt, Bge, Bmiss:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether the instruction executes on a floating-point unit.
+func (i Inst) IsFP() bool {
+	switch i.Op {
+	case Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fneg, Fmov, Fcvt, Icvt, Fclt, Fceq:
+		return true
+	}
+	return false
+}
+
+// Sources returns the registers read by the instruction. The result slice
+// is freshly allocated; callers may keep it.
+func (i Inst) Sources() []Reg {
+	var out []Reg
+	add := func(r Reg) {
+		if r != R0 {
+			out = append(out, r)
+		}
+	}
+	switch i.Op {
+	case Nop, J, Lui, Mfmhar, Mfmhrr, Mfcnt, Rfmh, Halt, Jal:
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Nor, Sll, Srl, Sra, Slt, Sltu,
+		Fadd, Fsub, Fmul, Fdiv, Fclt, Fceq,
+		Beq, Bne, Blt, Bge:
+		add(i.Rs1)
+		add(i.Rs2)
+	case Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+		Fsqrt, Fneg, Fmov, Fcvt, Icvt,
+		Jr, Jalr, Mtmhar, Mtmhrr, Ld, Fld, Prefetch:
+		add(i.Rs1)
+	case St, Fst:
+		add(i.Rs1)
+		add(i.Rs2)
+	case Bmiss:
+		// Reads the cache-outcome condition code, which is not a
+		// general register; modelled separately by the cores.
+	}
+	return out
+}
+
+// Dest returns the register written by the instruction and whether one is
+// written at all. R0 writes are reported as no destination.
+func (i Inst) Dest() (Reg, bool) {
+	var d Reg
+	switch i.Op {
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Nor, Sll, Srl, Sra, Slt, Sltu,
+		Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti, Lui,
+		Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fneg, Fmov, Fcvt, Icvt, Fclt, Fceq,
+		Ld, Fld, Jal, Jalr, Bmiss, Mfmhar, Mfmhrr, Mfcnt:
+		d = i.Rd
+	default:
+		return 0, false
+	}
+	if d == R0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	suffix := ""
+	if i.Informing && i.IsMem() {
+		suffix = ".i"
+	}
+	switch i.Op {
+	case Nop, Halt, Rfmh:
+		return i.Op.String()
+	case Ld, Fld, Prefetch:
+		return fmt.Sprintf("%s%s %s, %d(%s)", i.Op, suffix, i.Rd, i.Imm, i.Rs1)
+	case St, Fst:
+		return fmt.Sprintf("%s%s %s, %d(%s)", i.Op, suffix, i.Rs2, i.Imm, i.Rs1)
+	case Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case Lui:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case Beq, Bne, Blt, Bge:
+		return fmt.Sprintf("%s %s, %s, %+d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case J:
+		return fmt.Sprintf("%s %#x", i.Op, uint64(i.Imm))
+	case Jal:
+		return fmt.Sprintf("%s %s, %#x", i.Op, i.Rd, uint64(i.Imm))
+	case Jr:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case Jalr:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+	case Bmiss:
+		return fmt.Sprintf("%s %s, %+d", i.Op, i.Rd, i.Imm)
+	case Mtmhar, Mtmhrr:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rs1, i.Imm)
+	case Mfmhar, Mfmhrr, Mfcnt:
+		return fmt.Sprintf("%s %s", i.Op, i.Rd)
+	case Fsqrt, Fneg, Fmov, Fcvt, Icvt:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+}

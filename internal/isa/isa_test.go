@@ -1,0 +1,227 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// allOps enumerates every defined opcode.
+func allOps() []Op {
+	ops := make([]Op, 0, NumOps)
+	for o := Op(0); int(o) < NumOps; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for _, o := range allOps() {
+		if strings.HasPrefix(o.String(), "op(") {
+			t.Errorf("opcode %d has no name", uint8(o))
+		}
+		if !o.Valid() {
+			t.Errorf("opcode %v reported invalid", o)
+		}
+	}
+	if Op(NumOps).Valid() {
+		t.Error("numOps sentinel reported valid")
+	}
+}
+
+func TestClassificationPartition(t *testing.T) {
+	for _, o := range allOps() {
+		in := Inst{Op: o, Rd: R1, Rs1: R2, Rs2: R3}
+		classes := 0
+		if in.IsMem() {
+			classes++
+		}
+		if in.IsBranch() {
+			classes++
+		}
+		if in.IsFP() {
+			classes++
+		}
+		if classes > 1 {
+			t.Errorf("%v belongs to %d classes", o, classes)
+		}
+		if in.IsCondBranch() && !in.IsBranch() {
+			t.Errorf("%v: conditional branch that is not a branch", o)
+		}
+		if in.IsLoad() && in.IsStore() {
+			t.Errorf("%v: both load and store", o)
+		}
+		if (in.IsLoad() || in.IsStore()) && !in.IsMem() {
+			t.Errorf("%v: load/store that is not mem", o)
+		}
+	}
+}
+
+func TestFUAssignment(t *testing.T) {
+	cases := map[Op]FUClass{
+		Add: FUInt, Mul: FUInt, Lui: FUInt, Mtmhar: FUInt, Mtmhrr: FUInt, Mfcnt: FUInt,
+		Fadd: FUFP, Fdiv: FUFP, Icvt: FUFP,
+		Ld: FUMem, St: FUMem, Fld: FUMem, Fst: FUMem, Prefetch: FUMem,
+		Beq: FUBranch, J: FUBranch, Bmiss: FUBranch, Rfmh: FUBranch, Jal: FUBranch,
+	}
+	for op, want := range cases {
+		if got := (Inst{Op: op}).FU(); got != want {
+			t.Errorf("%v: FU %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	lat := LatencyTable{IntMul: 12, IntDiv: 76, FPDiv: 15, FPSqrt: 20, FPOther: 2, IntALU: 1, Branch: 1}
+	cases := map[Op]int{
+		Add: 1, Addi: 1, Mul: 12, Div: 76, Rem: 76,
+		Fdiv: 15, Fsqrt: 20, Fadd: 2, Fmul: 2, Icvt: 2,
+		Beq: 1, J: 1, Bmiss: 1, Rfmh: 1,
+		Mtmhar: 1, Mfmhrr: 1,
+	}
+	for op, want := range cases {
+		if got := lat.Latency(op); got != want {
+			t.Errorf("%v: latency %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestSourcesNeverIncludeR0(t *testing.T) {
+	for _, o := range allOps() {
+		in := Inst{Op: o, Rd: R0, Rs1: R0, Rs2: R0}
+		if srcs := in.Sources(); len(srcs) != 0 {
+			t.Errorf("%v with all-R0 operands reports sources %v", o, srcs)
+		}
+	}
+}
+
+func TestDestNeverR0(t *testing.T) {
+	for _, o := range allOps() {
+		in := Inst{Op: o, Rd: R0, Rs1: R1, Rs2: R2}
+		if d, ok := in.Dest(); ok && d == R0 {
+			t.Errorf("%v reports R0 destination", o)
+		}
+	}
+}
+
+func TestDestMatchesWriters(t *testing.T) {
+	writers := map[Op]bool{
+		Add: true, Sub: true, Mul: true, Div: true, Rem: true,
+		And: true, Or: true, Xor: true, Nor: true,
+		Sll: true, Srl: true, Sra: true, Slt: true, Sltu: true,
+		Addi: true, Andi: true, Ori: true, Xori: true,
+		Slli: true, Srli: true, Srai: true, Slti: true, Lui: true,
+		Fadd: true, Fsub: true, Fmul: true, Fdiv: true, Fsqrt: true,
+		Fneg: true, Fmov: true, Fcvt: true, Icvt: true, Fclt: true, Fceq: true,
+		Ld: true, Fld: true, Jal: true, Jalr: true, Bmiss: true,
+		Mfmhar: true, Mfmhrr: true, Mfcnt: true,
+	}
+	for _, o := range allOps() {
+		in := Inst{Op: o, Rd: R5, Rs1: R1, Rs2: R2}
+		_, ok := in.Dest()
+		if ok != writers[o] {
+			t.Errorf("%v: Dest ok=%v, want %v", o, ok, writers[o])
+		}
+	}
+}
+
+func TestRegisterNaming(t *testing.T) {
+	if R(7).String() != "r7" {
+		t.Errorf("R7 name: %s", R(7))
+	}
+	if F(3).String() != "f3" {
+		t.Errorf("F3 name: %s", F(3))
+	}
+	if !F(0).IsFP() || R(31).IsFP() {
+		t.Error("IsFP misclassifies")
+	}
+	if F(31).Index() != 31 || R(31).Index() != 31 {
+		t.Error("Index wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("F(32) did not panic")
+		}
+	}()
+	F(32)
+}
+
+func TestDisassemblyDistinct(t *testing.T) {
+	// Every opcode disassembles to something containing its mnemonic.
+	for _, o := range allOps() {
+		in := Inst{Op: o, Rd: R5, Rs1: R6, Rs2: R7, Imm: 8}
+		s := in.String()
+		if !strings.Contains(s, o.String()) {
+			t.Errorf("%v disassembles to %q", o, s)
+		}
+	}
+	// Informing memory ops carry the .i marker.
+	ld := Inst{Op: Ld, Rd: R1, Rs1: R2, Informing: true}
+	if !strings.Contains(ld.String(), "ld.i") {
+		t.Errorf("informing load disassembles to %q", ld.String())
+	}
+	add := Inst{Op: Add, Rd: R1, Rs1: R2, Informing: true}
+	if strings.Contains(add.String(), ".i") {
+		t.Errorf("non-memory op shows informing marker: %q", add.String())
+	}
+}
+
+func TestProgramPCMapping(t *testing.T) {
+	p := &Program{TextBase: 0x1000, Text: make([]Inst, 10)}
+	for k := range p.Text {
+		pc := p.PCOf(k)
+		got, ok := p.IndexOf(pc)
+		if !ok || got != k {
+			t.Fatalf("IndexOf(PCOf(%d)) = %d, %v", k, got, ok)
+		}
+	}
+	if _, ok := p.IndexOf(0x1000 + 4); ok {
+		t.Error("misaligned PC accepted")
+	}
+	if _, ok := p.IndexOf(0x1000 - 8); ok {
+		t.Error("PC below text accepted")
+	}
+	if _, ok := p.IndexOf(p.End()); ok {
+		t.Error("PC past text accepted")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{TextBase: 0x1000, Text: []Inst{
+		{Op: Beq, Imm: 8},
+		{Op: Nop},
+		{Op: J, Imm: 0x1000},
+		{Op: Halt},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	bad := &Program{TextBase: 0x1000, Text: []Inst{{Op: Beq, Imm: 8000}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-text branch accepted")
+	}
+	badJ := &Program{TextBase: 0x1000, Text: []Inst{{Op: J, Imm: 0x1004}}}
+	if err := badJ.Validate(); err == nil {
+		t.Error("misaligned jump target accepted")
+	}
+}
+
+func TestEncodeDecodeTextImage(t *testing.T) {
+	p := &Program{TextBase: 0x1000, Text: []Inst{
+		{Op: Addi, Rd: R1, Rs1: R0, Imm: 42},
+		{Op: Ld, Rd: R2, Rs1: R1, Imm: -8, Informing: true},
+		{Op: Halt},
+	}}
+	img, err := p.EncodeText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodeText(p.TextBase, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range p.Text {
+		if p.Text[k] != q.Text[k] {
+			t.Errorf("inst %d: %v != %v", k, p.Text[k], q.Text[k])
+		}
+	}
+}

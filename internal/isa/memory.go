@@ -1,0 +1,78 @@
+package isa
+
+import "math"
+
+// DataMem is the simulated flat data memory: a sparse, page-granular store
+// of 64-bit words. All accesses are 8-byte words; addresses are rounded
+// down to word boundaries (the simulated ISA has no sub-word accesses).
+// The zero value is ready to use.
+type DataMem struct {
+	pages map[uint64]*dataPage
+}
+
+const (
+	pageBytes = 4096
+	pageWords = pageBytes / 8
+)
+
+type dataPage [pageWords]uint64
+
+func (m *DataMem) page(addr uint64, create bool) *dataPage {
+	pn := addr / pageBytes
+	pg := m.pages[pn]
+	if pg == nil && create {
+		if m.pages == nil {
+			m.pages = make(map[uint64]*dataPage)
+		}
+		pg = new(dataPage)
+		m.pages[pn] = pg
+	}
+	return pg
+}
+
+// Load reads the 64-bit word containing addr. Unwritten memory reads as 0.
+func (m *DataMem) Load(addr uint64) uint64 {
+	pg := m.page(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[addr%pageBytes/8]
+}
+
+// Store writes the 64-bit word containing addr.
+func (m *DataMem) Store(addr, val uint64) {
+	pg := m.page(addr, true)
+	pg[addr%pageBytes/8] = val
+}
+
+// LoadF reads a float64 word.
+func (m *DataMem) LoadF(addr uint64) float64 {
+	return math.Float64frombits(m.Load(addr))
+}
+
+// StoreF writes a float64 word.
+func (m *DataMem) StoreF(addr uint64, v float64) {
+	m.Store(addr, math.Float64bits(v))
+}
+
+// LoadInit populates memory from a program's initial data image.
+func (m *DataMem) LoadInit(p *Program) {
+	for addr, val := range p.Init {
+		m.Store(addr, val)
+	}
+}
+
+// Pages returns the number of resident pages (for tests and footprint
+// reporting).
+func (m *DataMem) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory (used by the multithreading
+// example and differential tests).
+func (m *DataMem) Clone() *DataMem {
+	c := &DataMem{pages: make(map[uint64]*dataPage, len(m.pages))}
+	for pn, pg := range m.pages {
+		cp := *pg
+		c.pages[pn] = &cp
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataMemZeroValue(t *testing.T) {
+	var m DataMem
+	if m.Load(0x1234) != 0 {
+		t.Error("unwritten memory not zero")
+	}
+	if m.Pages() != 0 {
+		t.Error("reads should not allocate pages")
+	}
+	m.Store(0x1234, 7)
+	if m.Pages() != 1 {
+		t.Errorf("pages after one store: %d", m.Pages())
+	}
+}
+
+// TestDataMemMatchesMapModel is the core property: DataMem behaves exactly
+// like a map of word addresses to values under random operations.
+func TestDataMemMatchesMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var m DataMem
+		model := map[uint64]uint64{}
+		for i := 0; i < 500; i++ {
+			// Bias addresses into a few pages so collisions happen.
+			addr := uint64(r.Intn(4))<<40 | uint64(r.Intn(2048))*8
+			if r.Intn(2) == 0 {
+				v := r.Uint64()
+				m.Store(addr, v)
+				model[addr] = v
+			} else if m.Load(addr) != model[addr] {
+				return false
+			}
+		}
+		for addr, v := range model {
+			if m.Load(addr) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataMemWordRounding(t *testing.T) {
+	var m DataMem
+	m.Store(0x100, 99)
+	for off := uint64(0); off < 8; off++ {
+		if m.Load(0x100+off) != 99 {
+			t.Errorf("offset %d within word reads %d", off, m.Load(0x100+off))
+		}
+	}
+}
+
+func TestDataMemFloatRoundTrip(t *testing.T) {
+	var m DataMem
+	for _, v := range []float64{0, 1.5, -math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		m.StoreF(0x40, v)
+		if got := m.LoadF(0x40); got != v {
+			t.Errorf("float %g round-trips to %g", v, got)
+		}
+	}
+	m.StoreF(0x48, math.NaN())
+	if !math.IsNaN(m.LoadF(0x48)) {
+		t.Error("NaN lost")
+	}
+}
+
+func TestDataMemClone(t *testing.T) {
+	var m DataMem
+	m.Store(0x10, 1)
+	m.Store(0x2000, 2)
+	c := m.Clone()
+	c.Store(0x10, 99)
+	if m.Load(0x10) != 1 {
+		t.Error("clone aliases original")
+	}
+	if c.Load(0x2000) != 2 {
+		t.Error("clone lost data")
+	}
+}
+
+func TestDataMemLoadInit(t *testing.T) {
+	p := &Program{Init: map[uint64]uint64{0x100: 5, 0x108: 6}}
+	var m DataMem
+	m.LoadInit(p)
+	if m.Load(0x100) != 5 || m.Load(0x108) != 6 {
+		t.Error("LoadInit did not apply image")
+	}
+}

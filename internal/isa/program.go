@@ -1,0 +1,111 @@
+package isa
+
+import "fmt"
+
+// Default segment layout for assembled programs. The bases are arbitrary
+// (the simulated machine has a flat address space) but keeping text and
+// data disjoint catches wild references in tests.
+const (
+	DefaultTextBase = 0x0000_1000
+	DefaultDataBase = 0x1000_0000
+)
+
+// Program is a loaded simulator program: a text segment of decoded
+// instructions plus a description of the initial data segment.
+type Program struct {
+	// TextBase is the byte address of Text[0]. Instruction k lives at
+	// TextBase + k*InstBytes.
+	TextBase uint64
+	Text     []Inst
+
+	// DataBase/DataSize describe the reserved data segment (bytes).
+	// References outside [DataBase, DataBase+DataSize) are legal at the
+	// ISA level but Validate flags statically out-of-segment immediates.
+	DataBase uint64
+	DataSize uint64
+
+	// Init holds initial data words keyed by byte address (8-aligned).
+	Init map[uint64]uint64
+
+	// Symbols maps labels to byte addresses (text or data).
+	Symbols map[string]uint64
+}
+
+// PCOf returns the byte address of instruction index k.
+func (p *Program) PCOf(k int) uint64 { return p.TextBase + uint64(k)*InstBytes }
+
+// IndexOf maps a PC to a text index; ok is false when pc is outside the
+// text segment or misaligned.
+func (p *Program) IndexOf(pc uint64) (int, bool) {
+	if pc < p.TextBase || (pc-p.TextBase)%InstBytes != 0 {
+		return 0, false
+	}
+	k := int((pc - p.TextBase) / InstBytes)
+	if k >= len(p.Text) {
+		return 0, false
+	}
+	return k, true
+}
+
+// Fetch returns the instruction at pc.
+func (p *Program) Fetch(pc uint64) (Inst, bool) {
+	k, ok := p.IndexOf(pc)
+	if !ok {
+		return Inst{}, false
+	}
+	return p.Text[k], true
+}
+
+// End returns the first byte address past the text segment.
+func (p *Program) End() uint64 { return p.TextBase + uint64(len(p.Text))*InstBytes }
+
+// Validate performs static checks: control-transfer targets must land on
+// instruction boundaries inside the text segment (register-indirect jumps
+// and MHAR targets are checked at run time instead).
+func (p *Program) Validate() error {
+	if p.TextBase%InstBytes != 0 {
+		return fmt.Errorf("isa: text base %#x misaligned", p.TextBase)
+	}
+	for k, in := range p.Text {
+		pc := p.PCOf(k)
+		var target uint64
+		switch in.Op {
+		case Beq, Bne, Blt, Bge, Bmiss:
+			target = pc + InstBytes + uint64(in.Imm)
+		case J, Jal:
+			target = uint64(in.Imm)
+		default:
+			continue
+		}
+		if _, ok := p.IndexOf(target); !ok {
+			return fmt.Errorf("isa: %#x: %v: target %#x outside text", pc, in, target)
+		}
+	}
+	return nil
+}
+
+// EncodeText returns the binary image of the text segment.
+func (p *Program) EncodeText() ([]uint64, error) {
+	out := make([]uint64, len(p.Text))
+	for k, in := range p.Text {
+		w, err := in.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("at index %d (pc %#x): %w", k, p.PCOf(k), err)
+		}
+		out[k] = w
+	}
+	return out, nil
+}
+
+// DecodeText builds a Program text segment from a binary image.
+func DecodeText(base uint64, words []uint64) (*Program, error) {
+	p := &Program{TextBase: base, Text: make([]Inst, len(words))}
+	for k, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at index %d: %w", k, err)
+		}
+		p.Text[k] = in
+	}
+	return p, nil
+}

@@ -1,0 +1,85 @@
+package isa
+
+import "fmt"
+
+// Reg names a register in the unified 6-bit register space: values 0–31
+// are the general-purpose integer registers R0–R31 (R0 reads as zero),
+// values 32–63 are the floating-point registers F0–F31.
+type Reg uint8
+
+// NumRegs is the size of the unified register space.
+const NumRegs = 64
+
+// General-purpose integer registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// FPBase is the first floating-point register in the unified space.
+const FPBase Reg = 32
+
+// F returns the unified-space name of floating point register n (0–31).
+func F(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: F(%d) out of range", n))
+	}
+	return FPBase + Reg(n)
+}
+
+// R returns the unified-space name of integer register n (0–31).
+func R(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: R(%d) out of range", n))
+	}
+	return Reg(n)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= FPBase && r < NumRegs }
+
+// Index returns the register's index within its own file (0–31).
+func (r Reg) Index() int {
+	if r.IsFP() {
+		return int(r - FPBase)
+	}
+	return int(r)
+}
+
+// String returns the assembler name of the register ("r7", "f3").
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", r.Index())
+	}
+	return fmt.Sprintf("r%d", r.Index())
+}

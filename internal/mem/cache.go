@@ -1,0 +1,164 @@
+// Package mem implements the simulated memory hierarchy: set-associative
+// LRU caches, a two-level hierarchy with architectural probe semantics,
+// and a timing model with lockup-free MSHRs, cache banks, fill occupancy
+// and a main-memory bandwidth limiter (parameters from Table 1 of the
+// paper). It also implements the paper's §3.3 mechanism: MSHR lifetime
+// extension so that fills performed by squashed speculative informing
+// loads can be invalidated from the primary cache.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+func (c CacheConfig) validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: line size %d not a power of two", c.LineBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("mem: associativity %d invalid", c.Assoc)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("mem: size %d not divisible by line*assoc", c.SizeBytes)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("mem: set count %d not a power of two", c.Sets())
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks
+// tag state only (the simulator keeps data in isa.DataMem); a dirty bit is
+// maintained so write-back traffic can be accounted.
+type Cache struct {
+	cfg       CacheConfig
+	lineShift uint
+	setMask   uint64
+	ways      []way // sets*assoc, set-major
+
+	stamp uint64 // LRU clock
+
+	// Statistics.
+	Accesses uint64
+	Misses   uint64
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64
+}
+
+// NewCache builds a cache; it panics on invalid configuration (all
+// configurations in this repository are static).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(cfg.Sets() - 1),
+		ways:      make([]way, cfg.Sets()*cfg.Assoc),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Line returns the line address (addr with the offset bits cleared).
+func (c *Cache) Line(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+func (c *Cache) set(addr uint64) []way {
+	s := int(addr >> c.lineShift & c.setMask)
+	return c.ways[s*c.cfg.Assoc : (s+1)*c.cfg.Assoc]
+}
+
+// Access looks up addr, updating LRU state and allocating the line on a
+// miss (write-allocate). It reports whether the access hit and, when an
+// eviction of a dirty line occurred, the evicted line address.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback uint64, wb bool) {
+	c.Accesses++
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	c.stamp++
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.used = c.stamp
+			if write {
+				w.dirty = true
+			}
+			return true, 0, false
+		}
+	}
+	c.Misses++
+	// Choose a victim: an invalid way if one exists, else true LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	w := &set[victim]
+	if w.valid && w.dirty {
+		writeback = w.tag << c.lineShift
+		wb = true
+	}
+	*w = way{tag: tag, valid: true, dirty: write, used: c.stamp}
+	return false, writeback, wb
+}
+
+// Contains reports whether addr's line is present, without updating LRU.
+func (c *Cache) Contains(addr uint64) bool {
+	tag := addr >> c.lineShift
+	for _, w := range c.set(addr) {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if present and reports whether it was.
+func (c *Cache) Invalidate(addr uint64) bool {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i] = way{}
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the entire cache (context switch modelling).
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

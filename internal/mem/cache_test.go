@@ -1,0 +1,184 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkCache(size, line, assoc int) *Cache {
+	return NewCache(CacheConfig{SizeBytes: size, LineBytes: line, Assoc: assoc})
+}
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := mkCache(1024, 32, 2)
+	if hit, _, _ := c.Access(0x100, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _, _ := c.Access(0x100, false); !hit {
+		t.Error("second access missed")
+	}
+	if hit, _, _ := c.Access(0x110, false); !hit {
+		t.Error("same-line access missed")
+	}
+	if hit, _, _ := c.Access(0x100+1024, false); hit {
+		t.Error("different line hit")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("counters: %d accesses, %d misses", c.Accesses, c.Misses)
+	}
+	if c.MissRate() != 0.5 {
+		t.Errorf("miss rate %f", c.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, one set occupied by lines A and B; touching A then filling C
+	// must evict B (the least recently used).
+	c := mkCache(64, 32, 2) // a single set of 2 ways
+	a, b2, cc := uint64(0), uint64(64), uint64(128)
+	c.Access(a, false)
+	c.Access(b2, false)
+	c.Access(a, false)  // A most recent
+	c.Access(cc, false) // evicts B
+	if !c.Contains(a) {
+		t.Error("A evicted")
+	}
+	if c.Contains(b2) {
+		t.Error("B retained over LRU")
+	}
+	if !c.Contains(cc) {
+		t.Error("C not filled")
+	}
+}
+
+func TestCacheDirectMappedConflict(t *testing.T) {
+	c := mkCache(8<<10, 32, 1)
+	a := uint64(0x1000)
+	b := a + 8<<10 // same set, different tag
+	c.Access(a, false)
+	c.Access(b, false)
+	if c.Contains(a) {
+		t.Error("DM conflict did not evict")
+	}
+	if hit, _, _ := c.Access(a, false); hit {
+		t.Error("evicted line hit")
+	}
+}
+
+func TestCacheWritebackSignal(t *testing.T) {
+	c := mkCache(64, 32, 1) // two sets, direct mapped
+	c.Access(0, true)       // dirty
+	_, wbAddr, wb := c.Access(64, false)
+	if !wb || wbAddr != 0 {
+		t.Errorf("expected writeback of line 0, got wb=%v addr=%#x", wb, wbAddr)
+	}
+	c.Access(128, false) // clean eviction of line 64
+	if _, _, wb2 := c.Access(64, false); wb2 {
+		t.Error("clean eviction signalled writeback")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := mkCache(1024, 32, 2)
+	c.Access(0x40, false)
+	if !c.Invalidate(0x40) {
+		t.Error("invalidate missed present line")
+	}
+	if c.Contains(0x40) {
+		t.Error("line present after invalidate")
+	}
+	if c.Invalidate(0x40) {
+		t.Error("invalidate hit absent line")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := mkCache(1024, 32, 2)
+	for a := uint64(0); a < 1024; a += 32 {
+		c.Access(a, false)
+	}
+	c.Flush()
+	for a := uint64(0); a < 1024; a += 32 {
+		if c.Contains(a) {
+			t.Fatalf("line %#x survived flush", a)
+		}
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 1024, LineBytes: 33, Assoc: 1}, // line not pow2
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 0}, // assoc 0
+		{SizeBytes: 1000, LineBytes: 32, Assoc: 1}, // size not divisible
+		{SizeBytes: 96, LineBytes: 32, Assoc: 1},   // sets not pow2
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			NewCache(cfg)
+		}()
+	}
+}
+
+// TestLRUInclusionProperty: with the same number of sets, an LRU cache
+// with more ways never misses more than one with fewer ways on any access
+// sequence (the classic stack-inclusion property of LRU).
+func TestLRUInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		small := mkCache(16*32*2, 32, 2) // 16 sets, 2 ways
+		big := mkCache(16*32*4, 32, 4)   // 16 sets, 4 ways
+		for i := 0; i < 3000; i++ {
+			addr := uint64(r.Intn(256)) * 32
+			small.Access(addr, false)
+			big.Access(addr, false)
+		}
+		return big.Misses <= small.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheAgainstMapModel: cache hit/miss outcomes match a reference
+// model implemented with per-set LRU lists.
+func TestCacheAgainstMapModel(t *testing.T) {
+	const sets, ways = 8, 2
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := mkCache(sets*32*ways, 32, ways)
+		model := make([][]uint64, sets) // MRU-first line lists
+		for i := 0; i < 2000; i++ {
+			addr := uint64(r.Intn(128)) * 32
+			line := addr / 32
+			set := int(line % sets)
+			// Model lookup.
+			wantHit := false
+			for k, l := range model[set] {
+				if l == line {
+					wantHit = true
+					model[set] = append(model[set][:k], model[set][k+1:]...)
+					break
+				}
+			}
+			model[set] = append([]uint64{line}, model[set]...)
+			if len(model[set]) > ways {
+				model[set] = model[set][:ways]
+			}
+			gotHit, _, _ := c.Access(addr, false)
+			if gotHit != wantHit {
+				t.Logf("seed %d access %d addr %#x: got hit=%v want %v", seed, i, addr, gotHit, wantHit)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

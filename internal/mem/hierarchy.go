@@ -1,0 +1,50 @@
+package mem
+
+// HierConfig describes a two-level data hierarchy (Table 1).
+type HierConfig struct {
+	L1 CacheConfig
+	L2 CacheConfig
+}
+
+// Hierarchy is the architectural (tag-state) view of the two-level data
+// cache hierarchy. ProbeData implements the interp.Probe contract: look up
+// L1 then L2, allocate on miss at both levels, and report the level that
+// satisfied the access.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+
+	// Per-level architectural counters.
+	L1Misses uint64
+	L2Misses uint64
+	Refs     uint64
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	return &Hierarchy{L1: NewCache(cfg.L1), L2: NewCache(cfg.L2)}
+}
+
+// ProbeData resolves one data reference and returns the satisfying level
+// (1 = L1, 2 = L2, 3 = memory), updating tag/LRU state with
+// allocate-on-miss at both levels.
+func (h *Hierarchy) ProbeData(addr uint64, write bool) int {
+	h.Refs++
+	if hit, _, _ := h.L1.Access(addr, write); hit {
+		return 1
+	}
+	h.L1Misses++
+	if hit, _, _ := h.L2.Access(addr, write); hit {
+		return 2
+	}
+	h.L2Misses++
+	return 3
+}
+
+// SpeculativeInvalidate implements the paper's §3.3 squash path: the line
+// filled by a squashed speculative informing load is removed from the
+// primary cache. The data commonly remains in the secondary cache, so the
+// squashed miss acted as an L2 prefetch.
+func (h *Hierarchy) SpeculativeInvalidate(addr uint64) bool {
+	return h.L1.Invalidate(addr)
+}

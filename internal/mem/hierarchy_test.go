@@ -1,0 +1,54 @@
+package mem
+
+import "testing"
+
+func mkHier() *Hierarchy {
+	return NewHierarchy(HierConfig{
+		L1: CacheConfig{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
+		L2: CacheConfig{SizeBytes: 256 << 10, LineBytes: 32, Assoc: 4},
+	})
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := mkHier()
+	if lvl := h.ProbeData(0x100, false); lvl != 3 {
+		t.Errorf("cold access level %d, want 3", lvl)
+	}
+	if lvl := h.ProbeData(0x100, false); lvl != 1 {
+		t.Errorf("warm access level %d, want 1", lvl)
+	}
+	// Evict from L1 via a DM conflict; L2 still holds it.
+	h.ProbeData(0x100+8<<10, false)
+	if lvl := h.ProbeData(0x100, false); lvl != 2 {
+		t.Errorf("L1-evicted access level %d, want 2", lvl)
+	}
+	if h.Refs != 4 || h.L1Misses != 3 || h.L2Misses != 2 {
+		t.Errorf("counters refs=%d l1=%d l2=%d", h.Refs, h.L1Misses, h.L2Misses)
+	}
+}
+
+func TestSpeculativeInvalidate(t *testing.T) {
+	h := mkHier()
+	h.ProbeData(0x200, false) // fills L1 and L2
+	if !h.SpeculativeInvalidate(0x200) {
+		t.Fatal("invalidate missed the filled line")
+	}
+	// The paper's point: the line is gone from L1 but the squashed miss
+	// effectively prefetched it into L2.
+	if lvl := h.ProbeData(0x200, false); lvl != 2 {
+		t.Errorf("post-squash access level %d, want 2 (L2 hit)", lvl)
+	}
+	if h.SpeculativeInvalidate(0x999000) {
+		t.Error("invalidate of absent line reported success")
+	}
+}
+
+func TestHierarchyWriteAllocate(t *testing.T) {
+	h := mkHier()
+	if lvl := h.ProbeData(0x300, true); lvl != 3 {
+		t.Errorf("cold store level %d", lvl)
+	}
+	if lvl := h.ProbeData(0x300, false); lvl != 1 {
+		t.Error("store did not allocate the line")
+	}
+}

@@ -1,0 +1,448 @@
+// Package multi is the parallel-system substrate for the paper's §4.3
+// case study: a deterministic, discrete-event simulation of a 16-processor
+// shared-memory machine in the style of TangoLite (which the paper used).
+// Each processor executes a reference stream against private two-level
+// caches; an invalidation-based, line-granularity protocol with
+// user-visible INVALID/READONLY/READWRITE protection state is maintained
+// by handlers at user level, with remote operations performed DMA-style
+// (the remote processor is not interrupted). The access-control detection
+// cost — the thing the paper's three schemes differ in — is supplied by a
+// pluggable AccessPolicy.
+package multi
+
+import (
+	"fmt"
+
+	"informing/internal/mem"
+)
+
+// Config holds the machine parameters of Table 2.
+type Config struct {
+	Processors int
+
+	L1 mem.CacheConfig
+	L2 mem.CacheConfig
+
+	L1MissPenalty int64 // cycles added on an L1 miss
+	L2MissPenalty int64 // further cycles added on an L2 miss
+	MsgLatency    int64 // one-way network message latency
+	BarrierCost   int64 // synchronisation cost at phase boundaries
+
+	StateChangeCost int64 // user-level protocol state-change time
+	PageBytes       uint64
+}
+
+// DefaultConfig returns the paper's Table 2 machine: 16 processors, 16 KB
+// L1 (10-cycle miss penalty), 128 KB L2 (25-cycle penalty), 32-byte
+// coherence unit, 900-cycle one-way messages, 25-cycle state changes.
+func DefaultConfig() Config {
+	return Config{
+		Processors:      16,
+		L1:              mem.CacheConfig{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 2},
+		L2:              mem.CacheConfig{SizeBytes: 128 << 10, LineBytes: 32, Assoc: 2},
+		L1MissPenalty:   10,
+		L2MissPenalty:   25,
+		MsgLatency:      900,
+		BarrierCost:     1800,
+		StateChangeCost: 25,
+		PageBytes:       4096,
+	}
+}
+
+// Ref is one memory reference in a processor's stream. Compute is the
+// number of busy cycles the processor spends before issuing it.
+type Ref struct {
+	Addr    uint64
+	Write   bool
+	Shared  bool // subject to access control
+	Compute int64
+}
+
+// App is a barrier-synchronised parallel application: Phases[k][p] is
+// processor p's reference stream in phase k.
+type App struct {
+	Name   string
+	Phases [][][]Ref
+}
+
+// ProtState is the user-level protection state of a line on one processor.
+type ProtState uint8
+
+const (
+	Invalid ProtState = iota
+	ReadOnly
+	ReadWrite
+)
+
+func (s ProtState) String() string {
+	switch s {
+	case ReadOnly:
+		return "READONLY"
+	case ReadWrite:
+		return "READWRITE"
+	}
+	return "INVALID"
+}
+
+// AccessEvent describes one shared reference to the access-control policy.
+type AccessEvent struct {
+	Write bool
+	// State is the referencing processor's current protection state for
+	// the line.
+	State ProtState
+	// Sufficient reports whether the current protection level already
+	// permits the access (READWRITE for stores; READONLY or READWRITE
+	// for loads).
+	Sufficient bool
+	// L1Hit reports whether the access hits the primary cache (always
+	// false when protection is insufficient: invalid lines are evicted
+	// and non-writable lines cannot satisfy stores).
+	L1Hit bool
+	// PageHasReadonly reports whether the processor holds any READONLY
+	// line on the page (drives the ECC scheme's write faults).
+	PageHasReadonly bool
+}
+
+// AccessPolicy prices the access-control *detection* work of one shared
+// reference; protocol action costs (state change, messages) are charged
+// uniformly by the engine.
+type AccessPolicy interface {
+	Name() string
+	DetectCost(ev AccessEvent, cfg Config) int64
+}
+
+// Result aggregates one simulation.
+type Result struct {
+	Cycles  int64 // execution time (max over processors)
+	PerProc []int64
+
+	SharedReads, SharedWrites uint64
+	PrivateRefs               uint64
+	L1Hits, L1Misses          uint64
+	CoherenceActions          uint64 // references needing protocol work
+	Invalidations             uint64 // remote copies invalidated
+	RemoteTransfers           uint64 // actions involving the network
+
+	DetectCycles   int64 // access-control detection
+	ProtocolCycles int64 // state changes + messages
+	MemoryCycles   int64 // cache-miss stall
+	ComputeCycles  int64
+}
+
+type dirEntry struct {
+	sharers uint64 // bitmap
+	owner   int    // valid when dirty
+	dirty   bool
+}
+
+type proc struct {
+	clock  int64
+	l1, l2 *mem.Cache
+	state  map[uint64]ProtState
+	pageRO map[uint64]int
+}
+
+// machine is the mutable simulation state; it is factored out of Simulate
+// so tests can drive individual references and check protocol invariants
+// after every step.
+type machine struct {
+	cfg   Config
+	pol   AccessPolicy
+	procs []proc
+	dir   map[uint64]*dirEntry
+	res   Result
+}
+
+func newMachine(cfg Config, pol AccessPolicy) *machine {
+	m := &machine{
+		cfg:   cfg,
+		pol:   pol,
+		procs: make([]proc, cfg.Processors),
+		dir:   make(map[uint64]*dirEntry),
+	}
+	for i := range m.procs {
+		m.procs[i] = proc{
+			l1:     mem.NewCache(cfg.L1),
+			l2:     mem.NewCache(cfg.L2),
+			state:  make(map[uint64]ProtState),
+			pageRO: make(map[uint64]int),
+		}
+	}
+	m.res.PerProc = make([]int64, cfg.Processors)
+	return m
+}
+
+func (m *machine) lineOf(addr uint64) uint64 {
+	return addr &^ uint64(m.cfg.L1.LineBytes-1)
+}
+
+func (m *machine) home(line uint64) int {
+	return int(line/uint64(m.cfg.L1.LineBytes)) % m.cfg.Processors
+}
+
+func (m *machine) setState(p int, line uint64, s ProtState) {
+	pr := &m.procs[p]
+	old := pr.state[line]
+	if old == s {
+		return
+	}
+	page := line / m.cfg.PageBytes
+	if old == ReadOnly {
+		pr.pageRO[page]--
+		if pr.pageRO[page] <= 0 {
+			delete(pr.pageRO, page)
+		}
+	}
+	if s == ReadOnly {
+		pr.pageRO[page]++
+	}
+	if s == Invalid {
+		delete(pr.state, line)
+		// Invalid blocks are evicted from the caches (the basis of
+		// miss-driven detection).
+		pr.l1.Invalidate(line)
+		pr.l2.Invalidate(line)
+	} else {
+		pr.state[line] = s
+	}
+}
+
+// doRef executes one reference on processor p, advancing its clock.
+func (m *machine) doRef(p int, r Ref) {
+	cfg := m.cfg
+	pr := &m.procs[p]
+	pr.clock += r.Compute
+	m.res.ComputeCycles += r.Compute
+
+	if !r.Shared {
+		m.res.PrivateRefs++
+		var miss int64
+		if hit, _, _ := pr.l1.Access(r.Addr, r.Write); !hit {
+			miss = cfg.L1MissPenalty
+			if hit2, _, _ := pr.l2.Access(r.Addr, r.Write); !hit2 {
+				miss += cfg.L2MissPenalty
+			}
+		}
+		pr.clock += miss
+		m.res.MemoryCycles += miss
+		return
+	}
+
+	line := m.lineOf(r.Addr)
+	st := pr.state[line]
+	sufficient := (!r.Write && st != Invalid) || (r.Write && st == ReadWrite)
+	if r.Write {
+		m.res.SharedWrites++
+	} else {
+		m.res.SharedReads++
+	}
+
+	l1hit := sufficient && pr.l1.Contains(r.Addr)
+	ev := AccessEvent{
+		Write:           r.Write,
+		State:           st,
+		Sufficient:      sufficient,
+		L1Hit:           l1hit,
+		PageHasReadonly: pr.pageRO[line/cfg.PageBytes] > 0,
+	}
+	detect := m.pol.DetectCost(ev, cfg)
+	pr.clock += detect
+	m.res.DetectCycles += detect
+
+	if sufficient {
+		var miss int64
+		if hit, _, _ := pr.l1.Access(r.Addr, r.Write); hit {
+			m.res.L1Hits++
+		} else {
+			m.res.L1Misses++
+			miss = cfg.L1MissPenalty
+			if hit2, _, _ := pr.l2.Access(r.Addr, r.Write); !hit2 {
+				miss += cfg.L2MissPenalty
+			}
+		}
+		pr.clock += miss
+		m.res.MemoryCycles += miss
+		return
+	}
+
+	// ---- protocol action ------------------------------------------
+	m.res.CoherenceActions++
+	m.res.L1Misses++
+	d := m.dir[line]
+	if d == nil {
+		d = &dirEntry{owner: -1}
+		m.dir[line] = d
+	}
+	var proto int64 = cfg.StateChangeCost
+	remote := false
+	if r.Write {
+		// Invalidate all other copies (DMA-style, in parallel).
+		for q := 0; q < cfg.Processors; q++ {
+			if q == p || d.sharers&(1<<uint(q)) == 0 {
+				continue
+			}
+			m.setState(q, line, Invalid)
+			m.res.Invalidations++
+			remote = true
+		}
+		if d.dirty && d.owner != p {
+			remote = true // fetch modified data from old owner
+		}
+		if st == Invalid && m.home(line) != p {
+			remote = true // data fetched from remote home
+		}
+		if remote {
+			proto += 2 * cfg.MsgLatency
+			m.res.RemoteTransfers++
+		} else if st == Invalid {
+			proto += cfg.L1MissPenalty + cfg.L2MissPenalty // local memory
+		}
+		d.sharers = 1 << uint(p)
+		d.owner = p
+		d.dirty = true
+		m.setState(p, line, ReadWrite)
+	} else {
+		if d.dirty && d.owner != p {
+			// Downgrade the writer; data comes from its cache.
+			m.setState(d.owner, line, ReadOnly)
+			d.sharers |= 1 << uint(d.owner)
+			d.dirty = false
+			remote = true
+		} else if m.home(line) != p {
+			remote = true
+		}
+		if remote {
+			proto += 2 * cfg.MsgLatency
+			m.res.RemoteTransfers++
+		} else {
+			proto += cfg.L1MissPenalty + cfg.L2MissPenalty
+		}
+		d.sharers |= 1 << uint(p)
+		m.setState(p, line, ReadOnly)
+	}
+	pr.clock += proto
+	m.res.ProtocolCycles += proto
+
+	// Fill the caches with the now-accessible line.
+	pr.l1.Access(r.Addr, r.Write)
+	pr.l2.Access(r.Addr, r.Write)
+}
+
+// barrier synchronises all processors to the slowest plus the barrier cost.
+func (m *machine) barrier() {
+	var maxClock int64
+	for p := range m.procs {
+		if m.procs[p].clock > maxClock {
+			maxClock = m.procs[p].clock
+		}
+	}
+	for p := range m.procs {
+		m.procs[p].clock = maxClock + m.cfg.BarrierCost
+	}
+}
+
+// invariants checks the protocol's safety properties; tests call it after
+// every step:
+//
+//   - single writer: a dirty line has exactly one holder, in READWRITE
+//     state, matching the directory owner;
+//   - no stale readers: a processor in READONLY/READWRITE state for a line
+//     appears in the directory's sharer set;
+//   - page bookkeeping: pageRO counts equal the number of READONLY lines
+//     on each page.
+func (m *machine) invariants() error {
+	holders := map[uint64][]int{}
+	for p := range m.procs {
+		for line, st := range m.procs[p].state {
+			d := m.dir[line]
+			if d == nil {
+				return fmt.Errorf("proc %d holds %#x (%v) but no directory entry", p, line, st)
+			}
+			if d.sharers&(1<<uint(p)) == 0 {
+				return fmt.Errorf("proc %d holds %#x (%v) but is not a directory sharer", p, line, st)
+			}
+			if st == ReadWrite {
+				holders[line] = append(holders[line], p)
+			}
+		}
+	}
+	for line, d := range m.dir {
+		if d.dirty {
+			h := holders[line]
+			if len(h) != 1 || h[0] != d.owner {
+				return fmt.Errorf("dirty line %#x: writers %v, owner %d", line, h, d.owner)
+			}
+			if d.sharers != 1<<uint(d.owner) {
+				return fmt.Errorf("dirty line %#x has sharers %b", line, d.sharers)
+			}
+		} else if len(holders[line]) != 0 {
+			return fmt.Errorf("clean line %#x has writer %v", line, holders[line])
+		}
+	}
+	for p := range m.procs {
+		want := map[uint64]int{}
+		for line, st := range m.procs[p].state {
+			if st == ReadOnly {
+				want[line/m.cfg.PageBytes]++
+			}
+		}
+		for page, n := range m.procs[p].pageRO {
+			if want[page] != n {
+				return fmt.Errorf("proc %d page %#x RO count %d, want %d", p, page, n, want[page])
+			}
+		}
+		for page, n := range want {
+			if m.procs[p].pageRO[page] != n {
+				return fmt.Errorf("proc %d page %#x RO count missing %d", p, page, n)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *machine) result() Result {
+	for p := range m.procs {
+		m.res.PerProc[p] = m.procs[p].clock
+		if m.procs[p].clock > m.res.Cycles {
+			m.res.Cycles = m.procs[p].clock
+		}
+	}
+	return m.res
+}
+
+// Simulate runs app under the policy and machine configuration. The
+// simulation is deterministic: processors are advanced in minimum-clock
+// order (ties broken by processor id) within each barrier phase.
+func Simulate(app App, pol AccessPolicy, cfg Config) (Result, error) {
+	if cfg.Processors <= 0 || cfg.Processors > 64 {
+		return Result{}, fmt.Errorf("multi: processor count %d out of range", cfg.Processors)
+	}
+	m := newMachine(cfg, pol)
+	for _, phase := range app.Phases {
+		if len(phase) != cfg.Processors {
+			return Result{}, fmt.Errorf("multi: app %q phase has %d streams, want %d",
+				app.Name, len(phase), cfg.Processors)
+		}
+		idx := make([]int, cfg.Processors)
+		for {
+			// Advance the processor with the smallest clock that still
+			// has work (deterministic tie-break by id).
+			sel, selClock := -1, int64(0)
+			for p := 0; p < cfg.Processors; p++ {
+				if idx[p] >= len(phase[p]) {
+					continue
+				}
+				if sel < 0 || m.procs[p].clock < selClock {
+					sel, selClock = p, m.procs[p].clock
+				}
+			}
+			if sel < 0 {
+				break
+			}
+			m.doRef(sel, phase[sel][idx[sel]])
+			idx[sel]++
+		}
+		m.barrier()
+	}
+	return m.result(), nil
+}

@@ -1,0 +1,255 @@
+package multi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// freePolicy charges nothing, isolating protocol behaviour.
+type freePolicy struct{}
+
+func (freePolicy) Name() string                         { return "free" }
+func (freePolicy) DetectCost(AccessEvent, Config) int64 { return 0 }
+
+// recordingPolicy captures the event stream.
+type recordingPolicy struct{ events []AccessEvent }
+
+func (r *recordingPolicy) Name() string { return "recording" }
+func (r *recordingPolicy) DetectCost(ev AccessEvent, _ Config) int64 {
+	r.events = append(r.events, ev)
+	return 0
+}
+
+func smallConfig(procs int) Config {
+	cfg := DefaultConfig()
+	cfg.Processors = procs
+	return cfg
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := newMachine(smallConfig(4), freePolicy{})
+	line := uint64(0x1000)
+	// Everyone reads; then P0 writes.
+	for p := 0; p < 4; p++ {
+		m.doRef(p, Ref{Addr: line, Shared: true})
+	}
+	if err := m.invariants(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if m.procs[p].state[line] != ReadOnly {
+			t.Fatalf("proc %d state %v after read", p, m.procs[p].state[line])
+		}
+	}
+	m.doRef(0, Ref{Addr: line, Write: true, Shared: true})
+	if err := m.invariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.procs[0].state[line] != ReadWrite {
+		t.Error("writer not READWRITE")
+	}
+	for p := 1; p < 4; p++ {
+		if m.procs[p].state[line] != Invalid {
+			t.Errorf("proc %d not invalidated", p)
+		}
+		if m.procs[p].l1.Contains(line) || m.procs[p].l2.Contains(line) {
+			t.Errorf("proc %d caches still hold the invalidated line", p)
+		}
+	}
+	if m.res.Invalidations != 3 {
+		t.Errorf("invalidations %d, want 3", m.res.Invalidations)
+	}
+}
+
+func TestReadDowngradesWriter(t *testing.T) {
+	m := newMachine(smallConfig(2), freePolicy{})
+	line := uint64(0x2000)
+	m.doRef(0, Ref{Addr: line, Write: true, Shared: true})
+	m.doRef(1, Ref{Addr: line, Shared: true})
+	if err := m.invariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.procs[0].state[line] != ReadOnly || m.procs[1].state[line] != ReadOnly {
+		t.Errorf("states after downgrade: %v, %v",
+			m.procs[0].state[line], m.procs[1].state[line])
+	}
+	if m.dir[line].dirty {
+		t.Error("directory still dirty after downgrade")
+	}
+}
+
+func TestMigratoryCostsRemoteTransfers(t *testing.T) {
+	cfg := smallConfig(2)
+	m := newMachine(cfg, freePolicy{})
+	line := uint64(0x3000)
+	m.doRef(0, Ref{Addr: line, Write: true, Shared: true})
+	before := m.procs[1].clock
+	m.doRef(1, Ref{Addr: line, Shared: true}) // fetch from dirty remote
+	if m.procs[1].clock-before < 2*cfg.MsgLatency {
+		t.Errorf("remote fetch cost %d, want >= %d", m.procs[1].clock-before, 2*cfg.MsgLatency)
+	}
+	if m.res.RemoteTransfers == 0 {
+		t.Error("no remote transfers recorded")
+	}
+}
+
+func TestEventFieldsVisibleToPolicy(t *testing.T) {
+	rec := &recordingPolicy{}
+	m := newMachine(smallConfig(2), rec)
+	line := uint64(0x4000)
+	m.doRef(0, Ref{Addr: line, Shared: true})              // invalid read
+	m.doRef(0, Ref{Addr: line, Shared: true})              // RO hit
+	m.doRef(0, Ref{Addr: line, Write: true, Shared: true}) // write upgrade
+	m.doRef(0, Ref{Addr: line, Write: true, Shared: true}) // RW hit
+	want := []AccessEvent{
+		{Write: false, State: Invalid, Sufficient: false, L1Hit: false, PageHasReadonly: false},
+		{Write: false, State: ReadOnly, Sufficient: true, L1Hit: true, PageHasReadonly: true},
+		{Write: true, State: ReadOnly, Sufficient: false, L1Hit: false, PageHasReadonly: true},
+		{Write: true, State: ReadWrite, Sufficient: true, L1Hit: true, PageHasReadonly: false},
+	}
+	if len(rec.events) != len(want) {
+		t.Fatalf("%d events, want %d", len(rec.events), len(want))
+	}
+	for i, ev := range rec.events {
+		if ev != want[i] {
+			t.Errorf("event %d: %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestPageReadonlyTracking(t *testing.T) {
+	m := newMachine(smallConfig(2), freePolicy{})
+	// Two lines on the same page: P0 reads both (RO), then writes one.
+	a, b := uint64(0x5000), uint64(0x5020)
+	m.doRef(0, Ref{Addr: a, Shared: true})
+	m.doRef(0, Ref{Addr: b, Shared: true})
+	page := a / m.cfg.PageBytes
+	if m.procs[0].pageRO[page] != 2 {
+		t.Errorf("pageRO %d, want 2", m.procs[0].pageRO[page])
+	}
+	m.doRef(0, Ref{Addr: a, Write: true, Shared: true})
+	if m.procs[0].pageRO[page] != 1 {
+		t.Errorf("pageRO after upgrade %d, want 1", m.procs[0].pageRO[page])
+	}
+	if err := m.invariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	cfg := smallConfig(2)
+	m := newMachine(cfg, freePolicy{})
+	m.procs[0].clock = 100
+	m.procs[1].clock = 5000
+	m.barrier()
+	for p := range m.procs {
+		if m.procs[p].clock != 5000+cfg.BarrierCost {
+			t.Errorf("proc %d clock %d", p, m.procs[p].clock)
+		}
+	}
+}
+
+func TestPrivateRefsBypassProtocol(t *testing.T) {
+	rec := &recordingPolicy{}
+	m := newMachine(smallConfig(2), rec)
+	m.doRef(0, Ref{Addr: 0x9000, Write: true})
+	m.doRef(1, Ref{Addr: 0x9000})
+	if len(rec.events) != 0 {
+		t.Error("private refs reached the access policy")
+	}
+	if len(m.dir) != 0 {
+		t.Error("private refs created directory state")
+	}
+	if m.res.PrivateRefs != 2 {
+		t.Errorf("private refs %d", m.res.PrivateRefs)
+	}
+}
+
+// TestProtocolInvariantsUnderRandomTraffic drives random shared traffic
+// from all processors and checks the single-writer and bookkeeping
+// invariants after every reference.
+func TestProtocolInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := newMachine(smallConfig(4), freePolicy{})
+		for i := 0; i < 2000; i++ {
+			p := r.Intn(4)
+			addr := uint64(r.Intn(64)) * 32 // 64 hot lines
+			m.doRef(p, Ref{Addr: addr, Write: r.Intn(3) == 0, Shared: true})
+			if err := m.invariants(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(App{}, freePolicy{}, Config{Processors: 0}); err == nil {
+		t.Error("zero processors accepted")
+	}
+	cfg := smallConfig(2)
+	app := App{Name: "bad", Phases: [][][]Ref{{{}}}} // 1 stream for 2 procs
+	if _, err := Simulate(app, freePolicy{}, cfg); err == nil {
+		t.Error("malformed app accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := smallConfig(4)
+	app := App{Name: "d", Phases: [][][]Ref{make([][]Ref, 4)}}
+	r := rand.New(rand.NewSource(9))
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 500; i++ {
+			app.Phases[0][p] = append(app.Phases[0][p], Ref{
+				Addr:    uint64(r.Intn(128)) * 32,
+				Write:   r.Intn(4) == 0,
+				Shared:  true,
+				Compute: int64(r.Intn(5)),
+			})
+		}
+	}
+	a, err := Simulate(app, freePolicy{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(app, freePolicy{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.CoherenceActions != b.CoherenceActions {
+		t.Error("simulation nondeterministic")
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	cfg := smallConfig(2)
+	app := App{Name: "acct", Phases: [][][]Ref{{
+		{{Addr: 0x100, Shared: true, Compute: 10}, {Addr: 0x100, Shared: true}},
+		{{Addr: 0x200, Write: true, Shared: true, Compute: 3}},
+	}}}
+	res, err := Simulate(app, freePolicy{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedReads != 2 || res.SharedWrites != 1 {
+		t.Errorf("read/write counts %d/%d", res.SharedReads, res.SharedWrites)
+	}
+	if res.ComputeCycles != 13 {
+		t.Errorf("compute cycles %d", res.ComputeCycles)
+	}
+	if res.CoherenceActions != 2 { // first read + first write are actions
+		t.Errorf("actions %d", res.CoherenceActions)
+	}
+	if res.Cycles < cfg.BarrierCost {
+		t.Errorf("cycles %d below barrier cost", res.Cycles)
+	}
+	if len(res.PerProc) != 2 {
+		t.Error("per-proc clock missing")
+	}
+}

@@ -1,0 +1,570 @@
+// Package ooo implements the paper's out-of-order-issue machine model,
+// patterned on the MIPS R10000 (§3.2 and Table 1): register renaming, a
+// 32-entry reorder buffer, 4-wide fetch and graduation, a limited pool of
+// branch shadow states, 2-bit-counter branch prediction, and a lockup-free
+// two-level memory system.
+//
+// Informing memory operations are supported in all three architectural
+// modes, and for the low-overhead trap the two hardware strategies the
+// paper compares are both modelled:
+//
+//   - TrapAsBranch: the reference is treated as a reference-plus-branch
+//     predicted not-taken; on a miss the handler is fetched as soon as the
+//     tag check resolves (fast, but informing references consume branch
+//     shadow state);
+//   - TrapAsException: the trap is deferred until the reference reaches
+//     the head of the graduation queue, then the machine is flushed
+//     (slower — the paper reports 7–9% on compress — but cheaper hardware).
+package ooo
+
+import (
+	"fmt"
+
+	"informing/internal/bpred"
+	"informing/internal/interp"
+	"informing/internal/isa"
+	"informing/internal/mem"
+	"informing/internal/stats"
+)
+
+// TrapMode selects how a miss trap is realised in the pipeline (§3.2).
+type TrapMode uint8
+
+const (
+	TrapAsBranch TrapMode = iota
+	TrapAsException
+)
+
+func (t TrapMode) String() string {
+	if t == TrapAsException {
+		return "exception"
+	}
+	return "branch"
+}
+
+// Config parameterises the machine. DefaultConfig returns the paper's
+// Table 1 out-of-order column.
+type Config struct {
+	IssueWidth int // per-cycle issue cap (also fetch and graduation width)
+	Units      [isa.NumFUClasses]int
+	ROBSize    int
+
+	// ShadowStates bounds the number of unresolved predicted branches in
+	// flight (the R10000 allows 4). In TrapAsBranch mode informing
+	// memory references also consume shadow state until their tag check
+	// resolves; the paper estimates ~3x more shadow state is needed,
+	// hence DefaultConfig uses 12 when informing ops are enabled (see
+	// the ablation bench).
+	ShadowStates int
+
+	FrontDepth      int64 // fetch-to-issue minimum (rename/dispatch depth)
+	TakenBubble     int64 // bubble after a correctly-predicted taken branch
+	MispredictExtra int64 // extra refetch delay after a branch resolves wrong
+	FlushPenalty    int64 // pipeline refill after an exception-style flush
+
+	Lat    isa.LatencyTable
+	Hier   mem.HierConfig
+	Timing mem.TimingConfig
+
+	// ICache models the primary instruction cache (Table 1); a zero
+	// SizeBytes disables it. Misses stall the fetcher for the L2
+	// latency.
+	ICache mem.CacheConfig
+
+	BPredEntries int
+	Mode         interp.Mode
+	Trap         TrapMode
+
+	// TrapThreshold selects which misses trap (interp.LevelL1 = any
+	// primary miss, the default; interp.LevelL2 = secondary misses only,
+	// the §4.1.3 refinement).
+	TrapThreshold int
+
+	// FlushEvery, when non-zero, flushes the L1 data cache every N
+	// memory references, modelling context switches: the paper's §3.3
+	// point that cache state — and therefore trap counts — is not a
+	// deterministic function of the program, while architectural results
+	// are unaffected.
+	FlushEvery uint64
+
+	// ExtendMSHRLifetime enables the §3.3 mechanism: MSHRs persist until
+	// the owning memory operation graduates or is squashed.
+	ExtendMSHRLifetime bool
+
+	// SpecInjectEvery, when non-zero, injects one squashed speculative
+	// informing load per N committed memory references, exercising the
+	// §3.3 invalidation path (the scheduler itself never runs wrong-path
+	// instructions; see DESIGN.md §6). The injected load targets the
+	// reference's address plus SpecInjectStride.
+	SpecInjectEvery  int
+	SpecInjectStride uint64
+
+	MaxInsts uint64 // 0 = 1e9
+
+	// Trace, when non-nil, receives one TraceEvent per instruction in
+	// graduation order (debugging/visualisation; adds overhead).
+	Trace func(stats.TraceEvent)
+}
+
+// DefaultConfig returns the Table 1 out-of-order machine: 4-wide, 32-entry
+// reorder buffer, 2 INT / 2 FP / 1 branch / 1 memory unit, 32 KB 2-way L1,
+// 2 MB 2-way L2, 12-cycle L2 latency, 75-cycle memory latency.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:      4,
+		Units:           [isa.NumFUClasses]int{isa.FUInt: 2, isa.FUFP: 2, isa.FUBranch: 1, isa.FUMem: 1},
+		ROBSize:         32,
+		ShadowStates:    12,
+		FrontDepth:      3,
+		TakenBubble:     1,
+		MispredictExtra: 1,
+		FlushPenalty:    2,
+		Lat: isa.LatencyTable{
+			IntMul: 12, IntDiv: 76, FPDiv: 15, FPSqrt: 20, FPOther: 2,
+			IntALU: 1, Branch: 1,
+		},
+		Hier: mem.HierConfig{
+			L1: mem.CacheConfig{SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2},
+			L2: mem.CacheConfig{SizeBytes: 2 << 20, LineBytes: 32, Assoc: 2},
+		},
+		ICache: mem.CacheConfig{SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2},
+		Timing: mem.TimingConfig{
+			L1HitLat: 2, L2Lat: 12, MemLat: 75,
+			MSHRs: 8, Banks: 2, FillTime: 4, MemInterval: 20, LineBytes: 32,
+		},
+		BPredEntries: bpred.DefaultEntries,
+		Mode:         interp.ModeOff,
+		Trap:         TrapAsBranch,
+	}
+}
+
+type producer struct {
+	idx int
+	seq uint64
+	set bool
+}
+
+type robEntry struct {
+	rec     interp.Rec
+	fu      isa.FUClass
+	srcs    [3]producer // register producers (up to 2) + CC producer for BMISS
+	nsrc    int
+	fetchC  int64
+	issueC  int64
+	tagC    int64 // memory tag-check resolution time
+	compC   int64 // data/result available
+	gradC   int64
+	issued  bool
+	grad    bool
+	shadow  bool // currently consumes branch shadow state
+	isMiss  bool // memory op that missed in L1
+	memAddr uint64
+}
+
+type fetchStallKind uint8
+
+const (
+	stallNone fetchStallKind = iota
+	stallExec                // resume after entry completes (+MispredictExtra)
+	stallTag                 // resume after entry's tag check (+MispredictExtra)
+	stallGrad                // resume after entry graduates (+FlushPenalty)
+)
+
+// Run simulates prog to completion and returns the measured statistics.
+func Run(prog *isa.Program, cfg Config) (stats.Run, error) {
+	r, _, err := RunDetailed(prog, cfg)
+	return r, err
+}
+
+// RunDetailed is Run but also returns the functional machine, giving
+// callers access to the final architectural state (registers, data memory,
+// MHAR/MHRR) — used by the examples and by differential tests.
+func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, error) {
+	hier := mem.NewHierarchy(cfg.Hier)
+	var icache *mem.Cache
+	if cfg.ICache.SizeBytes > 0 {
+		icache = mem.NewCache(cfg.ICache)
+	}
+	lastILine := ^uint64(0)
+	probe := hier.ProbeData
+	if cfg.FlushEvery > 0 {
+		var refs uint64
+		probe = func(addr uint64, write bool) int {
+			refs++
+			if refs%cfg.FlushEvery == 0 {
+				hier.L1.Flush()
+			}
+			return hier.ProbeData(addr, write)
+		}
+	}
+	m := interp.New(prog, cfg.Mode, probe)
+	m.TrapThreshold = cfg.TrapThreshold
+	timing := mem.NewTiming(cfg.Timing)
+	timing.ExtendLifetime = cfg.ExtendMSHRLifetime
+	bp := bpred.New(cfg.BPredEntries)
+
+	rob := make([]robEntry, cfg.ROBSize)
+	head, tail, count := 0, 0, 0
+
+	var regProd [isa.NumRegs]producer
+	var ccProd producer
+
+	var (
+		cycle        int64
+		fetchBlocked int64 // fetch may not run before this cycle
+		stallKind    fetchStallKind
+		stallIdx     int
+		stallSeq     uint64
+
+		out       stats.Run
+		inHandler bool
+		memSeen   int // committed memory refs, for SpecInjectEvery
+
+		lastProgress int64
+	)
+	out.IssueWidth = cfg.IssueWidth
+
+	limit := cfg.MaxInsts
+	if limit == 0 {
+		limit = 1e9
+	}
+
+	ready := func(p producer) bool {
+		if !p.set {
+			return true
+		}
+		e := &rob[p.idx]
+		if e.rec.Seq != p.seq || e.grad {
+			return true // producer already graduated; value long available
+		}
+		return e.issued && e.compC <= cycle
+	}
+	ccReady := func(p producer) bool {
+		if !p.set {
+			return true
+		}
+		e := &rob[p.idx]
+		if e.rec.Seq != p.seq || e.grad {
+			return true
+		}
+		return e.issued && e.tagC <= cycle
+	}
+
+	shadowCount := func() int {
+		n := 0
+		for i, c := head, count; c > 0; i, c = (i+1)%cfg.ROBSize, c-1 {
+			e := &rob[i]
+			if !e.shadow {
+				continue
+			}
+			// A shadow entry is live until its direction/tag resolves.
+			if !e.issued {
+				n++
+				continue
+			}
+			res := e.compC
+			if e.rec.Inst.IsMem() {
+				res = e.tagC
+			}
+			if res > cycle {
+				n++
+			}
+		}
+		return n
+	}
+
+	stallResolved := func() bool {
+		switch stallKind {
+		case stallNone:
+			return true
+		case stallExec:
+			e := &rob[stallIdx]
+			if e.rec.Seq != stallSeq {
+				return true
+			}
+			return e.issued && cycle >= e.compC+1+cfg.MispredictExtra
+		case stallTag:
+			e := &rob[stallIdx]
+			if e.rec.Seq != stallSeq {
+				return true
+			}
+			return e.issued && cycle >= e.tagC+1+cfg.MispredictExtra
+		case stallGrad:
+			e := &rob[stallIdx]
+			if e.rec.Seq != stallSeq {
+				return true
+			}
+			return e.grad && cycle >= e.gradC+cfg.FlushPenalty
+		}
+		return true
+	}
+
+	for {
+		// ---- graduation (uses results from previous cycles) ----------
+		gradN := 0
+		for count > 0 && gradN < cfg.IssueWidth {
+			e := &rob[head]
+			if !e.issued || e.compC > cycle-1 {
+				break
+			}
+			e.grad = true
+			e.gradC = cycle
+			if cfg.Trace != nil {
+				cfg.Trace(stats.TraceEvent{
+					Seq:      e.rec.Seq,
+					PC:       e.rec.PC,
+					Disasm:   e.rec.Inst.String(),
+					Fetch:    e.fetchC,
+					Issue:    e.issueC,
+					Complete: e.compC,
+					Graduate: e.gradC,
+					MemLevel: e.rec.Level,
+					Trap:     e.rec.Trap,
+				})
+			}
+			if e.rec.Inst.IsMem() && cfg.ExtendMSHRLifetime && e.isMiss {
+				timing.Release(e.memAddr)
+			}
+			head = (head + 1) % cfg.ROBSize
+			count--
+			gradN++
+			out.Instrs++
+		}
+		if gradN < cfg.IssueWidth && count > 0 {
+			e := &rob[head]
+			if e.isMiss && e.issued && e.compC > cycle-1 {
+				out.CacheSlots += int64(cfg.IssueWidth - gradN)
+			}
+		}
+
+		// ---- issue ----------------------------------------------------
+		issuedN := 0
+		var fuUsed [isa.NumFUClasses]int
+		for i, c := head, count; c > 0 && issuedN < cfg.IssueWidth; i, c = (i+1)%cfg.ROBSize, c-1 {
+			e := &rob[i]
+			if e.issued || e.fetchC+cfg.FrontDepth > cycle {
+				continue
+			}
+			if fuUsed[e.fu] >= cfg.Units[e.fu] {
+				continue
+			}
+			ok := true
+			// Counter reads serialize the pipeline (§1): MFCNT issues
+			// only from the head of the reorder buffer.
+			if e.rec.Inst.Op == isa.Mfcnt && i != head {
+				ok = false
+			}
+			for s := 0; s < e.nsrc; s++ {
+				if !ready(e.srcs[s]) {
+					ok = false
+					break
+				}
+			}
+			if ok && e.rec.Inst.Op == isa.Bmiss && !ccReady(e.srcs[2]) {
+				ok = false
+			}
+			if !ok {
+				continue
+			}
+			in := e.rec.Inst
+			if in.IsMem() {
+				done, accepted := timing.Request(cycle, e.rec.Level, e.rec.EA)
+				if !accepted {
+					// Lockup-free cache full: retry next cycle.
+					fuUsed[e.fu]++ // the port was occupied by the attempt
+					issuedN++
+					continue
+				}
+				e.tagC = cycle + int64(cfg.Timing.L1HitLat)
+				if in.IsLoad() {
+					e.compC = done
+				} else {
+					e.compC = e.tagC
+				}
+			} else {
+				e.compC = cycle + int64(cfg.Lat.Latency(in.Op))
+				e.tagC = e.compC
+			}
+			e.issueC = cycle
+			e.issued = true
+			fuUsed[e.fu]++
+			issuedN++
+		}
+
+		// ---- fetch/dispatch -------------------------------------------
+		if cycle >= fetchBlocked && stallResolved() {
+			stallKind = stallNone
+			fetched := 0
+			for fetched < cfg.IssueWidth && count < cfg.ROBSize && !m.Halted {
+				// Shadow-state limit gates fetch past unresolved
+				// speculation.
+				if shadowCount() >= cfg.ShadowStates {
+					break
+				}
+				if m.Seq >= limit {
+					return out, m, fmt.Errorf("ooo: instruction limit %d exceeded", limit)
+				}
+				wasInHandler := inHandler
+				rec, err := m.Step()
+				if err != nil {
+					return out, m, err
+				}
+				in := rec.Inst
+				fetchAt := cycle
+				if icache != nil {
+					if line := icache.Line(rec.PC); line != lastILine {
+						// Sequential next-line prefetching hides
+						// in-line misses; only control transfers to
+						// cold lines stall the fetcher.
+						sequential := line == lastILine+uint64(cfg.ICache.LineBytes)
+						lastILine = line
+						if hit, _, _ := icache.Access(rec.PC, false); !hit && !sequential {
+							out.IMisses++
+							fetchAt = cycle + int64(cfg.Timing.L2Lat)
+							fetchBlocked = fetchAt
+						}
+					}
+				}
+				e := &rob[tail]
+				*e = robEntry{rec: rec, fu: in.FU(), fetchC: fetchAt}
+				for _, s := range in.Sources() {
+					e.srcs[e.nsrc] = regProd[s]
+					e.nsrc++
+				}
+				if in.Op == isa.Bmiss {
+					e.srcs[2] = ccProd
+				}
+				if d, okd := in.Dest(); okd {
+					regProd[d] = producer{idx: tail, seq: rec.Seq, set: true}
+				}
+				if in.IsMem() {
+					e.memAddr = rec.EA
+					e.isMiss = rec.Level > interp.LevelL1
+					if in.Op != isa.Prefetch {
+						ccProd = producer{idx: tail, seq: rec.Seq, set: true}
+					}
+					out.MemRefs++
+					if rec.Level > interp.LevelL1 {
+						out.L1Misses++
+					}
+					if rec.Level > interp.LevelL2 {
+						out.L2Misses++
+					}
+				}
+				tail = (tail + 1) % cfg.ROBSize
+				count++
+				fetched++
+
+				if rec.Trap {
+					out.Traps++
+					inHandler = true
+				}
+				if wasInHandler {
+					out.HandlerInsts++
+					if in.Op == isa.Rfmh {
+						inHandler = false
+					}
+				}
+
+				// Control-flow consequences for the fetcher. Redirect
+				// blocks extend (never shorten) an existing block such
+				// as an instruction-cache miss stall.
+				blockUntil := func(t int64) {
+					if t > fetchBlocked {
+						fetchBlocked = t
+					}
+				}
+				idx := (tail - 1 + cfg.ROBSize) % cfg.ROBSize
+				switch {
+				case in.Op == isa.Bmiss:
+					// Statically predicted not-taken.
+					e.shadow = true
+					if rec.Taken {
+						out.BmissTaken++
+						stallKind, stallIdx, stallSeq = stallExec, idx, rec.Seq
+					}
+				case in.IsCondBranch():
+					pred := bp.Predict(rec.PC)
+					bp.Update(rec.PC, rec.Taken)
+					e.shadow = true
+					if pred != rec.Taken {
+						stallKind, stallIdx, stallSeq = stallExec, idx, rec.Seq
+					} else if rec.Taken {
+						blockUntil(fetchAt + 1 + cfg.TakenBubble)
+					}
+				case in.Op == isa.Mfcnt:
+					// The serializing counter read also stops fetch
+					// until it graduates.
+					stallKind, stallIdx, stallSeq = stallGrad, idx, rec.Seq
+				case in.IsBranch():
+					// Unconditional and return-style transfers are
+					// predicted via BTB/return hardware.
+					blockUntil(fetchAt + 1 + cfg.TakenBubble)
+				case rec.Trap:
+					switch cfg.Trap {
+					case TrapAsBranch:
+						e.shadow = true
+						stallKind, stallIdx, stallSeq = stallTag, idx, rec.Seq
+					case TrapAsException:
+						stallKind, stallIdx, stallSeq = stallGrad, idx, rec.Seq
+					}
+				case in.IsMem() && cfg.Mode == interp.ModeTrap && cfg.Trap == TrapAsBranch &&
+					in.Informing && in.Op != isa.Prefetch && m.MHAR != 0:
+					// A non-trapping informing reference still occupies
+					// shadow state until its tag check resolves.
+					e.shadow = true
+				}
+
+				// §3.3 exercise: inject a squashed speculative
+				// informing load.
+				if cfg.SpecInjectEvery > 0 && in.IsMem() {
+					memSeen++
+					if memSeen%cfg.SpecInjectEvery == 0 {
+						specEA := rec.EA + cfg.SpecInjectStride
+						lvl := hier.ProbeData(specEA, false)
+						if lvl > interp.LevelL1 {
+							if _, acc := timing.Request(cycle, lvl, specEA); acc {
+								timing.Squash(specEA)
+							}
+							if hier.SpeculativeInvalidate(specEA) {
+								out.SpecInvalidates++
+							}
+						}
+					}
+				}
+
+				if stallKind != stallNone || fetchBlocked > cycle {
+					break
+				}
+			}
+		}
+
+		// ---- termination / progress guard ------------------------------
+		if m.Halted && count == 0 {
+			break
+		}
+		if gradN > 0 || issuedN > 0 {
+			lastProgress = cycle
+		}
+		if cycle-lastProgress > 1_000_000 {
+			return out, m, fmt.Errorf("ooo: no progress for 1M cycles at cycle %d (deadlock?)", cycle)
+		}
+		cycle++
+	}
+
+	out.Cycles = cycle
+	if out.Cycles < 1 {
+		out.Cycles = 1
+	}
+	out.DynInsts = m.Seq
+	out.OtherSlots = out.TotalSlots() - out.BusySlots() - out.CacheSlots
+	if out.OtherSlots < 0 {
+		out.OtherSlots = 0
+	}
+	out.BranchLookups = bp.Lookups
+	out.BranchMispredicts = bp.Mispredict
+	out.MSHRFullStalls = timing.MSHRFullStalls
+	out.MSHRMerges = timing.Merges
+	out.MSHRPeak = timing.PeakInUse
+	return out, m, nil
+}

@@ -1,0 +1,121 @@
+// Package stats defines the measurement types shared by the timing cores
+// and the experiment harnesses, most importantly the graduation-slot
+// breakdown used by Figures 2 and 3 of the paper: total graduation slots
+// are the issue width times the cycle count, and each slot is classified
+// as busy (an instruction graduated), cache stall (no graduation and the
+// oldest not-yet-graduated instruction is a data-cache miss), or other.
+package stats
+
+import "fmt"
+
+// Breakdown is the per-run graduation-slot accounting.
+type Breakdown struct {
+	IssueWidth int
+
+	Cycles     int64
+	Instrs     int64 // graduated instructions (equals busy slots)
+	CacheSlots int64 // lost slots charged to data-cache misses
+	OtherSlots int64 // all other lost slots
+}
+
+// TotalSlots returns issue width × cycles.
+func (b Breakdown) TotalSlots() int64 { return b.Cycles * int64(b.IssueWidth) }
+
+// BusySlots returns the number of slots in which an instruction graduated.
+func (b Breakdown) BusySlots() int64 { return b.Instrs }
+
+// IPC returns graduated instructions per cycle.
+func (b Breakdown) IPC() float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(b.Instrs) / float64(b.Cycles)
+}
+
+// Fractions returns the busy/other/cache fractions of all slots.
+func (b Breakdown) Fractions() (busy, other, cache float64) {
+	t := float64(b.TotalSlots())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.BusySlots()) / t, float64(b.OtherSlots) / t, float64(b.CacheSlots) / t
+}
+
+// Run aggregates everything measured during one simulation.
+type Run struct {
+	Breakdown
+
+	DynInsts     uint64 // dynamic instructions executed (== graduated)
+	MemRefs      uint64
+	L1Misses     uint64
+	L2Misses     uint64
+	IMisses      uint64 // instruction-cache misses (fetch-line transitions)
+	Traps        uint64 // informing trap entries
+	BmissTaken   uint64 // taken BMISS branches
+	HandlerInsts uint64 // dynamic instructions executed inside miss handlers
+
+	BranchLookups     uint64
+	BranchMispredicts uint64
+
+	MSHRFullStalls  uint64
+	MSHRMerges      uint64
+	MSHRPeak        int
+	SpecInvalidates uint64 // §3.3 squash-path L1 invalidations
+}
+
+// L1MissRate returns primary data cache misses per reference.
+func (r Run) L1MissRate() float64 {
+	if r.MemRefs == 0 {
+		return 0
+	}
+	return float64(r.L1Misses) / float64(r.MemRefs)
+}
+
+// String summarises the run in one line.
+func (r Run) String() string {
+	busy, other, cache := r.Fractions()
+	return fmt.Sprintf(
+		"cycles=%d instrs=%d ipc=%.2f refs=%d l1miss=%.2f%% traps=%d slots[busy=%.1f%% other=%.1f%% cache=%.1f%%]",
+		r.Cycles, r.Instrs, r.IPC(), r.MemRefs, 100*r.L1MissRate(), r.Traps,
+		100*busy, 100*other, 100*cache)
+}
+
+// Normalized expresses a run's slot categories relative to a baseline
+// run's total slots, the normalisation used by Figures 2 and 3 (the
+// baseline bar is defined to total 1.0).
+type Normalized struct {
+	Busy  float64
+	Other float64
+	Cache float64
+}
+
+// Total returns the bar height (normalised execution time).
+func (n Normalized) Total() float64 { return n.Busy + n.Other + n.Cache }
+
+// NormalizeTo scales r's slot breakdown by base's total slots.
+func (r Run) NormalizeTo(base Run) Normalized {
+	t := float64(base.TotalSlots())
+	if t == 0 {
+		return Normalized{}
+	}
+	return Normalized{
+		Busy:  float64(r.BusySlots()) / t,
+		Other: float64(r.OtherSlots) / t,
+		Cache: float64(r.CacheSlots) / t,
+	}
+}
+
+// TraceEvent reports one instruction's pipeline timing; cores emit these
+// through Config.Trace (when set) in graduation order. Disasm is the
+// instruction's assembler form; cycles are absolute simulation cycles.
+type TraceEvent struct {
+	Seq      uint64
+	PC       uint64
+	Disasm   string
+	Fetch    int64
+	Issue    int64
+	Complete int64
+	Graduate int64
+	MemLevel int  // 0 non-memory, 1 L1 hit, 2 L2, 3 memory
+	Trap     bool // informing trap fired after this memory op
+}

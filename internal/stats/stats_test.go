@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Run {
+	return Run{
+		Breakdown: Breakdown{
+			IssueWidth: 4,
+			Cycles:     1000,
+			Instrs:     1600,
+			CacheSlots: 1200,
+			OtherSlots: 1200,
+		},
+		MemRefs:  400,
+		L1Misses: 100,
+	}
+}
+
+func TestSlotArithmetic(t *testing.T) {
+	r := sample()
+	if r.TotalSlots() != 4000 {
+		t.Errorf("total slots %d", r.TotalSlots())
+	}
+	if r.BusySlots() != 1600 {
+		t.Errorf("busy slots %d", r.BusySlots())
+	}
+	if r.IPC() != 1.6 {
+		t.Errorf("IPC %f", r.IPC())
+	}
+	busy, other, cache := r.Fractions()
+	if busy != 0.4 || other != 0.3 || cache != 0.3 {
+		t.Errorf("fractions %f %f %f", busy, other, cache)
+	}
+	if r.L1MissRate() != 0.25 {
+		t.Errorf("miss rate %f", r.L1MissRate())
+	}
+}
+
+func TestZeroRunsAreSafe(t *testing.T) {
+	var r Run
+	if r.IPC() != 0 || r.L1MissRate() != 0 {
+		t.Error("zero run divides by zero")
+	}
+	b, o, c := r.Fractions()
+	if b != 0 || o != 0 || c != 0 {
+		t.Error("zero run fractions nonzero")
+	}
+	if n := r.NormalizeTo(Run{}); n.Total() != 0 {
+		t.Error("normalising to empty base nonzero")
+	}
+}
+
+func TestNormalizeToBaseline(t *testing.T) {
+	base := sample()
+	// The baseline normalised to itself totals exactly 1.
+	n := base.NormalizeTo(base)
+	if tot := n.Total(); tot < 0.999 || tot > 1.001 {
+		t.Errorf("self-normalisation totals %f", tot)
+	}
+	// A run with 2x the cycles and the same work totals 2.
+	slow := base
+	slow.Cycles = 2000
+	slow.OtherSlots = slow.TotalSlots() - slow.BusySlots() - slow.CacheSlots
+	n = slow.NormalizeTo(base)
+	if tot := n.Total(); tot < 1.999 || tot > 2.001 {
+		t.Errorf("2x run normalises to %f", tot)
+	}
+}
+
+// Property: for any internally consistent run (slots partition), the
+// normalised segments against any baseline sum to cycles ratio.
+func TestNormalizationProperty(t *testing.T) {
+	f := func(cyc, instr uint16) bool {
+		cycles := int64(cyc%5000) + 100
+		instrs := int64(instr) % (cycles * 4)
+		r := Run{Breakdown: Breakdown{IssueWidth: 4, Cycles: cycles, Instrs: instrs}}
+		r.CacheSlots = (r.TotalSlots() - instrs) / 2
+		r.OtherSlots = r.TotalSlots() - instrs - r.CacheSlots
+		base := sample()
+		n := r.NormalizeTo(base)
+		want := float64(r.TotalSlots()) / float64(base.TotalSlots())
+		got := n.Total()
+		return got > want-1e-9 && got < want+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"cycles=1000", "ipc=1.60", "busy=40.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package workload
+
+import "informing/internal/isa"
+
+// initFloats allocates and initialises n float64 words deterministically.
+func initFloats(g *Gen, name string, n int, seed uint64) uint64 {
+	vals := make([]float64, n)
+	x := seed
+	for i := range vals {
+		x = lcg64(x)
+		vals[i] = 1.0 + float64(x>>40)/float64(1<<24)
+	}
+	return g.B.Floats(name, vals...)
+}
+
+// loadFConst materialises a float constant into fd via a one-time data
+// word (uninstrumented bookkeeping load).
+func loadFConst(g *Gen, fd isa.Reg, v float64) {
+	addr := g.B.Floats("", v)
+	g.B.LoadImm(isa.R14, int64(addr))
+	g.B.Fld(fd, isa.R14, 0, false)
+}
+
+// Tomcatv imitates SPEC92 tomcatv: mesh relaxation over two large arrays
+// whose bases alias in a small direct-mapped cache. Both arrays are 8
+// KB-aligned, so the in-order machine's 8 KB direct-mapped L1 ping-pongs
+// on every paired access while the 32 KB 2-way L1 holds both streams.
+func Tomcatv() Benchmark {
+	return Benchmark{
+		Name:  "tomcatv",
+		Class: FPClass,
+		About: "paired-array mesh relaxation; conflict misses in a DM L1",
+		Gen: func(g *Gen) {
+			b := g.B
+			const words = 8192 // 64 KB per array
+			a := b.AllocAligned("meshA", words*8, 8192)
+			c := b.AllocAligned("meshB", words*8, 8192)
+			loadFConst(g, isa.F(10), 0.5)
+
+			g.Loop(g.Iters(6), func() {
+				b.LoadImm(isa.R1, int64(a))
+				b.LoadImm(isa.R2, int64(c))
+				g.Loop(words, func() {
+					g.Fld(isa.F(1), isa.R1, 0)
+					g.Fld(isa.F(2), isa.R2, 0)
+					b.Fadd(isa.F(3), isa.F(1), isa.F(2))
+					b.Fmul(isa.F(3), isa.F(3), isa.F(10))
+					g.Fst(isa.F(3), isa.R1, 0)
+					b.Addi(isa.R1, isa.R1, 8)
+					b.Addi(isa.R2, isa.R2, 8)
+				})
+			})
+		},
+	}
+}
+
+// Su2cor imitates SPEC92 su2cor: four large lattice arrays whose bases all
+// alias in the 8 KB direct-mapped L1 (every reference conflicts) while
+// pairing harmlessly into the two ways of the 32 KB L1. This is the
+// paper's Figure 3 outlier.
+func Su2cor() Benchmark {
+	return Benchmark{
+		Name:  "su2cor",
+		Class: FPClass,
+		About: "four aliased lattice streams; catastrophic DM conflicts",
+		Gen: func(g *Gen) {
+			b := g.B
+			const sweep = 8192          // words swept per array (64 KB)
+			const arrBytes = 264 * 1024 // pad keeps bases 8K-aligned, 16K-staggered
+			bases := make([]uint64, 4)
+			for i := range bases {
+				bases[i] = b.AllocAligned("", arrBytes, 8192)
+			}
+			loadFConst(g, isa.F(10), 1.0009765625)
+
+			g.Loop(g.Iters(3), func() {
+				b.LoadImm(isa.R1, int64(bases[0]))
+				b.LoadImm(isa.R2, int64(bases[1]))
+				b.LoadImm(isa.R3, int64(bases[2]))
+				b.LoadImm(isa.R4, int64(bases[3]))
+				g.Loop(sweep, func() {
+					g.Fld(isa.F(1), isa.R1, 0)
+					g.Fld(isa.F(2), isa.R2, 0)
+					g.Fld(isa.F(3), isa.R3, 0)
+					b.Fmul(isa.F(4), isa.F(1), isa.F(2))
+					b.Fadd(isa.F(4), isa.F(4), isa.F(3))
+					b.Fmul(isa.F(4), isa.F(4), isa.F(10))
+					g.Fst(isa.F(4), isa.R4, 0)
+					b.Addi(isa.R1, isa.R1, 8)
+					b.Addi(isa.R2, isa.R2, 8)
+					b.Addi(isa.R3, isa.R3, 8)
+					b.Addi(isa.R4, isa.R4, 8)
+				})
+			})
+		},
+	}
+}
+
+// Alvinn imitates SPEC92 alvinn: neural-network forward passes streaming a
+// large weight array against a small resident input vector — perfectly
+// predictable branches and fully independent iterations, so the
+// out-of-order machine overlaps nearly all handler work.
+func Alvinn() Benchmark {
+	return Benchmark{
+		Name:  "alvinn",
+		Class: FPClass,
+		About: "dot-product sweeps of a 128 KB weight array",
+		Gen: func(g *Gen) {
+			b := g.B
+			const wWords = 16384 // 128 KB
+			const inWords = 256
+			w := initFloats(g, "weights", wWords, 11)
+			in := initFloats(g, "acts", inWords, 12)
+
+			g.Loop(g.Iters(2), func() {
+				b.LoadImm(isa.R1, int64(w))
+				b.LoadImm(isa.R2, int64(in))
+				b.LoadImm(isa.R3, 0) // input cursor (wraps)
+				g.Loop(wWords, func() {
+					g.Fld(isa.F(1), isa.R1, 0)
+					b.Add(isa.R4, isa.R2, isa.R3)
+					g.Fld(isa.F(2), isa.R4, 0)
+					b.Fmul(isa.F(3), isa.F(1), isa.F(2))
+					b.Fadd(isa.F(4), isa.F(4), isa.F(3))
+					b.Addi(isa.R1, isa.R1, 8)
+					b.Addi(isa.R3, isa.R3, 8)
+					b.Andi(isa.R3, isa.R3, inWords*8-1)
+				})
+			})
+		},
+	}
+}
+
+// Mdljsp2 imitates SPEC92 mdljsp2: molecular dynamics with an indirection
+// array gathering particle coordinates in pseudo-random order — irregular
+// but independent misses the out-of-order machine can overlap.
+func Mdljsp2() Benchmark {
+	return Benchmark{
+		Name:  "mdljsp2",
+		Class: FPClass,
+		About: "indexed gathers over 256 KB of particle coordinates",
+		Gen: func(g *Gen) {
+			b := g.B
+			const nIdx = 4096
+			const nCoord = 32768 // 256 KB
+			idxVals := make([]uint64, nIdx)
+			x := uint64(99)
+			for i := range idxVals {
+				x = lcg64(x)
+				idxVals[i] = (x >> 20) % nCoord
+			}
+			idx := b.Words("pairs", idxVals...)
+			coords := initFloats(g, "coords", nCoord, 13)
+
+			g.Loop(g.Iters(5), func() {
+				b.LoadImm(isa.R1, int64(idx))
+				g.Loop(nIdx, func() {
+					g.Ld(isa.R2, isa.R1, 0)
+					b.Slli(isa.R2, isa.R2, 3)
+					b.LoadImm(isa.R3, int64(coords))
+					b.Add(isa.R3, isa.R3, isa.R2)
+					g.Fld(isa.F(1), isa.R3, 0)
+					b.Fmul(isa.F(2), isa.F(1), isa.F(1))
+					b.Fadd(isa.F(3), isa.F(3), isa.F(2))
+					b.Addi(isa.R1, isa.R1, 8)
+				})
+			})
+		},
+	}
+}
+
+// Ora imitates SPEC92 ora: ray tracing through optical surfaces — long
+// serial chains of divides and square roots on register data with almost
+// no memory traffic, hence near-zero informing overhead even with large
+// handlers.
+func Ora() Benchmark {
+	return Benchmark{
+		Name:  "ora",
+		Class: FPClass,
+		About: "register-resident divide/sqrt chains, almost no misses",
+		Gen: func(g *Gen) {
+			b := g.B
+			const words = 128 // 1 KB, permanently resident
+			tbl := initFloats(g, "surfaces", words, 17)
+			loadFConst(g, isa.F(10), 1.25)
+			loadFConst(g, isa.F(11), 0.75)
+			b.LoadImm(isa.R1, int64(tbl))
+			b.LoadImm(isa.R2, 0)
+
+			g.Loop(g.Iters(9000), func() {
+				b.Add(isa.R3, isa.R1, isa.R2)
+				g.Fld(isa.F(1), isa.R3, 0)
+				b.Fadd(isa.F(2), isa.F(1), isa.F(10))
+				b.Fdiv(isa.F(3), isa.F(2), isa.F(11))
+				b.Fsqrt(isa.F(4), isa.F(3))
+				b.Fmul(isa.F(5), isa.F(4), isa.F(10))
+				b.Fsub(isa.F(6), isa.F(5), isa.F(1))
+				b.Fadd(isa.F(7), isa.F(7), isa.F(6))
+				b.Addi(isa.R2, isa.R2, 8)
+				b.Andi(isa.R2, isa.R2, words*8-1)
+			})
+		},
+	}
+}
+
+// Ear imitates SPEC92 ear: FFT-style butterflies with power-of-two strides
+// over a 64 KB signal array.
+func Ear() Benchmark {
+	return Benchmark{
+		Name:  "ear",
+		Class: FPClass,
+		About: "strided butterfly passes over a 64 KB signal",
+		Gen: func(g *Gen) {
+			b := g.B
+			const words = 8192 // 64 KB
+			sig := initFloats(g, "signal", words, 21)
+
+			// The partner offset is staggered by a few lines so the two
+			// streams do not systematically alias in a direct-mapped L1
+			// (real ear windows are not power-of-two aligned).
+			g.Loop(g.Iters(2), func() {
+				for _, half := range []int64{words/2 - 32, words/4 - 32, words/8 - 32} {
+					b.LoadImm(isa.R1, int64(sig))
+					g.Loop(half, func() {
+						g.Fld(isa.F(1), isa.R1, 0)
+						g.Fld(isa.F(2), isa.R1, half*8)
+						b.Fadd(isa.F(3), isa.F(1), isa.F(2))
+						b.Fsub(isa.F(4), isa.F(1), isa.F(2))
+						g.Fst(isa.F(3), isa.R1, 0)
+						g.Fst(isa.F(4), isa.R1, half*8)
+						b.Addi(isa.R1, isa.R1, 8)
+					})
+				}
+			})
+		},
+	}
+}
+
+// Hydro2d imitates SPEC92 hydro2d: a three-point stencil streaming two
+// half-megabyte arrays whose bases alias in the direct-mapped L1.
+func Hydro2d() Benchmark {
+	return Benchmark{
+		Name:  "hydro2d",
+		Class: FPClass,
+		About: "stencil over two aliased 512 KB hydrodynamics arrays",
+		Gen: func(g *Gen) {
+			b := g.B
+			const words = 65536 // 512 KB per array
+			const sweep = 16384
+			src := b.AllocAligned("galaxyA", words*8, 8192)
+			dst := b.AllocAligned("galaxyB", words*8, 8192)
+			loadFConst(g, isa.F(10), 0.3333333333)
+
+			g.Loop(g.Iters(3), func() {
+				b.LoadImm(isa.R1, int64(src)+8)
+				b.LoadImm(isa.R2, int64(dst)+8)
+				g.Loop(sweep, func() {
+					g.Fld(isa.F(1), isa.R1, -8)
+					g.Fld(isa.F(2), isa.R1, 0)
+					g.Fld(isa.F(3), isa.R1, 8)
+					b.Fadd(isa.F(4), isa.F(1), isa.F(2))
+					b.Fadd(isa.F(4), isa.F(4), isa.F(3))
+					b.Fmul(isa.F(4), isa.F(4), isa.F(10))
+					g.Fst(isa.F(4), isa.R2, 0)
+					b.Addi(isa.R1, isa.R1, 8)
+					b.Addi(isa.R2, isa.R2, 8)
+				})
+			})
+		},
+	}
+}
+
+// Nasa7 imitates SPEC92 nasa7's matrix-multiply kernel: three 8 KB
+// matrices that fit the 32 KB L1 together but conflict pairwise in the
+// 8 KB direct-mapped L1, with a strided column walk through B.
+func Nasa7() Benchmark {
+	return Benchmark{
+		Name:  "nasa7",
+		Class: FPClass,
+		About: "32x32 matrix multiply with a strided column stream",
+		Gen: func(g *Gen) {
+			b := g.B
+			const n = 32 // 8 KB per matrix
+			am := initFloats(g, "matA", n*n, 31)
+			bm := initFloats(g, "matB", n*n, 32)
+			cm := b.Alloc("matC", n*n*8)
+
+			g.Loop(g.Iters(1), func() {
+				b.LoadImm(isa.R1, 0) // i*n*8
+				g.Loop(n, func() {
+					b.LoadImm(isa.R2, 0) // j*8
+					g.Loop(n, func() {
+						b.LoadImm(isa.R3, int64(am))
+						b.Add(isa.R3, isa.R3, isa.R1) // &A[i][0]
+						b.LoadImm(isa.R4, int64(bm))
+						b.Add(isa.R4, isa.R4, isa.R2)        // &B[0][j]
+						b.Fsub(isa.F(3), isa.F(3), isa.F(3)) // acc = 0
+						g.Loop(n, func() {
+							g.Fld(isa.F(1), isa.R3, 0)
+							g.Fld(isa.F(2), isa.R4, 0)
+							b.Fmul(isa.F(4), isa.F(1), isa.F(2))
+							b.Fadd(isa.F(3), isa.F(3), isa.F(4))
+							b.Addi(isa.R3, isa.R3, 8)
+							b.Addi(isa.R4, isa.R4, n*8)
+						})
+						b.LoadImm(isa.R5, int64(cm))
+						b.Add(isa.R5, isa.R5, isa.R1)
+						b.Add(isa.R5, isa.R5, isa.R2)
+						g.Fst(isa.F(3), isa.R5, 0)
+						b.Addi(isa.R2, isa.R2, 8)
+					})
+					b.Addi(isa.R1, isa.R1, n*8)
+				})
+			})
+		},
+	}
+}
+
+// Swm256 imitates SPEC92 swm256: shallow-water time steps streaming five
+// staggered 128 KB field arrays — bandwidth-bound but without systematic
+// aliasing (the bases are deliberately offset by odd multiples of 2080
+// bytes).
+func Swm256() Benchmark {
+	return Benchmark{
+		Name:  "swm256",
+		Class: FPClass,
+		About: "five staggered field streams, bandwidth-bound",
+		Gen: func(g *Gen) {
+			b := g.B
+			const words = 16384 // 128 KB per field
+			fields := make([]uint64, 5)
+			for i := range fields {
+				fields[i] = b.Alloc("", words*8+2080)
+			}
+			loadFConst(g, isa.F(10), 0.125)
+
+			g.Loop(g.Iters(2), func() {
+				b.LoadImm(isa.R1, int64(fields[0]))
+				b.LoadImm(isa.R2, int64(fields[1]))
+				b.LoadImm(isa.R3, int64(fields[2]))
+				b.LoadImm(isa.R4, int64(fields[3]))
+				b.LoadImm(isa.R5, int64(fields[4]))
+				g.Loop(words, func() {
+					g.Fld(isa.F(1), isa.R1, 0)
+					g.Fld(isa.F(2), isa.R2, 0)
+					g.Fld(isa.F(3), isa.R3, 0)
+					b.Fadd(isa.F(4), isa.F(1), isa.F(2))
+					b.Fmul(isa.F(5), isa.F(3), isa.F(10))
+					b.Fadd(isa.F(6), isa.F(4), isa.F(5))
+					g.Fst(isa.F(6), isa.R4, 0)
+					g.Fst(isa.F(4), isa.R5, 0)
+					b.Addi(isa.R1, isa.R1, 8)
+					b.Addi(isa.R2, isa.R2, 8)
+					b.Addi(isa.R3, isa.R3, 8)
+					b.Addi(isa.R4, isa.R4, 8)
+					b.Addi(isa.R5, isa.R5, 8)
+				})
+			})
+		},
+	}
+}

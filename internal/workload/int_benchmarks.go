@@ -1,0 +1,240 @@
+package workload
+
+import "informing/internal/isa"
+
+// lcg64 is the build-time pseudo-random generator used to initialise
+// benchmark data deterministically.
+func lcg64(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }
+
+// initWords allocates and initialises n 64-bit words with a deterministic
+// pseudo-random image derived from seed.
+func initWords(g *Gen, name string, n int, seed uint64) uint64 {
+	vals := make([]uint64, n)
+	x := seed
+	for i := range vals {
+		x = lcg64(x)
+		vals[i] = x >> 16
+	}
+	return g.B.Words(name, vals...)
+}
+
+// Compress imitates SPEC92 compress: a byte-stream hasher probing a large
+// hash table with data-dependent update branches. The 128 KB table gives
+// high miss rates on both machines; the update branch is pseudo-random
+// (hard to predict), the stream branch is loop-like (easy).
+func Compress() Benchmark {
+	return Benchmark{
+		Name:  "compress",
+		Class: IntClass,
+		About: "LZW-style hash-table probing with data-dependent branches",
+		Gen: func(g *Gen) {
+			b := g.B
+			const tblWords = 4096 // 32 KB: thrashes the 8 KB DM L1, partly
+			// fits the 32 KB 2-way L1 (the paper's compress is missy but
+			// not pathological)
+			const inWords = 4096 // 32 KB
+			tbl := b.Alloc("table", tblWords*8)
+			in := initWords(g, "input", inWords, 0x5eed)
+
+			b.LoadImm(isa.R1, int64(tbl))
+			b.LoadImm(isa.R3, 0x2b) // hash state
+			g.Loop(g.Iters(3), func() {
+				b.LoadImm(isa.R2, int64(in))
+				g.Loop(inWords, func() {
+					g.Ld(isa.R5, isa.R2, 0) // next input symbol
+					b.Addi(isa.R2, isa.R2, 8)
+					// h = (h*33 + x) mod tblWords
+					b.Slli(isa.R6, isa.R3, 5)
+					b.Add(isa.R3, isa.R6, isa.R3)
+					b.Add(isa.R3, isa.R3, isa.R5)
+					b.Andi(isa.R6, isa.R3, tblWords-1)
+					b.Slli(isa.R6, isa.R6, 3)
+					b.Add(isa.R6, isa.R6, isa.R1)
+					g.Ld(isa.R7, isa.R6, 0) // table probe
+					// Data-dependent update branch (~50/50).
+					b.Andi(isa.R8, isa.R7, 1)
+					skip := b.Unique("cskip")
+					b.Bne(isa.R8, isa.R0, skip)
+					g.St(isa.R5, isa.R6, 0) // install new code
+					b.Label(skip)
+					b.Add(isa.R9, isa.R9, isa.R7)
+				})
+			})
+		},
+	}
+}
+
+// Espresso imitates SPEC92 espresso: dense bit-set logic over small,
+// cache-resident cube arrays — very low miss rate, high hit-path IPC.
+func Espresso() Benchmark {
+	return Benchmark{
+		Name:  "espresso",
+		Class: IntClass,
+		About: "bit-set AND/OR/XOR over small resident arrays",
+		Gen: func(g *Gen) {
+			b := g.B
+			const words = 256 // 2 KB per array: all three stay DM-resident
+			a := initWords(g, "cubeA", words, 1)
+			c := initWords(g, "cubeB", words, 2)
+			d := b.Alloc("cubeC", words*8)
+
+			g.Loop(g.Iters(72), func() {
+				b.LoadImm(isa.R1, int64(a))
+				b.LoadImm(isa.R2, int64(c))
+				b.LoadImm(isa.R3, int64(d))
+				g.Loop(words, func() {
+					g.Ld(isa.R5, isa.R1, 0)
+					g.Ld(isa.R6, isa.R2, 0)
+					b.And(isa.R7, isa.R5, isa.R6)
+					b.Or(isa.R8, isa.R5, isa.R6)
+					b.Xor(isa.R9, isa.R7, isa.R8)
+					g.St(isa.R9, isa.R3, 0)
+					b.Addi(isa.R1, isa.R1, 8)
+					b.Addi(isa.R2, isa.R2, 8)
+					b.Addi(isa.R3, isa.R3, 8)
+					// Sparse, predictable containment check.
+					skip := b.Unique("eskip")
+					b.Bne(isa.R7, isa.R5, skip)
+					b.Addi(isa.R10, isa.R10, 1)
+					b.Label(skip)
+				})
+			})
+		},
+	}
+}
+
+// Eqntott imitates SPEC92 eqntott: comparison-driven sorting sweeps over
+// a mid-sized array. The 24 KB footprint fits the out-of-order 32 KB L1
+// but thrashes the in-order 8 KB L1; the swap branch starts unpredictable
+// and becomes predictable as the data orders.
+func Eqntott() Benchmark {
+	return Benchmark{
+		Name:  "eqntott",
+		Class: IntClass,
+		About: "bubble-style comparison sweeps, footprint between the two L1 sizes",
+		Gen: func(g *Gen) {
+			b := g.B
+			const words = 3072 // 24 KB
+			arr := initWords(g, "terms", words, 3)
+
+			g.Loop(g.Iters(12), func() {
+				b.LoadImm(isa.R1, int64(arr))
+				g.Loop(words-1, func() {
+					g.Ld(isa.R5, isa.R1, 0)
+					g.Ld(isa.R6, isa.R1, 8)
+					b.Slt(isa.R7, isa.R6, isa.R5)
+					skip := b.Unique("qskip")
+					b.Beq(isa.R7, isa.R0, skip)
+					g.St(isa.R6, isa.R1, 0)
+					g.St(isa.R5, isa.R1, 8)
+					b.Label(skip)
+					b.Addi(isa.R1, isa.R1, 8)
+				})
+			})
+		},
+	}
+}
+
+// Sc imitates SPEC92 sc: serial pointer chasing through a 256 KB linked
+// structure laid out in pseudo-random order — long dependent chains of
+// misses, very low ILP.
+func Sc() Benchmark {
+	return Benchmark{
+		Name:  "sc",
+		Class: IntClass,
+		About: "pointer-chasing spreadsheet cells in pseudo-random order",
+		Gen: func(g *Gen) {
+			b := g.B
+			const nodes = 16384 // 16 B/node = 256 KB
+			base := b.Alloc("cells", nodes*16)
+			// Full-period LCG permutation j' = 5j+1 mod nodes chains
+			// every node exactly once.
+			x := uint64(777)
+			for i := 0; i < nodes; i++ {
+				next := (5*uint64(i) + 1) % nodes
+				b.InitWord(base+uint64(i)*16, base+next*16)
+				x = lcg64(x)
+				b.InitWord(base+uint64(i)*16+8, x>>40)
+			}
+
+			// A spreadsheet interleaves dependency chasing with linear
+			// recalculation sweeps over resident cells; the sweep keeps
+			// the overall miss rate moderate while the chase contributes
+			// long serial miss chains.
+			sheet := initWords(g, "sheet", 2048, 778) // 16 KB resident
+			g.Loop(g.Iters(6), func() {
+				b.LoadImm(isa.R1, int64(base))
+				g.Loop(4096, func() {
+					g.Ld(isa.R2, isa.R1, 8) // cell value
+					b.Add(isa.R3, isa.R3, isa.R2)
+					g.Ld(isa.R1, isa.R1, 0) // follow dependency
+				})
+				b.LoadImm(isa.R4, int64(sheet))
+				g.Loop(2048, func() {
+					g.Ld(isa.R5, isa.R4, 0)
+					b.Slli(isa.R6, isa.R5, 1)
+					b.Add(isa.R7, isa.R7, isa.R6)
+					g.St(isa.R7, isa.R4, 0)
+					b.Addi(isa.R4, isa.R4, 8)
+				})
+			})
+		},
+	}
+}
+
+// Xlisp imitates SPEC92 xlisp (li): call-heavy traversal of a small heap
+// with data-dependent direction branches — mostly cache-resident, branchy,
+// dominated by control flow rather than memory stalls.
+func Xlisp() Benchmark {
+	return Benchmark{
+		Name:  "xlisp",
+		Class: IntClass,
+		About: "interpreter-style tree walking with frequent calls",
+		Gen: func(g *Gen) {
+			b := g.B
+			const nodes = 512 // 3-word nodes: 12 KB heap
+			heap := b.Alloc("heap", nodes*24)
+			// Perfect binary tree in array order: children of i are
+			// 2i+1 and 2i+2 (leaf children wrap to the root).
+			for i := 0; i < nodes; i++ {
+				l, r := 2*i+1, 2*i+2
+				if l >= nodes {
+					l = 0
+				}
+				if r >= nodes {
+					r = 0
+				}
+				b.InitWord(heap+uint64(i)*24, heap+uint64(l)*24)
+				b.InitWord(heap+uint64(i)*24+8, heap+uint64(r)*24)
+				b.InitWord(heap+uint64(i)*24+16, uint64(i)*3+1)
+			}
+
+			b.LoadImm(isa.R3, 0x1357) // direction state
+			b.J("xmain")
+
+			// descend: follow left or right child based on R3's low bit.
+			b.Label("xdescend")
+			b.Andi(isa.R6, isa.R3, 1)
+			b.Srli(isa.R3, isa.R3, 1)
+			right := b.Unique("xright")
+			b.Bne(isa.R6, isa.R0, right)
+			g.Ld(isa.R2, isa.R2, 0)
+			b.Jr(isa.R15)
+			b.Label(right)
+			g.Ld(isa.R2, isa.R2, 8)
+			b.Jr(isa.R15)
+
+			b.Label("xmain")
+			g.Loop(g.Iters(4000), func() {
+				b.LoadImm(isa.R2, int64(heap)) // root
+				// Refresh direction entropy.
+				g.LCG(isa.R3, isa.R6)
+				for d := 0; d < 8; d++ {
+					b.Jal(isa.R15, "xdescend")
+				}
+				g.Ld(isa.R7, isa.R2, 16) // node value
+				b.Add(isa.R8, isa.R8, isa.R7)
+			})
+		},
+	}
+}

@@ -1,0 +1,160 @@
+// Package workload provides the experiment inputs of the paper's §4.2:
+// fourteen synthetic stand-ins for the SPEC92 benchmarks (five integer,
+// nine floating-point — see DESIGN.md for the substitution argument),
+// generic K-instruction miss handlers, and the instrumentation plans the
+// paper compares: no informing (N), a single shared handler (S), a unique
+// handler per static reference (U, one MTMHAR per reference), and the
+// explicit condition-code check (one BMISS per reference).
+package workload
+
+import (
+	"fmt"
+
+	"informing/internal/asm"
+	"informing/internal/isa"
+)
+
+// Register conventions for generated code:
+//
+//	R1–R15, F0–F15    benchmark kernels
+//	R16–R19           loop/bookkeeping helpers inside kernels
+//	R21               handler work-chain register
+//	R22               BMISS link register (condition-code plan)
+//	R23               scratch in handlers
+//
+// Handlers never touch kernel registers, so instrumentation does not
+// perturb benchmark results.
+const (
+	HandlerChainReg = isa.R21
+	BmissLinkReg    = isa.R22
+)
+
+// Plan is an instrumentation strategy applied to every informing-eligible
+// static reference a benchmark emits.
+type Plan interface {
+	// Name is the short label used in reports ("N", "S1", "U10", ...).
+	Name() string
+	// Prologue runs once at program start (before any kernel code).
+	Prologue(b *asm.Builder)
+	// WrapRef wraps one static reference site. emit must be called
+	// exactly once; its argument says whether the memory instruction is
+	// marked informing.
+	WrapRef(b *asm.Builder, emit func(informing bool))
+	// Epilogue emits handler code; called once after the program's Halt.
+	Epilogue(b *asm.Builder)
+}
+
+// PlanNone is the baseline: ordinary references, no handlers.
+type PlanNone struct{}
+
+// NewPlanNone returns the baseline plan (the paper's "N" bars).
+func NewPlanNone() *PlanNone { return &PlanNone{} }
+
+func (*PlanNone) Name() string                            { return "N" }
+func (*PlanNone) Prologue(*asm.Builder)                   {}
+func (*PlanNone) WrapRef(b *asm.Builder, emit func(bool)) { emit(false) }
+func (*PlanNone) Epilogue(*asm.Builder)                   {}
+
+// PlanSingle uses the low-overhead miss trap with one shared K-instruction
+// handler: the MHAR is set once, so cache hits carry zero overhead (§2.2).
+// The handler's work chain reads and extends HandlerChainReg, making each
+// invocation data-dependent on the previous one — exactly the model the
+// paper uses to explain the su2cor single-handler anomaly.
+type PlanSingle struct {
+	K int
+}
+
+// NewPlanSingle returns the single-handler trap plan with a K-instruction
+// handler body.
+func NewPlanSingle(k int) *PlanSingle { return &PlanSingle{K: k} }
+
+func (p *PlanSingle) Name() string { return fmt.Sprintf("S%d", p.K) }
+
+func (p *PlanSingle) Prologue(b *asm.Builder) { b.MtmharLabel("imo$single") }
+
+func (p *PlanSingle) WrapRef(b *asm.Builder, emit func(bool)) { emit(true) }
+
+func (p *PlanSingle) Epilogue(b *asm.Builder) {
+	b.Label("imo$single")
+	emitChain(b, p.K, true)
+	b.Rfmh()
+}
+
+// PlanUnique uses the low-overhead miss trap with a distinct handler per
+// static reference: one MTMHAR instruction precedes every reference (the
+// paper's one-instruction-per-reference overhead case). Each handler's
+// chain starts with an independent write, so different handlers are not
+// data-dependent on each other.
+type PlanUnique struct {
+	K     int
+	sites []string
+}
+
+// NewPlanUnique returns the unique-handler trap plan with K-instruction
+// handler bodies.
+func NewPlanUnique(k int) *PlanUnique { return &PlanUnique{K: k} }
+
+func (p *PlanUnique) Name() string { return fmt.Sprintf("U%d", p.K) }
+
+// Prologue resets per-build state so a plan value can be reused across
+// multiple Build calls.
+func (p *PlanUnique) Prologue(*asm.Builder) { p.sites = p.sites[:0] }
+
+func (p *PlanUnique) WrapRef(b *asm.Builder, emit func(bool)) {
+	label := b.Unique("imo$u")
+	p.sites = append(p.sites, label)
+	b.MtmharLabel(label)
+	emit(true)
+}
+
+func (p *PlanUnique) Epilogue(b *asm.Builder) {
+	for _, label := range p.sites {
+		b.Label(label)
+		emitChain(b, p.K, false)
+		b.Rfmh()
+	}
+}
+
+// PlanCondCode is the §2.1 scheme: an explicit BMISS check follows every
+// reference (one instruction of overhead per reference, hit or miss),
+// dispatching to a shared K-instruction handler that returns through the
+// BMISS link register.
+type PlanCondCode struct {
+	K int
+}
+
+// NewPlanCondCode returns the cache-outcome condition-code plan.
+func NewPlanCondCode(k int) *PlanCondCode { return &PlanCondCode{K: k} }
+
+func (p *PlanCondCode) Name() string { return fmt.Sprintf("CC%d", p.K) }
+
+func (p *PlanCondCode) Prologue(*asm.Builder) {}
+
+func (p *PlanCondCode) WrapRef(b *asm.Builder, emit func(bool)) {
+	emit(false)
+	b.Bmiss(BmissLinkReg, "imo$cc")
+}
+
+func (p *PlanCondCode) Epilogue(b *asm.Builder) {
+	b.Label("imo$cc")
+	emitChain(b, p.K, true)
+	b.Jr(BmissLinkReg)
+}
+
+// emitChain emits the paper's generic K-instruction handler body: K
+// mutually data-dependent instructions (a serial add chain, so a
+// K-instruction handler has a K-cycle dependence height). When linked is
+// true the chain also depends on its previous invocation.
+func emitChain(b *asm.Builder, k int, linked bool) {
+	if k <= 0 {
+		return
+	}
+	if linked {
+		b.Addi(HandlerChainReg, HandlerChainReg, 1)
+	} else {
+		b.Addi(HandlerChainReg, isa.R0, 1)
+	}
+	for i := 1; i < k; i++ {
+		b.Addi(HandlerChainReg, HandlerChainReg, 1)
+	}
+}

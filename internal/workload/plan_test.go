@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"testing"
+
+	"informing/internal/core"
+	"informing/internal/isa"
+)
+
+// countStatic returns static counts over a program's text.
+func countStatic(p *isa.Program) (memRefs, informing, mtmhar, bmiss, rfmh int) {
+	for _, in := range p.Text {
+		if in.IsMem() && in.Op != isa.Prefetch {
+			memRefs++
+			if in.Informing {
+				informing++
+			}
+		}
+		switch in.Op {
+		case isa.Mtmhar:
+			mtmhar++
+		case isa.Bmiss:
+			bmiss++
+		case isa.Rfmh:
+			rfmh++
+		}
+	}
+	return
+}
+
+func TestPlanNoneEmitsNothingExtra(t *testing.T) {
+	bm, _ := ByName("espresso")
+	p := MustBuild(bm, NewPlanNone(), 1)
+	_, informing, mtmhar, bmiss, rfmh := countStatic(p)
+	if informing+mtmhar+bmiss+rfmh != 0 {
+		t.Errorf("baseline plan added instrumentation: inf=%d mtmhar=%d bmiss=%d rfmh=%d",
+			informing, mtmhar, bmiss, rfmh)
+	}
+}
+
+func TestPlanSingleStructure(t *testing.T) {
+	bm, _ := ByName("espresso")
+	base := MustBuild(bm, NewPlanNone(), 1)
+	p := MustBuild(bm, NewPlanSingle(10), 1)
+	memRefs, informing, mtmhar, _, rfmh := countStatic(p)
+	if informing != memRefs {
+		t.Errorf("single plan: %d of %d refs informing", informing, memRefs)
+	}
+	if mtmhar != 1 {
+		t.Errorf("single plan: %d MTMHARs, want 1", mtmhar)
+	}
+	if rfmh != 1 {
+		t.Errorf("single plan: %d handlers, want 1", rfmh)
+	}
+	// Static growth: one MTMHAR + K-instruction handler + RFMH.
+	if got, want := len(p.Text)-len(base.Text), 1+10+1; got != want {
+		t.Errorf("static growth %d, want %d", got, want)
+	}
+}
+
+func TestPlanUniqueStructure(t *testing.T) {
+	bm, _ := ByName("espresso")
+	base := MustBuild(bm, NewPlanNone(), 1)
+	p := MustBuild(bm, NewPlanUnique(5), 1)
+	memRefs, informing, mtmhar, _, rfmh := countStatic(p)
+	if informing != memRefs {
+		t.Errorf("unique plan: %d of %d refs informing", informing, memRefs)
+	}
+	if mtmhar != memRefs {
+		t.Errorf("unique plan: %d MTMHARs for %d refs", mtmhar, memRefs)
+	}
+	if rfmh != memRefs {
+		t.Errorf("unique plan: %d handlers for %d refs", rfmh, memRefs)
+	}
+	// One MTMHAR per site plus a (K+1)-instruction handler per site.
+	if got, want := len(p.Text)-len(base.Text), memRefs*(1+5+1); got != want {
+		t.Errorf("static growth %d, want %d", got, want)
+	}
+}
+
+func TestPlanCondCodeStructure(t *testing.T) {
+	bm, _ := ByName("espresso")
+	p := MustBuild(bm, NewPlanCondCode(3), 1)
+	memRefs, informing, _, bmiss, _ := countStatic(p)
+	if informing != 0 {
+		t.Error("condition-code plan marked refs informing (traps unused)")
+	}
+	if bmiss != memRefs {
+		t.Errorf("%d BMISS checks for %d refs", bmiss, memRefs)
+	}
+}
+
+func TestPlanNames(t *testing.T) {
+	cases := map[string]Plan{
+		"N": NewPlanNone(), "S1": NewPlanSingle(1), "S100": NewPlanSingle(100),
+		"U10": NewPlanUnique(10), "CC1": NewPlanCondCode(1),
+	}
+	for want, plan := range cases {
+		if plan.Name() != want {
+			t.Errorf("plan name %q, want %q", plan.Name(), want)
+		}
+	}
+}
+
+func TestHandlerChainLinkage(t *testing.T) {
+	// The single handler's chain must read its previous value (linked);
+	// unique handlers must start with an independent write.
+	bm, _ := ByName("espresso")
+	ps := MustBuild(bm, NewPlanSingle(3), 1)
+	pu := MustBuild(bm, NewPlanUnique(3), 1)
+
+	firstHandlerInst := func(p *isa.Program, after isa.Op) *isa.Inst {
+		for k, in := range p.Text {
+			if in.Op == isa.Halt && k+1 < len(p.Text) {
+				return &p.Text[k+1]
+			}
+		}
+		_ = after
+		return nil
+	}
+	s := firstHandlerInst(ps, isa.Halt)
+	if s == nil || s.Rs1 != HandlerChainReg {
+		t.Errorf("single handler first instruction %v: not linked to previous invocation", s)
+	}
+	u := firstHandlerInst(pu, isa.Halt)
+	if u == nil || u.Rs1 != isa.R0 {
+		t.Errorf("unique handler first instruction %v: not independent", u)
+	}
+}
+
+func TestAllBenchmarksBuildUnderAllPlans(t *testing.T) {
+	plans := []func() Plan{
+		func() Plan { return NewPlanNone() },
+		func() Plan { return NewPlanSingle(1) },
+		func() Plan { return NewPlanSingle(10) },
+		func() Plan { return NewPlanUnique(1) },
+		func() Plan { return NewPlanUnique(10) },
+		func() Plan { return NewPlanCondCode(10) },
+	}
+	for _, bm := range All() {
+		for _, mk := range plans {
+			plan := mk()
+			p, err := Build(bm, plan, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bm.Name, plan.Name(), err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", bm.Name, plan.Name(), err)
+			}
+			if _, err := p.EncodeText(); err != nil {
+				t.Fatalf("%s/%s: %v", bm.Name, plan.Name(), err)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	bm, _ := ByName("compress")
+	a := MustBuild(bm, NewPlanUnique(10), 1)
+	b := MustBuild(bm, NewPlanUnique(10), 1)
+	if len(a.Text) != len(b.Text) {
+		t.Fatal("nondeterministic text length")
+	}
+	for k := range a.Text {
+		if a.Text[k] != b.Text[k] {
+			t.Fatalf("instruction %d differs", k)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("%d benchmarks, want 14", len(all))
+	}
+	ints, fps := 0, 0
+	for _, bm := range all {
+		if bm.Class == IntClass {
+			ints++
+		} else {
+			fps++
+		}
+		if bm.About == "" {
+			t.Errorf("%s has no description", bm.Name)
+		}
+	}
+	if ints != 5 || fps != 9 {
+		t.Errorf("%d integer + %d fp, want 5 + 9 (the paper's split)", ints, fps)
+	}
+	if len(Fig2Set()) != 13 {
+		t.Errorf("Figure 2 set has %d benchmarks, want 13", len(Fig2Set()))
+	}
+	for _, bm := range Fig2Set() {
+		if bm.Name == "su2cor" {
+			t.Error("su2cor must be excluded from Figure 2")
+		}
+	}
+	if _, ok := ByName("su2cor"); !ok {
+		t.Error("su2cor missing")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unknown benchmark found")
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	bm, _ := ByName("ora")
+	p1 := MustBuild(bm, NewPlanNone(), 1)
+	p3 := MustBuild(bm, NewPlanNone(), 3)
+	r1, err := core.R10000(core.Off).WithMaxInsts(50_000_000).Run(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := core.R10000(core.Off).WithMaxInsts(50_000_000).Run(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.DynInsts < 2*r1.DynInsts {
+		t.Errorf("scale 3 ran %d instrs vs %d at scale 1", r3.DynInsts, r1.DynInsts)
+	}
+}
+
+// TestMissRegimes pins the cache-behaviour design of key benchmarks: the
+// contrasts that drive the paper's figures.
+func TestMissRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regime check is slow")
+	}
+	missRate := func(name string, machine core.Machine) float64 {
+		bm, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		cfg := core.R10000(core.Off)
+		if machine == core.InOrder {
+			cfg = core.Alpha21164(core.Off)
+		}
+		r, err := cfg.WithMaxInsts(50_000_000).Run(MustBuild(bm, NewPlanNone(), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.L1MissRate()
+	}
+	// ora and espresso: near-zero misses everywhere.
+	for _, name := range []string{"ora", "espresso"} {
+		if mr := missRate(name, core.OutOfOrder); mr > 0.02 {
+			t.Errorf("%s ooo miss rate %.3f, want ~0", name, mr)
+		}
+	}
+	// su2cor: catastrophic on the 8 KB DM cache, moderate on 32 KB 2-way.
+	if mr := missRate("su2cor", core.InOrder); mr < 0.9 {
+		t.Errorf("su2cor in-order miss rate %.2f, want ~1.0", mr)
+	}
+	if mr := missRate("su2cor", core.OutOfOrder); mr > 0.5 {
+		t.Errorf("su2cor ooo miss rate %.2f, want moderate", mr)
+	}
+	// tomcatv: large in-order/out-of-order contrast.
+	ioMr := missRate("tomcatv", core.InOrder)
+	oooMr := missRate("tomcatv", core.OutOfOrder)
+	if ioMr < 2*oooMr {
+		t.Errorf("tomcatv contrast too weak: in-order %.2f vs ooo %.2f", ioMr, oooMr)
+	}
+}

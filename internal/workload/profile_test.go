@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"testing"
+
+	"informing/internal/core"
+)
+
+// TestProfileSuite characterises every benchmark on both machines with no
+// instrumentation: each must terminate, execute a non-trivial instruction
+// count, and exhibit the miss-rate regime its design claims (logged for
+// calibration; hard assertions are deliberately loose).
+func TestProfileSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite profile is slow")
+	}
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			prog := MustBuild(bm, NewPlanNone(), 1)
+			oooRun, err := core.R10000(core.Off).WithMaxInsts(20_000_000).Run(prog)
+			if err != nil {
+				t.Fatalf("ooo: %v", err)
+			}
+			ioRun, err := core.Alpha21164(core.Off).WithMaxInsts(20_000_000).Run(prog)
+			if err != nil {
+				t.Fatalf("inorder: %v", err)
+			}
+			if oooRun.DynInsts < 50_000 {
+				t.Errorf("dynamic size too small: %d", oooRun.DynInsts)
+			}
+			if oooRun.DynInsts != ioRun.DynInsts {
+				t.Errorf("machines disagree on dynamic count: %d vs %d",
+					oooRun.DynInsts, ioRun.DynInsts)
+			}
+			t.Logf("ooo: %v", oooRun)
+			t.Logf("io : %v", ioRun)
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+
+	"informing/internal/core"
+)
+
+// regimeBand pins each benchmark's L1 miss-rate regime on both machines —
+// the calibrated behaviour that makes the figures come out paper-shaped.
+// Bands are deliberately loose; they exist to catch accidental
+// de-calibration, not to freeze exact values.
+type regimeBand struct {
+	oooLo, oooHi float64 // out-of-order (32 KB 2-way) miss rate
+	ioLo, ioHi   float64 // in-order (8 KB DM) miss rate
+}
+
+var regimes = map[string]regimeBand{
+	"compress": {0.10, 0.40, 0.25, 0.60},
+	"espresso": {0.00, 0.02, 0.00, 0.02},
+	"eqntott":  {0.00, 0.05, 0.02, 0.15},
+	"sc":       {0.10, 0.40, 0.15, 0.45},
+	"xlisp":    {0.00, 0.05, 0.05, 0.25},
+	"tomcatv":  {0.10, 0.25, 0.50, 1.00},
+	"su2cor":   {0.15, 0.35, 0.90, 1.00},
+	"alvinn":   {0.05, 0.25, 0.20, 0.50},
+	"mdljsp2":  {0.30, 0.75, 0.35, 0.80},
+	"ora":      {0.00, 0.02, 0.00, 0.02},
+	"ear":      {0.05, 0.20, 0.10, 0.60},
+	"hydro2d":  {0.05, 0.25, 0.35, 0.80},
+	"nasa7":    {0.00, 0.05, 0.02, 0.15},
+	"swm256":   {0.15, 0.35, 0.15, 0.45},
+}
+
+func TestMissRateRegimesAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regime sweep is slow")
+	}
+	for _, bm := range All() {
+		band, ok := regimes[bm.Name]
+		if !ok {
+			t.Errorf("no regime band for %s", bm.Name)
+			continue
+		}
+		prog := MustBuild(bm, NewPlanNone(), 1)
+		ooo, err := core.R10000(core.Off).WithMaxInsts(50_000_000).Run(prog)
+		if err != nil {
+			t.Fatalf("%s ooo: %v", bm.Name, err)
+		}
+		io, err := core.Alpha21164(core.Off).WithMaxInsts(50_000_000).Run(prog)
+		if err != nil {
+			t.Fatalf("%s inorder: %v", bm.Name, err)
+		}
+		if mr := ooo.L1MissRate(); mr < band.oooLo || mr > band.oooHi {
+			t.Errorf("%s ooo miss rate %.3f outside band [%.2f, %.2f]",
+				bm.Name, mr, band.oooLo, band.oooHi)
+		}
+		if mr := io.L1MissRate(); mr < band.ioLo || mr > band.ioHi {
+			t.Errorf("%s in-order miss rate %.3f outside band [%.2f, %.2f]",
+				bm.Name, mr, band.ioLo, band.ioHi)
+		}
+		// The in-order 8 KB cache must never do better than the 32 KB
+		// 2-way (LRU inclusion does not strictly guarantee this across
+		// different set counts, but all our kernels respect it and it is
+		// a useful sanity net).
+		if io.L1MissRate()+1e-9 < ooo.L1MissRate() {
+			t.Errorf("%s: in-order miss rate %.3f below out-of-order %.3f",
+				bm.Name, io.L1MissRate(), ooo.L1MissRate())
+		}
+	}
+}

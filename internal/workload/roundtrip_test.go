@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+
+	"informing/internal/asm"
+	"informing/internal/core"
+)
+
+// TestWorkloadsSurviveDisassemblyRoundTrip is the heavyweight cross-check
+// of the assembler and disassembler: every benchmark under a
+// representative plan is disassembled to text, reassembled, and the
+// result must be instruction-for-instruction and word-for-word identical.
+func TestWorkloadsSurviveDisassemblyRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("round-trip of all workloads is slow")
+	}
+	plans := []Plan{NewPlanNone(), NewPlanSingle(10), NewPlanUnique(1), NewPlanCondCode(1)}
+	for _, bm := range All() {
+		for _, plan := range plans {
+			p := MustBuild(bm, plan, 1)
+			src := asm.Disassemble(p)
+			q, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("%s/%s: reassemble: %v", bm.Name, plan.Name(), err)
+			}
+			if len(q.Text) != len(p.Text) {
+				t.Fatalf("%s/%s: text %d -> %d", bm.Name, plan.Name(), len(p.Text), len(q.Text))
+			}
+			for k := range p.Text {
+				if p.Text[k] != q.Text[k] {
+					t.Fatalf("%s/%s: inst %d: %v -> %v",
+						bm.Name, plan.Name(), k, p.Text[k], q.Text[k])
+				}
+			}
+			if len(p.Init) != len(q.Init) {
+				t.Fatalf("%s/%s: init %d -> %d words", bm.Name, plan.Name(), len(p.Init), len(q.Init))
+			}
+			for addr, v := range p.Init {
+				if q.Init[addr] != v {
+					t.Fatalf("%s/%s: init[%#x] differs", bm.Name, plan.Name(), addr)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripPreservesBehaviour: beyond structural identity, a
+// round-tripped program must simulate identically.
+func TestRoundTripPreservesBehaviour(t *testing.T) {
+	bm, _ := ByName("compress")
+	p := MustBuild(bm, NewPlanSingle(1), 1)
+	q, err := asm.Assemble(asm.Disassemble(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.R10000(core.TrapBranch).WithMaxInsts(50_000_000)
+	a, err := cfg.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("round-tripped program simulates differently:\n%v\n%v", a, b)
+	}
+}
+
+// TestSampledPlanReducesOverhead: the §4.2.2 sampling mitigation — a
+// 100-instruction handler sampled 1-in-16 costs far less than the full
+// handler while still observing every miss (the fast path runs on each).
+func TestSampledPlanReducesOverhead(t *testing.T) {
+	bm, _ := ByName("compress")
+	cfg := core.R10000(core.TrapBranch).WithMaxInsts(50_000_000)
+	base, err := core.R10000(core.Off).WithMaxInsts(50_000_000).Run(MustBuild(bm, NewPlanNone(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cfg.Run(MustBuild(bm, NewPlanSingle(100), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := cfg.Run(MustBuild(bm, NewPlanSampled(100, 16), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Traps != full.Traps {
+		t.Errorf("sampling changed trap count: %d vs %d", sampled.Traps, full.Traps)
+	}
+	if sampled.HandlerInsts >= full.HandlerInsts {
+		t.Errorf("sampling did not reduce handler work: %d vs %d",
+			sampled.HandlerInsts, full.HandlerInsts)
+	}
+	fullOv := float64(full.Cycles) / float64(base.Cycles)
+	smpOv := float64(sampled.Cycles) / float64(base.Cycles)
+	if smpOv >= fullOv {
+		t.Errorf("sampling did not reduce overhead: %.2f vs %.2f", smpOv, fullOv)
+	}
+	// The fast path costs ~4 instructions per miss, so sampled overhead
+	// should be a small fraction of the full handler's.
+	if (smpOv - 1) > 0.5*(fullOv-1) {
+		t.Errorf("sampling saved too little: %.2f vs %.2f", smpOv, fullOv)
+	}
+	t.Logf("overhead: none=1.00 sampled=%.2f full=%.2f", smpOv, fullOv)
+}
+
+func TestSampledPlanValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two period accepted")
+		}
+	}()
+	NewPlanSampled(10, 12)
+}

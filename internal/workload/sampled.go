@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"informing/internal/asm"
+	"informing/internal/isa"
+)
+
+// PlanSampled implements the mitigation §4.2.2 suggests for expensive
+// handlers ("optimizations such as sampling could be used to reduce the
+// overhead"): a single shared handler that performs its K-instruction work
+// only on every Period-th miss and returns immediately otherwise. Period
+// must be a power of two (the sample test is a mask).
+type PlanSampled struct {
+	K      int
+	Period int
+}
+
+// NewPlanSampled returns the sampling plan; it panics if period is not a
+// positive power of two (plans are constructed from static experiment
+// definitions).
+func NewPlanSampled(k, period int) *PlanSampled {
+	if period <= 0 || period&(period-1) != 0 {
+		panic(fmt.Sprintf("workload: sampling period %d not a power of two", period))
+	}
+	return &PlanSampled{K: k, Period: period}
+}
+
+// Name implements Plan.
+func (p *PlanSampled) Name() string { return fmt.Sprintf("SMP%d/%d", p.K, p.Period) }
+
+// Prologue implements Plan.
+func (p *PlanSampled) Prologue(b *asm.Builder) { b.MtmharLabel("imo$sampled") }
+
+// WrapRef implements Plan.
+func (p *PlanSampled) WrapRef(b *asm.Builder, emit func(bool)) { emit(true) }
+
+// Epilogue implements Plan. The fast path is three instructions (count,
+// mask, branch) plus the return.
+func (p *PlanSampled) Epilogue(b *asm.Builder) {
+	b.Label("imo$sampled")
+	b.Addi(isa.R23, isa.R23, 1)
+	b.Andi(isa.R24, isa.R23, int64(p.Period-1))
+	skip := b.Unique("imo$smpskip")
+	b.Bne(isa.R24, isa.R0, skip)
+	emitChain(b, p.K, true)
+	b.Label(skip)
+	b.Rfmh()
+}
+
+// PlanCounter is the paper's §1 strawman: per-reference miss detection
+// with a hardware miss counter, "read just before and after each time that
+// reference is executed ... extremely slow". Each instrumented reference
+// gains two serializing MFCNT reads, a subtract, a compare-branch and a
+// one-instruction recording action on the miss path.
+type PlanCounter struct{}
+
+// NewPlanCounter returns the counter-based strawman plan.
+func NewPlanCounter() *PlanCounter { return &PlanCounter{} }
+
+// Name implements Plan.
+func (p *PlanCounter) Name() string { return "CNT" }
+
+// Prologue implements Plan.
+func (p *PlanCounter) Prologue(*asm.Builder) {}
+
+// WrapRef implements Plan.
+func (p *PlanCounter) WrapRef(b *asm.Builder, emit func(bool)) {
+	b.Mfcnt(isa.R24)
+	emit(false)
+	b.Mfcnt(isa.R25)
+	b.Sub(isa.R26, isa.R25, isa.R24)
+	skip := b.Unique("imo$cntskip")
+	b.Beq(isa.R26, isa.R0, skip)
+	b.Addi(HandlerChainReg, HandlerChainReg, 1)
+	b.Label(skip)
+}
+
+// Epilogue implements Plan.
+func (p *PlanCounter) Epilogue(*asm.Builder) {}
