@@ -1,0 +1,27 @@
+# Convenience targets; the repository needs only the Go toolchain.
+
+GO ?= go
+
+.PHONY: build test race fuzz verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/isa
+
+# verify is the full CI gate: build, vet, race-enabled tests, fuzz seeds.
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(MAKE) fuzz
+
+clean:
+	$(GO) clean ./...

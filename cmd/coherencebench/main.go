@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"informing/internal/coherence"
+	"informing/internal/govern"
 	"informing/internal/multi"
 )
 
@@ -29,9 +30,23 @@ func main() {
 	cfg.MsgLatency = *msgLat
 	cfg.L1.SizeBytes = *l1kb << 10
 
+	// Ctrl-C (or SIGTERM) cancels the simulation at the next governor
+	// poll; the applications completed by then are still printed.
+	ctx, stop := govern.SignalContext(nil)
+	defer stop()
+	cfg.Govern.Ctx = ctx
+
 	rows, speedup, err := coherence.Figure4(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
+		if snap, ok := govern.SnapshotIn(err); ok {
+			fmt.Fprintf(os.Stderr, "coherencebench: aborted at %v\n", snap)
+		}
+		if len(rows) > 0 {
+			fmt.Printf("--- partial results (%d of %d applications completed before abort) ---\n",
+				len(rows), len(coherence.Apps(cfg.Processors)))
+			fmt.Print(coherence.FormatFigure4Detail(rows))
+		}
 		os.Exit(1)
 	}
 	fmt.Print(coherence.FormatFigure4(rows, speedup))

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"informing/internal/experiments"
+	"informing/internal/govern"
 	"informing/internal/workload"
 )
 
@@ -41,15 +42,31 @@ func main() {
 		return
 	}
 
+	// Ctrl-C (or SIGTERM) cancels the sweep at the next governor poll;
+	// whatever results completed by then are still printed.
+	ctx, stop := govern.SignalContext(nil)
+	defer stop()
+
 	opt := experiments.DefaultOptions()
 	opt.Scale = *scale
+	opt.Ctx = ctx
+
+	// partial prints the results an interrupted experiment completed
+	// before returning its error.
+	partial := func(res []experiments.Result, err error) error {
+		if len(res) > 0 {
+			fmt.Printf("--- partial results (%d runs completed before abort) ---\n", len(res))
+			fmt.Print(experiments.FormatRuns(res))
+		}
+		return err
+	}
 
 	run := func(name string) error {
 		switch name {
 		case "fig2":
 			res, err := experiments.Figure2(opt)
 			if err != nil {
-				return err
+				return partial(res, err)
 			}
 			fmt.Print(experiments.FormatFigure(
 				"Figure 2: performance of generic miss handlers (1 and 10 instructions)", res))
@@ -61,7 +78,7 @@ func main() {
 		case "fig3":
 			res, err := experiments.Figure3(opt)
 			if err != nil {
-				return err
+				return partial(res, err)
 			}
 			fmt.Print(experiments.FormatFigure(
 				"Figure 3: su2cor with generic miss handlers", res))
@@ -71,7 +88,7 @@ func main() {
 		case "h100":
 			res, err := experiments.H100(opt)
 			if err != nil {
-				return err
+				return partial(res, err)
 			}
 			fmt.Print(experiments.FormatFigure(
 				"100-instruction handlers (paper: compress ~6x, su2cor ~7x, ora ~2%)", res))
@@ -81,7 +98,7 @@ func main() {
 		case "trapmode":
 			ratios, res, err := experiments.TrapModeComparison(opt)
 			if err != nil {
-				return err
+				return partial(res, err)
 			}
 			fmt.Println("Trap handling on the out-of-order machine: exception vs branch")
 			fmt.Println("(paper §4.2.2: exceptions cost compress +9% with 1-instr and +7% with 10-instr handlers)")
@@ -95,7 +112,7 @@ func main() {
 		case "condcode":
 			res, err := experiments.HandlerOverhead(workload.Fig2Set(), experiments.CondCodePlans(), opt)
 			if err != nil {
-				return err
+				return partial(res, err)
 			}
 			fmt.Print(experiments.FormatFigure(
 				"Condition-code checks (CC) vs unique-handler traps (U)", res))
@@ -112,7 +129,7 @@ func main() {
 			}
 			res, err := experiments.HandlerOverhead(bms, experiments.MotivationPlans(), opt)
 			if err != nil {
-				return err
+				return partial(res, err)
 			}
 			fmt.Print(experiments.FormatFigure(
 				"§1 motivation: serializing miss counters (CNT) vs informing mechanisms", res))
@@ -127,7 +144,7 @@ func main() {
 			}
 			res, err := experiments.HandlerOverhead(bms, experiments.SamplingPlans(), opt)
 			if err != nil {
-				return err
+				return partial(res, err)
 			}
 			fmt.Print(experiments.FormatFigure(
 				"Sampled 100-instruction handlers (§4.2.2 mitigation)", res))
@@ -148,6 +165,9 @@ func main() {
 	for _, n := range names {
 		if err := run(n); err != nil {
 			fmt.Fprintf(os.Stderr, "handlerbench: %v\n", err)
+			if snap, ok := govern.SnapshotIn(err); ok {
+				fmt.Fprintf(os.Stderr, "handlerbench: aborted at %v\n", snap)
+			}
 			os.Exit(1)
 		}
 	}

@@ -16,6 +16,7 @@ import (
 
 	"informing/internal/asm"
 	"informing/internal/core"
+	"informing/internal/govern"
 	"informing/internal/stats"
 )
 
@@ -103,13 +104,29 @@ func main() {
 				ev.Seq, ev.PC, ev.Fetch, ev.Issue, ev.Complete, ev.Graduate, lvl, ev.Disasm, mark)
 		})
 	}
+	// Ctrl-C (or SIGTERM) cancels the simulation at the next governor
+	// poll; the partial statistics accumulated so far are still printed.
+	ctx, stop := govern.SignalContext(nil)
+	defer stop()
+	cfg = cfg.WithContext(ctx)
+
 	run, err := cfg.Run(prog)
-	if err != nil {
-		fail(err)
-	}
 	if *trace > 0 {
 		fmt.Println()
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "informsim: %v\n", err)
+		if snap, ok := govern.SnapshotIn(err); ok {
+			fmt.Fprintf(os.Stderr, "informsim: aborted at %v\n", snap)
+			fmt.Println("--- partial report (run aborted) ---")
+			report(cfg, snap.Partial)
+		}
+		os.Exit(1)
+	}
+	report(cfg, run)
+}
+
+func report(cfg core.Config, run stats.Run) {
 	busy, other, cache := run.Fractions()
 	fmt.Printf("machine:            %v (%v scheme)\n", cfg.Machine, cfg.Scheme)
 	fmt.Printf("cycles:             %d\n", run.Cycles)

@@ -124,3 +124,38 @@ func TestDisassembleRandomInstructionSequences(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzAssemble is the native fuzz target CI exercises: arbitrary source
+// must assemble or fail cleanly, and anything that assembles must
+// validate, encode, and survive a disassembly round trip.
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 10\nhalt\n")
+	f.Add(`
+start:	li r1, 10
+	la r2, buf
+loop:	ld.i r3, 0(r2)
+	bmiss r22, h
+	addi r1, r1, -1
+	bne r1, r0, loop
+	halt
+h:	rfmh
+.data buf 64`)
+	f.Add(".data x 8\nst r1, 0(r2)\n")
+	f.Add("mfmhar r5\nmtmhrr r6\nrfmh\n")
+	f.Add("garbage ( ; : $ #")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("assembled but invalid: %v", err)
+		}
+		if _, err := p.EncodeText(); err != nil {
+			t.Fatalf("assembled but unencodable: %v", err)
+		}
+		if _, err := Assemble(Disassemble(p)); err != nil {
+			t.Fatalf("disassembly does not reassemble: %v", err)
+		}
+	})
+}

@@ -215,10 +215,11 @@ func (a *assembler) inst(s string) error {
 		rd, e1 := parseReg(ops[0])
 		r1, e2 := parseReg(ops[1])
 		r2, e3 := parseReg(ops[2])
-		if err := firstErr(e1, e2, e3); err != nil {
+		op, e4 := opByName(mnem)
+		if err := firstErr(e1, e2, e3, e4); err != nil {
 			return err
 		}
-		a.b.rrr(opByName(mnem), rd, r1, r2)
+		a.b.rrr(op, rd, r1, r2)
 	case "addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti":
 		if err := need(3); err != nil {
 			return err
@@ -226,10 +227,11 @@ func (a *assembler) inst(s string) error {
 		rd, e1 := parseReg(ops[0])
 		r1, e2 := parseReg(ops[1])
 		imm, e3 := parseImm(ops[2])
-		if err := firstErr(e1, e2, e3); err != nil {
+		op, e4 := opByName(mnem)
+		if err := firstErr(e1, e2, e3, e4); err != nil {
 			return err
 		}
-		a.b.rri(opByName(mnem), rd, r1, imm)
+		a.b.rri(op, rd, r1, imm)
 	case "lui":
 		if err := need(2); err != nil {
 			return err
@@ -246,10 +248,11 @@ func (a *assembler) inst(s string) error {
 		}
 		rd, e1 := parseReg(ops[0])
 		r1, e2 := parseReg(ops[1])
-		if err := firstErr(e1, e2); err != nil {
+		op, e3 := opByName(mnem)
+		if err := firstErr(e1, e2, e3); err != nil {
 			return err
 		}
-		a.b.rrr(opByName(mnem), rd, r1, isa.R0)
+		a.b.rrr(op, rd, r1, isa.R0)
 	case "ld", "fld", "prefetch":
 		if mnem == "prefetch" {
 			if err := need(1); err != nil {
@@ -267,30 +270,33 @@ func (a *assembler) inst(s string) error {
 		}
 		rd, e1 := parseReg(ops[0])
 		base, off, e2 := parseMem(ops[1])
-		if err := firstErr(e1, e2); err != nil {
+		op, e3 := opByName(mnem)
+		if err := firstErr(e1, e2, e3); err != nil {
 			return err
 		}
-		a.b.Emit(isa.Inst{Op: opByName(mnem), Rd: rd, Rs1: base, Imm: off, Informing: inf})
+		a.b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off, Informing: inf})
 	case "st", "fst":
 		if err := need(2); err != nil {
 			return err
 		}
 		rv, e1 := parseReg(ops[0])
 		base, off, e2 := parseMem(ops[1])
-		if err := firstErr(e1, e2); err != nil {
+		op, e3 := opByName(mnem)
+		if err := firstErr(e1, e2, e3); err != nil {
 			return err
 		}
-		a.b.Emit(isa.Inst{Op: opByName(mnem), Rs2: rv, Rs1: base, Imm: off, Informing: inf})
+		a.b.Emit(isa.Inst{Op: op, Rs2: rv, Rs1: base, Imm: off, Informing: inf})
 	case "beq", "bne", "blt", "bge":
 		if err := need(3); err != nil {
 			return err
 		}
 		r1, e1 := parseReg(ops[0])
 		r2, e2 := parseReg(ops[1])
-		if err := firstErr(e1, e2); err != nil {
+		op, e3 := opByName(mnem)
+		if err := firstErr(e1, e2, e3); err != nil {
 			return err
 		}
-		a.b.branch(opByName(mnem), r1, r2, ops[2])
+		a.b.branch(op, r1, r2, ops[2])
 	case "j":
 		if err := need(1); err != nil {
 			return err
@@ -412,13 +418,24 @@ func (a *assembler) inst(s string) error {
 	return nil
 }
 
-func opByName(name string) isa.Op {
+func opByName(name string) (isa.Op, error) {
 	for o := isa.Op(0); int(o) < isa.NumOps; o++ {
 		if o.String() == name {
-			return o
+			return o, nil
 		}
 	}
-	panic("asm: unknown op name " + name)
+	return 0, fmt.Errorf("asm: unknown op name %q", name)
+}
+
+// MustOp returns the opcode with the given assembler name, panicking when
+// it is unknown; for tests and static tables only (documented Must*
+// helper). Library code uses the error-returning lookup.
+func MustOp(name string) isa.Op {
+	o, err := opByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return o
 }
 
 func firstErr(errs ...error) error {

@@ -18,6 +18,9 @@ type Fig4Row struct {
 // returns rows in application order plus the paper's two headline
 // averages: how much faster informing is than the ECC and
 // reference-checking schemes (paper: 18% and 24%).
+//
+// On error — including cancellation through cfg.Govern.Ctx — the rows
+// completed so far are returned alongside it.
 func Figure4(cfg multi.Config) ([]Fig4Row, map[string]float64, error) {
 	var rows []Fig4Row
 	speedup := map[string]float64{}
@@ -27,13 +30,13 @@ func Figure4(cfg multi.Config) ([]Fig4Row, map[string]float64, error) {
 		for _, pol := range Schemes() {
 			r, err := multi.Simulate(app, pol, cfg)
 			if err != nil {
-				return nil, nil, fmt.Errorf("%s/%s: %w", app.Name, pol.Name(), err)
+				return rows, nil, fmt.Errorf("%s/%s: %w", app.Name, pol.Name(), err)
 			}
 			row.Results[pol.Name()] = r
 		}
 		inf := row.Results[Informing{}.Name()]
 		if inf.Cycles == 0 {
-			return nil, nil, fmt.Errorf("%s: informing run produced zero cycles", app.Name)
+			return rows, nil, fmt.Errorf("%s: informing run produced zero cycles", app.Name)
 		}
 		for name, r := range row.Results {
 			row.Norm[name] = float64(r.Cycles) / float64(inf.Cycles)

@@ -15,8 +15,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"informing/internal/faults"
+	"informing/internal/govern"
 	"informing/internal/inorder"
 	"informing/internal/interp"
 	"informing/internal/isa"
@@ -136,6 +139,30 @@ func (c Config) WithMaxInsts(n uint64) Config {
 func (c Config) WithTrace(fn func(stats.TraceEvent)) Config {
 	c.OOO.Trace = fn
 	c.IO.Trace = fn
+	return c
+}
+
+// WithContext makes Run respond to ctx cancellation or deadline expiry:
+// the simulation stops at the next governor poll and returns an error
+// wrapping govern.ErrCanceled that carries a diagnostic govern.Snapshot.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.OOO.Govern.Ctx = ctx
+	c.IO.Govern.Ctx = ctx
+	return c
+}
+
+// WithGovernor installs a full run-governor policy (context, watchdog,
+// budget) on whichever machine runs.
+func (c Config) WithGovernor(gc govern.Config) Config {
+	c.OOO.Govern = gc
+	c.IO.Govern = gc
+	return c
+}
+
+// WithFaults attaches a fault-injection plan to whichever machine runs.
+func (c Config) WithFaults(inj *faults.Injector) Config {
+	c.OOO.Faults = inj
+	c.IO.Faults = inj
 	return c
 }
 

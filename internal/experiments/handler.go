@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"informing/internal/core"
@@ -51,8 +52,8 @@ func SamplingPlans() []PlanSpec {
 	return []PlanSpec{
 		{"N", core.Off, func() workload.Plan { return workload.NewPlanNone() }},
 		{"S100", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(100) }},
-		{"SMP100/16", core.TrapBranch, func() workload.Plan { return workload.NewPlanSampled(100, 16) }},
-		{"SMP100/64", core.TrapBranch, func() workload.Plan { return workload.NewPlanSampled(100, 64) }},
+		{"SMP100/16", core.TrapBranch, func() workload.Plan { return workload.MustPlanSampled(100, 16) }},
+		{"SMP100/64", core.TrapBranch, func() workload.Plan { return workload.MustPlanSampled(100, 64) }},
 	}
 }
 
@@ -97,6 +98,11 @@ type Options struct {
 	Scale    int64  // workload iteration multiplier (1 = paper-shaped default)
 	MaxInsts uint64 // per-run dynamic instruction guard
 	Machines []core.Machine
+
+	// Ctx, when non-nil, cancels in-flight simulations on expiry or
+	// interrupt; the experiment then returns the results completed so
+	// far together with the error.
+	Ctx context.Context
 }
 
 // DefaultOptions returns full-size settings for both machines.
@@ -115,6 +121,10 @@ func configFor(machine core.Machine, scheme core.Scheme) core.Config {
 // HandlerOverhead runs every benchmark under every plan on the selected
 // machines. The first plan in specs is treated as the normalisation
 // baseline (by convention "N").
+//
+// On error — including cancellation through opt.Ctx — the results
+// completed so far are returned alongside it, so an interrupted sweep
+// still yields a partial report.
 func HandlerOverhead(bms []workload.Benchmark, specs []PlanSpec, opt Options) ([]Result, error) {
 	var out []Result
 	for _, bm := range bms {
@@ -123,12 +133,15 @@ func HandlerOverhead(bms []workload.Benchmark, specs []PlanSpec, opt Options) ([
 			for i, spec := range specs {
 				prog, err := workload.Build(bm, spec.Make(), opt.Scale)
 				if err != nil {
-					return nil, fmt.Errorf("%s/%s: %w", bm.Name, spec.Label, err)
+					return out, fmt.Errorf("%s/%s: %w", bm.Name, spec.Label, err)
 				}
 				cfg := configFor(machine, spec.Scheme).WithMaxInsts(opt.MaxInsts)
+				if opt.Ctx != nil {
+					cfg = cfg.WithContext(opt.Ctx)
+				}
 				run, err := cfg.Run(prog)
 				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%v: %w", bm.Name, spec.Label, machine, err)
+					return out, fmt.Errorf("%s/%s/%v: %w", bm.Name, spec.Label, machine, err)
 				}
 				if i == 0 {
 					base = run
@@ -189,7 +202,7 @@ func TrapModeComparison(opt Options) (map[string]float64, []Result, error) {
 	o.Machines = []core.Machine{core.OutOfOrder}
 	res, err := HandlerOverhead([]workload.Benchmark{bm}, specs, o)
 	if err != nil {
-		return nil, nil, err
+		return nil, res, err
 	}
 	byPlan := map[string]stats.Run{}
 	for _, r := range res {

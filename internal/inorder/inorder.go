@@ -17,6 +17,8 @@ import (
 	"fmt"
 
 	"informing/internal/bpred"
+	"informing/internal/faults"
+	"informing/internal/govern"
 	"informing/internal/interp"
 	"informing/internal/isa"
 	"informing/internal/mem"
@@ -58,8 +60,22 @@ type Config struct {
 	// references, modelling context switches (§3.3).
 	FlushEvery uint64
 
-	// MaxInsts bounds the dynamic instruction count (0 = 1e9).
+	// MaxInsts bounds the dynamic instruction count (0 =
+	// govern.DefaultBudget). Exhausting it returns an error wrapping
+	// govern.ErrBudget (and interp.ErrLimit).
 	MaxInsts uint64
+
+	// Govern supplies the run-governor policy: context cancellation, a
+	// livelock watchdog for the memory-system retry path, and (when its
+	// MaxInsts is set) the instruction budget. The zero value uses the
+	// govern package defaults; a zero Govern.MaxInsts falls back to
+	// Config.MaxInsts.
+	Govern govern.Config
+
+	// Faults, when non-nil, perturbs the run (see internal/faults):
+	// architectural outcome flips apply on the probe path, latency
+	// jitter at the memory-request site.
+	Faults *faults.Injector
 
 	// Trace, when non-nil, receives one TraceEvent per instruction in
 	// retirement order (debugging/visualisation; adds overhead).
@@ -108,10 +124,15 @@ func Run(prog *isa.Program, cfg Config) (stats.Run, error) {
 // callers access to the final architectural state (registers, data memory,
 // MHAR/MHRR) — used by the examples and by differential tests.
 func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, error) {
-	hier := mem.NewHierarchy(cfg.Hier)
+	hier, err := mem.NewHierarchy(cfg.Hier)
+	if err != nil {
+		return stats.Run{}, nil, fmt.Errorf("inorder: %w", err)
+	}
 	var icache *mem.Cache
 	if cfg.ICache.SizeBytes > 0 {
-		icache = mem.NewCache(cfg.ICache)
+		if icache, err = mem.NewCache(cfg.ICache); err != nil {
+			return stats.Run{}, nil, fmt.Errorf("inorder: icache: %w", err)
+		}
 	}
 	probe := hier.ProbeData
 	if cfg.FlushEvery > 0 {
@@ -126,8 +147,21 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 	}
 	m := interp.New(prog, cfg.Mode, probe)
 	m.TrapThreshold = cfg.TrapThreshold
-	timing := mem.NewTiming(cfg.Timing)
+	if cfg.Faults != nil {
+		m.Faults = cfg.Faults
+		cfg.Faults.SetLineBytes(uint64(cfg.Hier.L1.LineBytes))
+	}
+	timing, err := mem.NewTiming(cfg.Timing)
+	if err != nil {
+		return stats.Run{}, nil, fmt.Errorf("inorder: %w", err)
+	}
 	bp := bpred.New(cfg.BPredEntries)
+
+	gc := cfg.Govern
+	if gc.MaxInsts == 0 {
+		gc.MaxInsts = cfg.MaxInsts
+	}
+	gov := govern.New(gc)
 
 	var (
 		regReady [isa.NumRegs + 1]int64
@@ -150,9 +184,21 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 	)
 	out.IssueWidth = cfg.IssueWidth
 
-	limit := cfg.MaxInsts
-	if limit == 0 {
-		limit = 1e9
+	limit := gov.Budget()
+
+	// abort wraps cause with a diagnostic snapshot of where the machine
+	// was: the architectural PC, the retirement cycle, and the statistics
+	// accumulated so far.
+	abort := func(cause error) error {
+		snap := govern.Snapshot{
+			PC: m.PC, Cycle: retireCycle, Seq: m.Seq,
+			InHandler: m.InHandler, MHAR: m.MHAR, MHRR: m.MHRR,
+			Note: fmt.Sprintf("l1-misses=%d mshr-peak=%d", hier.L1Misses, timing.PeakInUse),
+		}
+		snap.Partial = out
+		snap.Partial.Cycles = retireCycle
+		snap.Partial.DynInsts = m.Seq
+		return govern.WithSnapshot(cause, snap)
 	}
 
 	// findIssue returns the first cycle >= earliest with an issue-width
@@ -180,7 +226,11 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 
 	for !m.Halted {
 		if m.Seq >= limit {
-			return out, m, fmt.Errorf("inorder: instruction limit %d exceeded", limit)
+			return out, m, abort(fmt.Errorf("inorder: %w: %w (%d instructions)",
+				govern.ErrBudget, interp.ErrLimit, limit))
+		}
+		if err := gov.Tick(); err != nil {
+			return out, m, abort(fmt.Errorf("inorder: %w", err))
 		}
 		wasInHandler := inHandler
 		rec, err := m.Step()
@@ -239,9 +289,21 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				out.L2Misses++
 			}
 			done, ok := timing.Request(issueAt, rec.Level, rec.EA)
+			// The retry loop advances issueAt monotonically, so the
+			// governor's watchdog bounds it: a memory system that never
+			// accepts the request (e.g. under injected re-entrancy faults)
+			// surfaces as ErrLivelock instead of spinning forever.
+			gov.Progress(issueAt)
 			for !ok {
 				issueAt = findIssue(issueAt+1, fu)
 				done, ok = timing.Request(issueAt, rec.Level, rec.EA)
+				if err := gov.CheckProgress(issueAt); err != nil {
+					return out, m, abort(fmt.Errorf("inorder: memory request at pc %#x ea %#x never accepted: %w",
+						rec.PC, rec.EA, err))
+				}
+			}
+			if cfg.Faults != nil {
+				done += cfg.Faults.Delay(rec.PC, rec.EA)
 			}
 			tagKnown := issueAt + int64(cfg.Timing.L1HitLat)
 			regReady[ccReg] = tagKnown

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"informing/internal/govern"
 	"informing/internal/isa"
 )
 
@@ -58,6 +59,14 @@ const (
 // level of the hierarchy satisfies the access. A nil Probe means a perfect
 // cache (every access is an L1 hit).
 type Probe func(addr uint64, write bool) int
+
+// FaultHook perturbs the architecturally resolved level of a data
+// reference after the probe has run (internal/faults implements it).
+// Implementations must be deterministic: differential tests rely on two
+// identically configured runs observing identical outcomes.
+type FaultHook interface {
+	Outcome(pc, addr uint64, write, inHandler bool, level int) int
+}
 
 // Rec describes one dynamically executed instruction. The timing cores
 // consume these records in order.
@@ -106,6 +115,11 @@ type Machine struct {
 
 	Mode  Mode
 	Probe Probe
+
+	// Faults, when non-nil, perturbs each reference's resolved level
+	// after the probe runs (forced misses, spurious hits, poisoned
+	// lines; see internal/faults).
+	Faults FaultHook
 
 	// TrapThreshold is the hierarchy level a reference must miss past to
 	// trigger an informing trap: LevelL1 (default when zero) traps on any
@@ -281,6 +295,9 @@ func (m *Machine) Step() (Rec, error) {
 		ea := m.g(in.Rs1) + uint64(in.Imm)
 		rec.EA = ea
 		rec.Level = m.probe(ea, in.IsStore())
+		if m.Faults != nil {
+			rec.Level = m.Faults.Outcome(m.PC, ea, in.IsStore(), m.InHandler, rec.Level)
+		}
 		switch in.Op {
 		case isa.Ld:
 			m.setG(in.Rd, m.Mem.Load(ea))
@@ -370,14 +387,30 @@ func (m *Machine) Step() (Rec, error) {
 }
 
 // Run executes until Halt or until limit instructions have run (0 means
-// a default guard of 1e9).
+// the govern.DefaultBudget guard). On budget exhaustion the error wraps
+// both govern.ErrBudget and ErrLimit.
 func (m *Machine) Run(limit uint64) error {
-	if limit == 0 {
-		limit = 1e9
+	return m.RunGoverned(govern.New(govern.Config{MaxInsts: limit}))
+}
+
+// RunGoverned executes until Halt under gov's policy: the instruction
+// budget (govern.ErrBudget, wrapping ErrLimit for compatibility) and
+// context cancellation (govern.ErrCanceled). Abort errors carry a
+// govern.Snapshot of the architectural state.
+func (m *Machine) RunGoverned(gov *govern.Governor) error {
+	limit := gov.Budget()
+	abort := func(cause error) error {
+		return govern.WithSnapshot(cause, govern.Snapshot{
+			PC: m.PC, Seq: m.Seq,
+			InHandler: m.InHandler, MHAR: m.MHAR, MHRR: m.MHRR,
+		})
 	}
 	for !m.Halted {
 		if m.Seq >= limit {
-			return fmt.Errorf("%w (%d)", ErrLimit, limit)
+			return abort(fmt.Errorf("interp: %w: %w (%d)", govern.ErrBudget, ErrLimit, limit))
+		}
+		if err := gov.Tick(); err != nil {
+			return abort(fmt.Errorf("interp: %w", err))
 		}
 		if _, err := m.Step(); err != nil {
 			return err

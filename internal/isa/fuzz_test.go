@@ -85,3 +85,27 @@ func TestSourcesSubsetOfFields(t *testing.T) {
 		}
 	}
 }
+
+// FuzzDecode is the native fuzz target CI exercises: arbitrary words
+// either decode or error (never panic), and encode∘decode is idempotent
+// on the decodable subset.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(Inst{Op: Addi, Rd: R1, Rs1: R2, Imm: -9}.MustEncode())
+	f.Add(Inst{Op: Ld, Rd: R3, Rs1: R4, Imm: 128, Informing: true}.MustEncode())
+	f.Fuzz(func(t *testing.T, w uint64) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := in.Encode()
+		if err != nil {
+			t.Fatalf("decoded %v but cannot re-encode: %v", in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil || in2 != in {
+			t.Fatalf("re-decode mismatch: %v vs %v (%v)", in, in2, err)
+		}
+	})
+}

@@ -66,6 +66,25 @@ func (m *DataMem) LoadInit(p *Program) {
 // reporting).
 func (m *DataMem) Pages() int { return len(m.pages) }
 
+// Equal reports whether two memories hold identical contents. Absent
+// pages compare equal to all-zero pages, so structurally different but
+// observably identical memories are equal.
+func (m *DataMem) Equal(o *DataMem) bool {
+	covered := func(a, b *DataMem) bool {
+		for pn, pg := range a.pages {
+			var want dataPage
+			if p := b.pages[pn]; p != nil {
+				want = *p
+			}
+			if *pg != want {
+				return false
+			}
+		}
+		return true
+	}
+	return covered(m, o) && covered(o, m)
+}
+
 // Clone returns a deep copy of the memory (used by the multithreading
 // example and differential tests).
 func (m *DataMem) Clone() *DataMem {

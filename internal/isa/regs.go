@@ -50,6 +50,8 @@ const (
 const FPBase Reg = 32
 
 // F returns the unified-space name of floating point register n (0–31).
+// It is a Must-style constructor: callers pass literal indices, so an
+// out-of-range n panics rather than returning an error.
 func F(n int) Reg {
 	if n < 0 || n > 31 {
 		panic(fmt.Sprintf("isa: F(%d) out of range", n))
@@ -57,7 +59,9 @@ func F(n int) Reg {
 	return FPBase + Reg(n)
 }
 
-// R returns the unified-space name of integer register n (0–31).
+// R returns the unified-space name of integer register n (0–31). It is a
+// Must-style constructor: callers pass literal indices, so an
+// out-of-range n panics rather than returning an error.
 func R(n int) Reg {
 	if n < 0 || n > 31 {
 		panic(fmt.Sprintf("isa: R(%d) out of range", n))

@@ -19,6 +19,9 @@ type CacheConfig struct {
 // Sets returns the number of sets implied by the configuration.
 func (c CacheConfig) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
 
+// Validate checks the configuration.
+func (c CacheConfig) Validate() error { return c.validate() }
+
 func (c CacheConfig) validate() error {
 	switch {
 	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
@@ -56,11 +59,12 @@ type way struct {
 	used  uint64
 }
 
-// NewCache builds a cache; it panics on invalid configuration (all
-// configurations in this repository are static).
-func NewCache(cfg CacheConfig) *Cache {
+// NewCache builds a cache, rejecting invalid configurations with an
+// error (the library panic-to-error policy; see DESIGN.md "Robustness
+// model").
+func NewCache(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	shift := uint(0)
 	for 1<<shift < cfg.LineBytes {
@@ -71,7 +75,17 @@ func NewCache(cfg CacheConfig) *Cache {
 		lineShift: shift,
 		setMask:   uint64(cfg.Sets() - 1),
 		ways:      make([]way, cfg.Sets()*cfg.Assoc),
+	}, nil
+}
+
+// MustCache is NewCache that panics on error; for tests and static
+// literal configurations only (documented Must* helper).
+func MustCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Config returns the cache's configuration.

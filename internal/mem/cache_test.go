@@ -7,7 +7,7 @@ import (
 )
 
 func mkCache(size, line, assoc int) *Cache {
-	return NewCache(CacheConfig{SizeBytes: size, LineBytes: line, Assoc: assoc})
+	return MustCache(CacheConfig{SizeBytes: size, LineBytes: line, Assoc: assoc})
 }
 
 func TestCacheBasicHitMiss(t *testing.T) {
@@ -114,13 +114,16 @@ func TestCacheConfigValidation(t *testing.T) {
 		{SizeBytes: 96, LineBytes: 32, Assoc: 1},   // sets not pow2
 	}
 	for _, cfg := range bad {
+		if c, err := NewCache(cfg); err == nil || c != nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("config %+v accepted", cfg)
+					t.Errorf("MustCache accepted %+v", cfg)
 				}
 			}()
-			NewCache(cfg)
+			MustCache(cfg)
 		}()
 	}
 }

@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // HierConfig describes a two-level data hierarchy (Table 1).
 type HierConfig struct {
 	L1 CacheConfig
@@ -20,9 +22,18 @@ type Hierarchy struct {
 	Refs     uint64
 }
 
-// NewHierarchy builds the hierarchy.
-func NewHierarchy(cfg HierConfig) *Hierarchy {
-	return &Hierarchy{L1: NewCache(cfg.L1), L2: NewCache(cfg.L2)}
+// NewHierarchy builds the hierarchy, rejecting invalid level
+// configurations with an error.
+func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
+	l1, err := NewCache(cfg.L1)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	return &Hierarchy{L1: l1, L2: l2}, nil
 }
 
 // ProbeData resolves one data reference and returns the satisfying level

@@ -3,10 +3,14 @@ package mem
 import "testing"
 
 func mkHier() *Hierarchy {
-	return NewHierarchy(HierConfig{
+	h, err := NewHierarchy(HierConfig{
 		L1: CacheConfig{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
 		L2: CacheConfig{SizeBytes: 256 << 10, LineBytes: 32, Assoc: 4},
 	})
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 func TestHierarchyLevels(t *testing.T) {

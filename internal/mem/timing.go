@@ -56,10 +56,12 @@ type mshrEntry struct {
 	held     bool // lifetime extended past fillDone (ExtendLifetime mode)
 }
 
-// NewTiming builds the timing model; panics on invalid configuration.
-func NewTiming(cfg TimingConfig) *Timing {
+// NewTiming builds the timing model, rejecting invalid configurations
+// with an error (the library panic-to-error policy; see DESIGN.md
+// "Robustness model").
+func NewTiming(cfg TimingConfig) (*Timing, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	shift := uint(0)
 	for 1<<shift < cfg.LineBytes {
@@ -70,7 +72,17 @@ func NewTiming(cfg TimingConfig) *Timing {
 		lineShift: shift,
 		entries:   make([]mshrEntry, cfg.MSHRs),
 		bankFree:  make([]int64, cfg.Banks),
+	}, nil
+}
+
+// MustTiming is NewTiming that panics on error; for tests and static
+// literal configurations only (documented Must* helper).
+func MustTiming(cfg TimingConfig) *Timing {
+	t, err := NewTiming(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return t
 }
 
 // Config returns the timing configuration.

@@ -3,7 +3,7 @@ package mem
 import "testing"
 
 func mkTiming() *Timing {
-	return NewTiming(TimingConfig{
+	return MustTiming(TimingConfig{
 		L1HitLat: 2, L2Lat: 12, MemLat: 75,
 		MSHRs: 8, Banks: 2, FillTime: 4, MemInterval: 20, LineBytes: 32,
 	})
@@ -151,10 +151,13 @@ func TestTimingConfigValidation(t *testing.T) {
 	if err := (TimingConfig{MSHRs: 0, Banks: 1, LineBytes: 32}).Validate(); err == nil {
 		t.Error("zero MSHRs accepted")
 	}
+	if tm, err := NewTiming(TimingConfig{}); err == nil || tm != nil {
+		t.Error("NewTiming accepted invalid config")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("NewTiming accepted invalid config")
+			t.Error("MustTiming accepted invalid config")
 		}
 	}()
-	NewTiming(TimingConfig{})
+	MustTiming(TimingConfig{})
 }

@@ -13,6 +13,9 @@ package multi
 import (
 	"fmt"
 
+	"informing/internal/faults"
+	"informing/internal/govern"
+	"informing/internal/interp"
 	"informing/internal/mem"
 )
 
@@ -30,6 +33,18 @@ type Config struct {
 
 	StateChangeCost int64 // user-level protocol state-change time
 	PageBytes       uint64
+
+	// Govern supplies the run-governor policy: context cancellation and
+	// (when its MaxInsts is set) a bound on the total number of
+	// references simulated. The zero value uses the govern package
+	// defaults. On abort Simulate returns the partial Result accumulated
+	// so far alongside the error.
+	Govern govern.Config
+
+	// Faults, when non-nil, injects protocol faults (see internal/faults):
+	// each firing faults.Protocol rule drops one invalidation message,
+	// leaving a stale remote copy for the invariant checker to find.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns the paper's Table 2 machine: 16 processors, 16 KB
@@ -153,7 +168,7 @@ type machine struct {
 	res   Result
 }
 
-func newMachine(cfg Config, pol AccessPolicy) *machine {
+func newMachine(cfg Config, pol AccessPolicy) (*machine, error) {
 	m := &machine{
 		cfg:   cfg,
 		pol:   pol,
@@ -161,15 +176,23 @@ func newMachine(cfg Config, pol AccessPolicy) *machine {
 		dir:   make(map[uint64]*dirEntry),
 	}
 	for i := range m.procs {
+		l1, err := mem.NewCache(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("multi: proc %d L1: %w", i, err)
+		}
+		l2, err := mem.NewCache(cfg.L2)
+		if err != nil {
+			return nil, fmt.Errorf("multi: proc %d L2: %w", i, err)
+		}
 		m.procs[i] = proc{
-			l1:     mem.NewCache(cfg.L1),
-			l2:     mem.NewCache(cfg.L2),
+			l1:     l1,
+			l2:     l2,
 			state:  make(map[uint64]ProtState),
 			pageRO: make(map[uint64]int),
 		}
 	}
 	m.res.PerProc = make([]int64, cfg.Processors)
-	return m
+	return m, nil
 }
 
 func (m *machine) lineOf(addr uint64) uint64 {
@@ -279,6 +302,13 @@ func (m *machine) doRef(p int, r Ref) {
 		// Invalidate all other copies (DMA-style, in parallel).
 		for q := 0; q < cfg.Processors; q++ {
 			if q == p || d.sharers&(1<<uint(q)) == 0 {
+				continue
+			}
+			if cfg.Faults.Fire(faults.Protocol, uint64(p), line) {
+				// Injected protocol fault: the invalidation message to q
+				// is dropped, leaving a stale copy behind. invariants()
+				// is expected to catch the resulting violation.
+				remote = true
 				continue
 			}
 			m.setState(q, line, Invalid)
@@ -413,18 +443,45 @@ func (m *machine) result() Result {
 // Simulate runs app under the policy and machine configuration. The
 // simulation is deterministic: processors are advanced in minimum-clock
 // order (ties broken by processor id) within each barrier phase.
+//
+// Cancellation and budgeting come from cfg.Govern: when the context is
+// cancelled or the reference budget is exhausted, Simulate returns the
+// partial Result accumulated so far together with an error carrying a
+// govern.Snapshot.
 func Simulate(app App, pol AccessPolicy, cfg Config) (Result, error) {
 	if cfg.Processors <= 0 || cfg.Processors > 64 {
 		return Result{}, fmt.Errorf("multi: processor count %d out of range", cfg.Processors)
 	}
-	m := newMachine(cfg, pol)
-	for _, phase := range app.Phases {
+	m, err := newMachine(cfg, pol)
+	if err != nil {
+		return Result{}, err
+	}
+	gov := govern.New(cfg.Govern)
+	var refs uint64
+	abort := func(phase int, cause error) (Result, error) {
+		res := m.result()
+		snap := govern.Snapshot{
+			Cycle: res.Cycles, Seq: refs,
+			Note: fmt.Sprintf("phase %d of %d, policy %s", phase, len(app.Phases), pol.Name()),
+		}
+		snap.Partial.Cycles = res.Cycles
+		snap.Partial.DynInsts = refs
+		return res, govern.WithSnapshot(cause, snap)
+	}
+	for k, phase := range app.Phases {
 		if len(phase) != cfg.Processors {
 			return Result{}, fmt.Errorf("multi: app %q phase has %d streams, want %d",
 				app.Name, len(phase), cfg.Processors)
 		}
 		idx := make([]int, cfg.Processors)
 		for {
+			if err := gov.Tick(); err != nil {
+				return abort(k, fmt.Errorf("multi: %w", err))
+			}
+			if refs >= gov.Budget() {
+				return abort(k, fmt.Errorf("multi: %w: %w (%d references)",
+					govern.ErrBudget, interp.ErrLimit, gov.Budget()))
+			}
 			// Advance the processor with the smallest clock that still
 			// has work (deterministic tie-break by id).
 			sel, selClock := -1, int64(0)
@@ -440,6 +497,7 @@ func Simulate(app App, pol AccessPolicy, cfg Config) (Result, error) {
 				break
 			}
 			m.doRef(sel, phase[sel][idx[sel]])
+			refs++
 			idx[sel]++
 		}
 		m.barrier()

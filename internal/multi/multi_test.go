@@ -27,8 +27,17 @@ func smallConfig(procs int) Config {
 	return cfg
 }
 
+func testMachine(t *testing.T, cfg Config, pol AccessPolicy) *machine {
+	t.Helper()
+	m, err := newMachine(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestWriteInvalidatesSharers(t *testing.T) {
-	m := newMachine(smallConfig(4), freePolicy{})
+	m := testMachine(t, smallConfig(4), freePolicy{})
 	line := uint64(0x1000)
 	// Everyone reads; then P0 writes.
 	for p := 0; p < 4; p++ {
@@ -63,7 +72,7 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 }
 
 func TestReadDowngradesWriter(t *testing.T) {
-	m := newMachine(smallConfig(2), freePolicy{})
+	m := testMachine(t, smallConfig(2), freePolicy{})
 	line := uint64(0x2000)
 	m.doRef(0, Ref{Addr: line, Write: true, Shared: true})
 	m.doRef(1, Ref{Addr: line, Shared: true})
@@ -81,7 +90,7 @@ func TestReadDowngradesWriter(t *testing.T) {
 
 func TestMigratoryCostsRemoteTransfers(t *testing.T) {
 	cfg := smallConfig(2)
-	m := newMachine(cfg, freePolicy{})
+	m := testMachine(t, cfg, freePolicy{})
 	line := uint64(0x3000)
 	m.doRef(0, Ref{Addr: line, Write: true, Shared: true})
 	before := m.procs[1].clock
@@ -96,7 +105,7 @@ func TestMigratoryCostsRemoteTransfers(t *testing.T) {
 
 func TestEventFieldsVisibleToPolicy(t *testing.T) {
 	rec := &recordingPolicy{}
-	m := newMachine(smallConfig(2), rec)
+	m := testMachine(t, smallConfig(2), rec)
 	line := uint64(0x4000)
 	m.doRef(0, Ref{Addr: line, Shared: true})              // invalid read
 	m.doRef(0, Ref{Addr: line, Shared: true})              // RO hit
@@ -119,7 +128,7 @@ func TestEventFieldsVisibleToPolicy(t *testing.T) {
 }
 
 func TestPageReadonlyTracking(t *testing.T) {
-	m := newMachine(smallConfig(2), freePolicy{})
+	m := testMachine(t, smallConfig(2), freePolicy{})
 	// Two lines on the same page: P0 reads both (RO), then writes one.
 	a, b := uint64(0x5000), uint64(0x5020)
 	m.doRef(0, Ref{Addr: a, Shared: true})
@@ -139,7 +148,7 @@ func TestPageReadonlyTracking(t *testing.T) {
 
 func TestBarrierSynchronises(t *testing.T) {
 	cfg := smallConfig(2)
-	m := newMachine(cfg, freePolicy{})
+	m := testMachine(t, cfg, freePolicy{})
 	m.procs[0].clock = 100
 	m.procs[1].clock = 5000
 	m.barrier()
@@ -152,7 +161,7 @@ func TestBarrierSynchronises(t *testing.T) {
 
 func TestPrivateRefsBypassProtocol(t *testing.T) {
 	rec := &recordingPolicy{}
-	m := newMachine(smallConfig(2), rec)
+	m := testMachine(t, smallConfig(2), rec)
 	m.doRef(0, Ref{Addr: 0x9000, Write: true})
 	m.doRef(1, Ref{Addr: 0x9000})
 	if len(rec.events) != 0 {
@@ -172,7 +181,7 @@ func TestPrivateRefsBypassProtocol(t *testing.T) {
 func TestProtocolInvariantsUnderRandomTraffic(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		m := newMachine(smallConfig(4), freePolicy{})
+		m := testMachine(t, smallConfig(4), freePolicy{})
 		for i := 0; i < 2000; i++ {
 			p := r.Intn(4)
 			addr := uint64(r.Intn(64)) * 32 // 64 hot lines

@@ -1,0 +1,125 @@
+package multi
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"informing/internal/faults"
+	"informing/internal/govern"
+)
+
+// countdownCtx is a context whose Err starts failing after n polls,
+// letting tests cancel a simulation at a deterministic point mid-run.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func randomApp(procs, refs int, seed int64) App {
+	app := App{Name: "rand", Phases: [][][]Ref{make([][]Ref, procs)}}
+	r := rand.New(rand.NewSource(seed))
+	for p := 0; p < procs; p++ {
+		for i := 0; i < refs; i++ {
+			app.Phases[0][p] = append(app.Phases[0][p], Ref{
+				Addr:    uint64(r.Intn(128)) * 32,
+				Write:   r.Intn(4) == 0,
+				Shared:  true,
+				Compute: int64(r.Intn(5)),
+			})
+		}
+	}
+	return app
+}
+
+// TestSimulateCancelReturnsPartialResult: cancelling mid-phase must return
+// the partial Result accumulated so far together with an ErrCanceled abort
+// carrying a snapshot that locates the cut.
+func TestSimulateCancelReturnsPartialResult(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.Govern.Ctx = &countdownCtx{Context: context.Background(), left: 100}
+	cfg.Govern.CheckEvery = 1
+	res, err := Simulate(randomApp(4, 500, 3), freePolicy{}, cfg)
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("cancelled simulation returned %v, want ErrCanceled", err)
+	}
+	snap, ok := govern.SnapshotIn(err)
+	if !ok {
+		t.Fatal("cancel abort carries no snapshot")
+	}
+	if snap.Seq == 0 || snap.Seq >= 2000 {
+		t.Errorf("snapshot ref count %d, want mid-run", snap.Seq)
+	}
+	if res.Cycles == 0 || res.SharedReads+res.SharedWrites == 0 {
+		t.Errorf("partial result is empty: %+v", res)
+	}
+	if res.SharedReads+res.SharedWrites != snap.Seq {
+		t.Errorf("partial result has %d refs, snapshot says %d",
+			res.SharedReads+res.SharedWrites, snap.Seq)
+	}
+}
+
+// TestSimulateBudgetBoundsReferences: Govern.MaxInsts bounds the total
+// reference count with a typed ErrBudget abort and a partial Result.
+func TestSimulateBudgetBoundsReferences(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.Govern.MaxInsts = 250
+	res, err := Simulate(randomApp(4, 500, 5), freePolicy{}, cfg)
+	if !errors.Is(err, govern.ErrBudget) {
+		t.Fatalf("budget exhaustion returned %v, want ErrBudget", err)
+	}
+	if got := res.SharedReads + res.SharedWrites; got != 250 {
+		t.Errorf("partial result has %d refs, want exactly the 250 budget", got)
+	}
+}
+
+// TestProtocolFaultViolatesInvariants: a dropped invalidation (injected
+// through a faults.Protocol rule) must leave a stale copy that the
+// invariant checker catches — demonstrating both that the injector
+// perturbs the protocol and that invariants() has teeth.
+func TestProtocolFaultViolatesInvariants(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.Faults = faults.New(faults.Plan{Seed: 1, Rules: []faults.Rule{
+		{Kind: faults.Protocol, EveryN: 1},
+	}})
+	m := testMachine(t, cfg, freePolicy{})
+	line := uint64(0x1000)
+	for p := 0; p < 4; p++ {
+		m.doRef(p, Ref{Addr: line, Shared: true})
+	}
+	if err := m.invariants(); err != nil {
+		t.Fatalf("invariants broken before any write: %v", err)
+	}
+	m.doRef(0, Ref{Addr: line, Write: true, Shared: true})
+	if err := m.invariants(); err == nil {
+		t.Fatal("dropped invalidation left the protocol looking consistent")
+	}
+	if cfg.Faults.Stats().ProtocolFires == 0 {
+		t.Error("injector recorded no protocol faults")
+	}
+}
+
+// TestSimulateInvariantsHoldWithoutFaults: the full Simulate path (with
+// governor wiring) preserves the invariants when no faults are injected.
+func TestSimulateInvariantsHoldWithoutFaults(t *testing.T) {
+	cfg := smallConfig(4)
+	m := testMachine(t, cfg, freePolicy{})
+	app := randomApp(4, 300, 11)
+	for i := 0; i < 300; i++ {
+		for p := 0; p < 4; p++ {
+			m.doRef(p, app.Phases[0][p][i])
+		}
+		if err := m.invariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 
 	"informing/internal/bpred"
+	"informing/internal/faults"
+	"informing/internal/govern"
 	"informing/internal/interp"
 	"informing/internal/isa"
 	"informing/internal/mem"
@@ -99,7 +101,21 @@ type Config struct {
 	SpecInjectEvery  int
 	SpecInjectStride uint64
 
-	MaxInsts uint64 // 0 = 1e9
+	// MaxInsts bounds the dynamic instruction count (0 =
+	// govern.DefaultBudget). Exhausting it returns an error wrapping
+	// govern.ErrBudget (and interp.ErrLimit).
+	MaxInsts uint64
+
+	// Govern supplies the run-governor policy: context cancellation, a
+	// livelock watchdog, and (when its MaxInsts is set) the instruction
+	// budget. The zero value uses the govern package defaults; a zero
+	// Govern.MaxInsts falls back to Config.MaxInsts.
+	Govern govern.Config
+
+	// Faults, when non-nil, perturbs the run (see internal/faults):
+	// architectural outcome flips apply on the probe path, latency
+	// jitter at the memory-request site.
+	Faults *faults.Injector
 
 	// Trace, when non-nil, receives one TraceEvent per instruction in
 	// graduation order (debugging/visualisation; adds overhead).
@@ -180,10 +196,15 @@ func Run(prog *isa.Program, cfg Config) (stats.Run, error) {
 // callers access to the final architectural state (registers, data memory,
 // MHAR/MHRR) — used by the examples and by differential tests.
 func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, error) {
-	hier := mem.NewHierarchy(cfg.Hier)
+	hier, err := mem.NewHierarchy(cfg.Hier)
+	if err != nil {
+		return stats.Run{}, nil, fmt.Errorf("ooo: %w", err)
+	}
 	var icache *mem.Cache
 	if cfg.ICache.SizeBytes > 0 {
-		icache = mem.NewCache(cfg.ICache)
+		if icache, err = mem.NewCache(cfg.ICache); err != nil {
+			return stats.Run{}, nil, fmt.Errorf("ooo: icache: %w", err)
+		}
 	}
 	lastILine := ^uint64(0)
 	probe := hier.ProbeData
@@ -199,9 +220,22 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 	}
 	m := interp.New(prog, cfg.Mode, probe)
 	m.TrapThreshold = cfg.TrapThreshold
-	timing := mem.NewTiming(cfg.Timing)
+	if cfg.Faults != nil {
+		m.Faults = cfg.Faults
+		cfg.Faults.SetLineBytes(uint64(cfg.Hier.L1.LineBytes))
+	}
+	timing, err := mem.NewTiming(cfg.Timing)
+	if err != nil {
+		return stats.Run{}, nil, fmt.Errorf("ooo: %w", err)
+	}
 	timing.ExtendLifetime = cfg.ExtendMSHRLifetime
 	bp := bpred.New(cfg.BPredEntries)
+
+	gc := cfg.Govern
+	if gc.MaxInsts == 0 {
+		gc.MaxInsts = cfg.MaxInsts
+	}
+	gov := govern.New(gc)
 
 	rob := make([]robEntry, cfg.ROBSize)
 	head, tail, count := 0, 0, 0
@@ -219,14 +253,28 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		out       stats.Run
 		inHandler bool
 		memSeen   int // committed memory refs, for SpecInjectEvery
-
-		lastProgress int64
 	)
 	out.IssueWidth = cfg.IssueWidth
 
-	limit := cfg.MaxInsts
-	if limit == 0 {
-		limit = 1e9
+	limit := gov.Budget()
+
+	// abort wraps cause with a diagnostic snapshot of where the machine
+	// was: the architectural PC, the cycle, reorder-buffer occupancy, the
+	// oldest un-graduated instruction, and the statistics so far.
+	abort := func(cause error) error {
+		snap := govern.Snapshot{
+			PC: m.PC, Cycle: cycle, Seq: m.Seq,
+			ROBOccupied: count,
+			InHandler:   m.InHandler, MHAR: m.MHAR, MHRR: m.MHRR,
+			Note: fmt.Sprintf("l1-misses=%d mshr-peak=%d", hier.L1Misses, timing.PeakInUse),
+		}
+		if count > 0 {
+			snap.OldestInst = rob[head].rec.Inst.String()
+		}
+		snap.Partial = out
+		snap.Partial.Cycles = cycle
+		snap.Partial.DynInsts = m.Seq
+		return govern.WithSnapshot(cause, snap)
 	}
 
 	ready := func(p producer) bool {
@@ -369,6 +417,9 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			in := e.rec.Inst
 			if in.IsMem() {
 				done, accepted := timing.Request(cycle, e.rec.Level, e.rec.EA)
+				if accepted && cfg.Faults != nil {
+					done += cfg.Faults.Delay(e.rec.PC, e.rec.EA)
+				}
 				if !accepted {
 					// Lockup-free cache full: retry next cycle.
 					fuUsed[e.fu]++ // the port was occupied by the attempt
@@ -402,7 +453,8 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					break
 				}
 				if m.Seq >= limit {
-					return out, m, fmt.Errorf("ooo: instruction limit %d exceeded", limit)
+					return out, m, abort(fmt.Errorf("ooo: %w: %w (%d instructions)",
+						govern.ErrBudget, interp.ErrLimit, limit))
 				}
 				wasInHandler := inHandler
 				rec, err := m.Step()
@@ -544,10 +596,13 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			break
 		}
 		if gradN > 0 || issuedN > 0 {
-			lastProgress = cycle
+			gov.Progress(cycle)
 		}
-		if cycle-lastProgress > 1_000_000 {
-			return out, m, fmt.Errorf("ooo: no progress for 1M cycles at cycle %d (deadlock?)", cycle)
+		if err := gov.CheckProgress(cycle); err != nil {
+			return out, m, abort(fmt.Errorf("ooo: %w", err))
+		}
+		if err := gov.Tick(); err != nil {
+			return out, m, abort(fmt.Errorf("ooo: %w", err))
 		}
 		cycle++
 	}

@@ -41,7 +41,19 @@ type Gen struct {
 	Scale int64 // iteration multiplier; 1 = default experiment size
 
 	loopDepth int
+	err       error // first structural error; surfaced by Build
 }
+
+// fail records the first structural error hit while generating; Build
+// returns it instead of panicking (library panic-to-error policy).
+func (g *Gen) fail(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+// Err returns the first structural error recorded while generating.
+func (g *Gen) Err() error { return g.err }
 
 // loopRegs are reserved for nested counted loops.
 var loopRegs = [...]isa.Reg{isa.R16, isa.R17, isa.R18, isa.R19}
@@ -60,7 +72,8 @@ func (g *Gen) Iters(n int64) int64 {
 // that need the iteration index maintain their own induction variables.
 func (g *Gen) Loop(n int64, body func()) {
 	if g.loopDepth >= len(loopRegs) {
-		panic(fmt.Sprintf("workload: loop nesting exceeds %d", len(loopRegs)))
+		g.fail(fmt.Errorf("workload: loop nesting exceeds %d", len(loopRegs)))
+		return
 	}
 	r := loopRegs[g.loopDepth]
 	g.loopDepth++
@@ -115,13 +128,16 @@ func Build(bm Benchmark, plan Plan, scale int64) (*isa.Program, error) {
 	g := &Gen{B: b, Plan: plan, Scale: scale}
 	plan.Prologue(b)
 	bm.Gen(g)
+	if g.err != nil {
+		return nil, fmt.Errorf("workload: %s/%s: %w", bm.Name, plan.Name(), g.err)
+	}
 	b.Halt()
 	plan.Epilogue(b)
 	return b.Finish()
 }
 
-// MustBuild is Build that panics on error (benchmark definitions are
-// static).
+// MustBuild is Build that panics on error (documented Must* helper; the
+// benchmark definitions it is used with are static).
 func MustBuild(bm Benchmark, plan Plan, scale int64) *isa.Program {
 	p, err := Build(bm, plan, scale)
 	if err != nil {

@@ -82,7 +82,7 @@ func TestSampledPlanReducesOverhead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := cfg.Run(MustBuild(bm, NewPlanSampled(100, 16), 1))
+	sampled, err := cfg.Run(MustBuild(bm, MustPlanSampled(100, 16), 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +107,16 @@ func TestSampledPlanReducesOverhead(t *testing.T) {
 }
 
 func TestSampledPlanValidation(t *testing.T) {
+	if p, err := NewPlanSampled(10, 12); err == nil || p != nil {
+		t.Error("non-power-of-two period accepted")
+	}
+	if _, err := NewPlanSampled(10, 0); err == nil {
+		t.Error("zero period accepted")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("non-power-of-two period accepted")
+			t.Error("MustPlanSampled accepted a bad period")
 		}
 	}()
-	NewPlanSampled(10, 12)
+	MustPlanSampled(10, 12)
 }

@@ -17,14 +17,23 @@ type PlanSampled struct {
 	Period int
 }
 
-// NewPlanSampled returns the sampling plan; it panics if period is not a
-// positive power of two (plans are constructed from static experiment
-// definitions).
-func NewPlanSampled(k, period int) *PlanSampled {
+// NewPlanSampled returns the sampling plan, rejecting a period that is
+// not a positive power of two.
+func NewPlanSampled(k, period int) (*PlanSampled, error) {
 	if period <= 0 || period&(period-1) != 0 {
-		panic(fmt.Sprintf("workload: sampling period %d not a power of two", period))
+		return nil, fmt.Errorf("workload: sampling period %d not a power of two", period)
 	}
-	return &PlanSampled{K: k, Period: period}
+	return &PlanSampled{K: k, Period: period}, nil
+}
+
+// MustPlanSampled is NewPlanSampled that panics on error; for static
+// experiment definitions only (documented Must* helper).
+func MustPlanSampled(k, period int) *PlanSampled {
+	p, err := NewPlanSampled(k, period)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Name implements Plan.
