@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz verify clean
+.PHONY: build test race fuzz verify clean bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,21 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/isa
 
+# bench-smoke checks the parallel runner end to end: the -j sweep must be
+# byte-identical to the sequential path (and its wall-clock is the sweep
+# regression signal in CI logs).
+bench-smoke:
+	$(GO) build -o /tmp/handlerbench ./cmd/handlerbench
+	time /tmp/handlerbench -experiment fig3 -j 1 > /tmp/fig3_j1.txt
+	time /tmp/handlerbench -experiment fig3 > /tmp/fig3_jN.txt
+	cmp /tmp/fig3_j1.txt /tmp/fig3_jN.txt
+
 # verify is the full CI gate: build, vet, race-enabled tests, fuzz seeds.
 verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz
+	$(MAKE) bench-smoke
 
 clean:
 	$(GO) clean ./...

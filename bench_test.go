@@ -12,14 +12,27 @@
 package informing
 
 import (
+	"fmt"
 	"testing"
 
 	"informing/internal/coherence"
 	"informing/internal/core"
 	"informing/internal/experiments"
 	"informing/internal/multi"
+	"informing/internal/sched"
 	"informing/internal/workload"
 )
+
+// mustBench resolves a benchmark by name, failing the benchmark on
+// unknown names instead of silently measuring a zero-value kernel.
+func mustBench(b *testing.B, name string) workload.Benchmark {
+	b.Helper()
+	bm, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	return bm
+}
 
 func mustRun(b *testing.B, cfg core.Config, bm workload.Benchmark, plan workload.Plan) float64 {
 	b.Helper()
@@ -35,10 +48,7 @@ func mustRun(b *testing.B, cfg core.Config, bm workload.Benchmark, plan workload
 }
 
 func benchOverhead(b *testing.B, machine func(core.Scheme) core.Config, bench string, plan func() workload.Plan) {
-	bm, ok := workload.ByName(bench)
-	if !ok {
-		b.Fatalf("unknown benchmark %s", bench)
-	}
+	bm := mustBench(b, bench)
 	var overhead float64
 	for i := 0; i < b.N; i++ {
 		base := mustRun(b, machine(core.Off), bm, workload.NewPlanNone())
@@ -67,28 +77,37 @@ func BenchmarkFig2InOrderS10(b *testing.B) {
 }
 
 // BenchmarkFig2FullSweep regenerates the whole figure (13 benchmarks x 5
-// plans x 2 machines); heavy, so it reports the mean S1 overhead.
+// plans x 2 machines); heavy, so it reports the mean S1 overhead. The
+// j=1 / j=GOMAXPROCS sub-benchmarks make the parallel runner's wall-clock
+// win (and any regression in it) visible in ordinary bench output.
 func BenchmarkFig2FullSweep(b *testing.B) {
 	if testing.Short() {
 		b.Skip("full sweep is heavy")
 	}
-	var mean float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure2(experiments.DefaultOptions())
-		if err != nil {
-			b.Fatal(err)
-		}
-		var sum float64
-		var n int
-		for _, r := range res {
-			if r.Plan == "S1" {
-				sum += r.Norm.Total()
-				n++
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		b.Run(fmt.Sprintf("j=%d", sched.Workers(workers)), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				opt := experiments.DefaultOptions()
+				opt.Workers = workers
+				res, err := experiments.Figure2(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var sum float64
+				var n int
+				for _, r := range res {
+					if r.Plan == "S1" {
+						sum += r.Norm.Total()
+						n++
+					}
+				}
+				mean = sum / float64(n)
 			}
-		}
-		mean = sum / float64(n)
+			b.ReportMetric(mean, "meanS1normtime")
+		})
 	}
-	b.ReportMetric(mean, "meanS1normtime")
 }
 
 // --- E2: Figure 3 ------------------------------------------------------
@@ -114,7 +133,7 @@ func BenchmarkH100Ora(b *testing.B) {
 // --- E4: trap-as-branch vs trap-as-exception ----------------------------
 
 func BenchmarkTrapModeCompress(b *testing.B) {
-	bm, _ := workload.ByName("compress")
+	bm := mustBench(b, "compress")
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		br := mustRun(b, core.R10000(core.TrapBranch), bm, workload.NewPlanSingle(10))
@@ -130,7 +149,7 @@ func BenchmarkFig4(b *testing.B) {
 	cfg := multi.DefaultConfig()
 	var refSlow, eccSlow float64
 	for i := 0; i < b.N; i++ {
-		_, speedup, err := coherence.Figure4(cfg)
+		_, speedup, err := coherence.Figure4(cfg, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +174,7 @@ func BenchmarkFig4SingleApp(b *testing.B) {
 // --- E6: §3.3 speculative-fill invalidation ------------------------------
 
 func BenchmarkSpecInvalidate(b *testing.B) {
-	bm, _ := workload.ByName("alvinn")
+	bm := mustBench(b, "alvinn")
 	prog, err := workload.Build(bm, workload.NewPlanSingle(1), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -181,7 +200,7 @@ func BenchmarkSpecInvalidate(b *testing.B) {
 // BenchmarkCountersVsInforming reproduces the §1 motivation: the cost of
 // counter-based per-reference monitoring relative to the informing trap.
 func BenchmarkCountersVsInforming(b *testing.B) {
-	bm, _ := workload.ByName("alvinn")
+	bm := mustBench(b, "alvinn")
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		cnt := mustRun(b, core.R10000(core.Off), bm, workload.NewPlanCounter())
@@ -197,7 +216,7 @@ func BenchmarkCountersVsInforming(b *testing.B) {
 // much performance the extra branch shadow state buys when informing
 // references consume it.
 func BenchmarkAblationShadowStates(b *testing.B) {
-	bm, _ := workload.ByName("compress")
+	bm := mustBench(b, "compress")
 	prog, err := workload.Build(bm, workload.NewPlanSingle(1), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -220,7 +239,7 @@ func BenchmarkAblationShadowStates(b *testing.B) {
 
 // BenchmarkAblationMSHRs sweeps the lockup-free cache depth.
 func BenchmarkAblationMSHRs(b *testing.B) {
-	bm, _ := workload.ByName("swm256")
+	bm := mustBench(b, "swm256")
 	prog, err := workload.Build(bm, workload.NewPlanNone(), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -246,7 +265,7 @@ func BenchmarkAblationMSHRs(b *testing.B) {
 // BenchmarkAblationROB sweeps the reorder-buffer size on a miss-heavy
 // workload.
 func BenchmarkAblationROB(b *testing.B) {
-	bm, _ := workload.ByName("mdljsp2")
+	bm := mustBench(b, "mdljsp2")
 	prog, err := workload.Build(bm, workload.NewPlanNone(), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -272,7 +291,7 @@ func BenchmarkAblationROB(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // instructions per wall second) — the engineering figure of merit.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	bm, _ := workload.ByName("espresso")
+	bm := mustBench(b, "espresso")
 	prog, err := workload.Build(bm, workload.NewPlanNone(), 1)
 	if err != nil {
 		b.Fatal(err)

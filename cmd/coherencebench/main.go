@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"informing/internal/coherence"
 	"informing/internal/govern"
@@ -22,6 +23,7 @@ func main() {
 		l1kb   = flag.Int("l1kb", 16, "per-processor L1 size (KB)")
 		detail = flag.Bool("detail", false, "print per-scheme cycle breakdowns")
 		sweep  = flag.Bool("sweep", false, "run the §4.3.2 sensitivity sweep as well")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -36,7 +38,7 @@ func main() {
 	defer stop()
 	cfg.Govern.Ctx = ctx
 
-	rows, speedup, err := coherence.Figure4(cfg)
+	rows, speedup, err := coherence.Figure4(cfg, *jobs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
 		if snap, ok := govern.SnapshotIn(err); ok {
@@ -56,7 +58,7 @@ func main() {
 	}
 	if *sweep {
 		points, err := coherence.Sensitivity(cfg,
-			[]int64{300, 900, 1800}, []int{4, 16, 64})
+			[]int64{300, 900, 1800}, []int{4, 16, 64}, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
 			os.Exit(1)

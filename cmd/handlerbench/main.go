@@ -12,13 +12,17 @@
 //
 // handlerbench -list describes the benchmark suite.
 //
-// Use -scale to grow/shrink the workloads and -raw for per-run statistics.
+// Use -scale to grow/shrink the workloads, -raw for per-run statistics,
+// and -j to bound the worker pool that shards the sweep's independent
+// (benchmark, machine, plan) cells (default: GOMAXPROCS; -j 1 is the
+// sequential reference path and produces byte-identical tables).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"informing/internal/experiments"
 	"informing/internal/govern"
@@ -31,6 +35,7 @@ func main() {
 		scale = flag.Int64("scale", 1, "workload iteration multiplier")
 		raw   = flag.Bool("raw", false, "also print raw per-run statistics")
 		list  = flag.Bool("list", false, "describe the benchmark suite and exit")
+		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -50,6 +55,7 @@ func main() {
 	opt := experiments.DefaultOptions()
 	opt.Scale = *scale
 	opt.Ctx = ctx
+	opt.Workers = *jobs
 
 	// partial prints the results an interrupted experiment completed
 	// before returning its error.
@@ -122,10 +128,9 @@ func main() {
 				fmt.Print(experiments.FormatRuns(res))
 			}
 		case "counters":
-			bms := []workload.Benchmark{}
-			for _, name := range []string{"compress", "espresso", "alvinn", "tomcatv"} {
-				bm, _ := workload.ByName(name)
-				bms = append(bms, bm)
+			bms, err := benchSet("compress", "espresso", "alvinn", "tomcatv")
+			if err != nil {
+				return err
 			}
 			res, err := experiments.HandlerOverhead(bms, experiments.MotivationPlans(), opt)
 			if err != nil {
@@ -137,10 +142,9 @@ func main() {
 				fmt.Print(experiments.FormatRuns(res))
 			}
 		case "sampling":
-			bms := []workload.Benchmark{}
-			for _, name := range []string{"compress", "su2cor", "tomcatv"} {
-				bm, _ := workload.ByName(name)
-				bms = append(bms, bm)
+			bms, err := benchSet("compress", "su2cor", "tomcatv")
+			if err != nil {
+				return err
 			}
 			res, err := experiments.HandlerOverhead(bms, experiments.SamplingPlans(), opt)
 			if err != nil {
@@ -158,8 +162,26 @@ func main() {
 		return nil
 	}
 
-	names := []string{*exp}
-	if *exp == "all" {
+	runAll(run, *exp)
+}
+
+// benchSet resolves benchmark names, erroring on unknown ones instead of
+// silently simulating zero-value benchmarks.
+func benchSet(names ...string) ([]workload.Benchmark, error) {
+	var bms []workload.Benchmark
+	for _, name := range names {
+		bm, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		bms = append(bms, bm)
+	}
+	return bms, nil
+}
+
+func runAll(run func(string) error, exp string) {
+	names := []string{exp}
+	if exp == "all" {
 		names = []string{"fig2", "fig3", "h100", "trapmode", "condcode", "sampling", "counters"}
 	}
 	for _, n := range names {

@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -161,7 +162,7 @@ func TestPrivateRegionsDisjoint(t *testing.T) {
 func TestFigure4InformingAlwaysWins(t *testing.T) {
 	cfg := multi.DefaultConfig()
 	cfg.Processors = 8 // smaller for test speed
-	rows, speedup, err := Figure4(cfg)
+	rows, speedup, err := Figure4(cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +188,34 @@ func TestFigure4InformingAlwaysWins(t *testing.T) {
 	}
 }
 
+// TestFigure4ParallelMatchesSequential pins the sharded case study to the
+// sequential reference: rows, per-scheme results and headline speedups
+// must be identical at any worker count.
+func TestFigure4ParallelMatchesSequential(t *testing.T) {
+	cfg := multi.DefaultConfig()
+	cfg.Processors = 8
+	seqRows, seqSpeedup, err := Figure4(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3, 8} {
+		rows, speedup, err := Figure4(cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seqRows, rows) {
+			t.Errorf("workers=%d: rows differ from sequential", workers)
+		}
+		if !reflect.DeepEqual(seqSpeedup, speedup) {
+			t.Errorf("workers=%d: speedups differ: %v vs %v", workers, speedup, seqSpeedup)
+		}
+	}
+}
+
 func TestFigure4Formatting(t *testing.T) {
 	cfg := multi.DefaultConfig()
 	cfg.Processors = 4
-	rows, speedup, err := Figure4(cfg)
+	rows, speedup, err := Figure4(cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package coherence
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"informing/internal/multi"
+	"informing/internal/sched"
 )
 
 // Fig4Row is one application's result across the three schemes.
@@ -19,36 +21,81 @@ type Fig4Row struct {
 // averages: how much faster informing is than the ECC and
 // reference-checking schemes (paper: 18% and 24%).
 //
-// On error — including cancellation through cfg.Govern.Ctx — the rows
-// completed so far are returned alongside it.
-func Figure4(cfg multi.Config) ([]Fig4Row, map[string]float64, error) {
-	var rows []Fig4Row
-	speedup := map[string]float64{}
-	counts := 0
-	for _, app := range Apps(cfg.Processors) {
-		row := Fig4Row{App: app.Name, Results: map[string]multi.Result{}, Norm: map[string]float64{}}
-		for _, pol := range Schemes() {
-			r, err := multi.Simulate(app, pol, cfg)
+// The (application, scheme) cells are independent and run on a
+// workers-bounded pool (internal/sched; <= 0 selects GOMAXPROCS, 1 is the
+// sequential reference path). Each application's reference streams are
+// generated once and shared read-only by its three scheme simulations;
+// normalisation against the informing run happens after the join. When a
+// fault injector is configured the sweep is forced sequential, because
+// the injector's seeded rule state is shared mutable across simulations
+// and a parallel sweep would make fault placement nondeterministic.
+//
+// On error — including cancellation through cfg.Govern.Ctx — the rows of
+// the applications completed before the first failing cell are returned
+// alongside it.
+func Figure4(cfg multi.Config, workers int) ([]Fig4Row, map[string]float64, error) {
+	if cfg.Faults != nil {
+		workers = 1
+	}
+	apps := Apps(cfg.Processors)
+	pols := Schemes()
+
+	type cell struct {
+		app multi.App
+		pol multi.AccessPolicy
+	}
+	var cells []cell
+	for _, app := range apps {
+		for _, pol := range pols {
+			cells = append(cells, cell{app: app, pol: pol})
+		}
+	}
+	jobs := make([]sched.Job[multi.Result], len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = func(ctx context.Context) (multi.Result, error) {
+			runCfg := cfg
+			runCfg.Govern.Ctx = ctx
+			r, err := multi.Simulate(c.app, c.pol, runCfg)
 			if err != nil {
-				return rows, nil, fmt.Errorf("%s/%s: %w", app.Name, pol.Name(), err)
+				return multi.Result{}, fmt.Errorf("%s/%s: %w", c.app.Name, c.pol.Name(), err)
 			}
-			row.Results[pol.Name()] = r
+			return r, nil
+		}
+	}
+	results, err := sched.Map(cfg.Govern.Ctx, workers, jobs)
+
+	// Join: group the flat results back into per-application rows and
+	// normalise against each row's informing run. On a partial sweep only
+	// the applications whose every scheme completed become rows.
+	var rows []Fig4Row
+	for a := 0; a+len(pols) <= len(results); a += len(pols) {
+		row := Fig4Row{App: apps[a/len(pols)].Name,
+			Results: map[string]multi.Result{}, Norm: map[string]float64{}}
+		for p, pol := range pols {
+			row.Results[pol.Name()] = results[a+p]
 		}
 		inf := row.Results[Informing{}.Name()]
 		if inf.Cycles == 0 {
-			return rows, nil, fmt.Errorf("%s: informing run produced zero cycles", app.Name)
+			return rows, nil, fmt.Errorf("%s: informing run produced zero cycles", row.App)
 		}
 		for name, r := range row.Results {
 			row.Norm[name] = float64(r.Cycles) / float64(inf.Cycles)
 		}
 		rows = append(rows, row)
-		counts++
+	}
+	if err != nil {
+		return rows, nil, err
+	}
+
+	speedup := map[string]float64{}
+	for _, row := range rows {
 		for _, name := range []string{RefCheck{}.Name(), ECC{}.Name()} {
 			speedup[name] += row.Norm[name] - 1
 		}
 	}
 	for name := range speedup {
-		speedup[name] /= float64(counts)
+		speedup[name] /= float64(len(rows))
 	}
 	return rows, speedup, nil
 }

@@ -22,7 +22,11 @@ type SensitivityPoint struct {
 // relative performance of the informing memory implementation". It sweeps
 // one-way message latency and L1 size around the Table 2 operating point
 // and reports the informing scheme's average advantage at each point.
-func Sensitivity(base multi.Config, msgLatencies []int64, l1KBs []int) ([]SensitivityPoint, error) {
+//
+// The sweep points run in order; workers bounds the (application, scheme)
+// fan-out inside each point's Figure4 run, so the worker pool is never
+// nested.
+func Sensitivity(base multi.Config, msgLatencies []int64, l1KBs []int, workers int) ([]SensitivityPoint, error) {
 	var out []SensitivityPoint
 	for _, lat := range msgLatencies {
 		for _, kb := range l1KBs {
@@ -30,7 +34,7 @@ func Sensitivity(base multi.Config, msgLatencies []int64, l1KBs []int) ([]Sensit
 			cfg.MsgLatency = lat
 			cfg.BarrierCost = 2 * lat
 			cfg.L1.SizeBytes = kb << 10
-			_, speedup, err := Figure4(cfg)
+			_, speedup, err := Figure4(cfg, workers)
 			if err != nil {
 				return nil, fmt.Errorf("sensitivity lat=%d l1=%dKB: %w", lat, kb, err)
 			}

@@ -16,7 +16,7 @@ func TestSensitivityTrends(t *testing.T) {
 	}
 	base := multi.DefaultConfig()
 	base.Processors = 8 // keep the sweep quick
-	points, err := Sensitivity(base, []int64{300, 1800}, []int{4, 64})
+	points, err := Sensitivity(base, []int64{300, 1800}, []int{4, 64}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

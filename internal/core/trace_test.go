@@ -21,7 +21,7 @@ func TestTraceInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", cfg.Machine, err)
 		}
-		if int64(len(events)) != run.Instrs {
+		if uint64(len(events)) != run.Instrs {
 			t.Fatalf("%v: %d events for %d instructions", cfg.Machine, len(events), run.Instrs)
 		}
 		var traps uint64

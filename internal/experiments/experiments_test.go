@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
 	"informing/internal/core"
+	"informing/internal/govern"
 	"informing/internal/workload"
 )
 
@@ -181,6 +185,157 @@ func TestReportFormatting(t *testing.T) {
 	raw := FormatRuns(res)
 	if !strings.Contains(raw, "cycles=") {
 		t.Error("raw dump missing stats")
+	}
+}
+
+// TestParallelMatchesSequential is the parallel runner's differential
+// gate: a reduced Figure-2 sweep must produce identical []Result — order,
+// cycles, Norm, every counter — at every worker count, and the formatted
+// tables must be byte-identical. Run it under -race to also shake out
+// data races in the pool and the shared program cache.
+func TestParallelMatchesSequential(t *testing.T) {
+	var bms []workload.Benchmark
+	for _, name := range []string{"espresso", "alvinn", "ora"} {
+		bms = append(bms, pickBench(t, name)[0])
+	}
+	seqOpt := tinyOptions()
+	seqOpt.Workers = 1
+	seq, err := HandlerOverhead(bms, Figure2Plans(), seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(bms)*2*len(Figure2Plans()) {
+		t.Fatalf("sequential sweep returned %d results", len(seq))
+	}
+	for _, workers := range []int{0, 2, 8} {
+		parOpt := tinyOptions()
+		parOpt.Workers = workers
+		par, err := HandlerOverhead(bms, Figure2Plans(), parOpt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			for i := range seq {
+				if !reflect.DeepEqual(seq[i], par[i]) {
+					t.Fatalf("workers=%d: result %d differs:\nseq: %+v\npar: %+v",
+						workers, i, seq[i], par[i])
+				}
+			}
+			t.Fatalf("workers=%d: results differ", workers)
+		}
+		if FormatFigure("t", seq) != FormatFigure("t", par) {
+			t.Errorf("workers=%d: formatted tables differ", workers)
+		}
+	}
+}
+
+// TestHandlerOverheadCancelledPartial shows the pool surfacing partial
+// results with govern.ErrCanceled: a trip-wire plan cancels the sweep's
+// context partway through, and the completed prefix still comes back.
+func TestHandlerOverheadCancelledPartial(t *testing.T) {
+	makeSpecs := func(cancel context.CancelFunc) []PlanSpec {
+		specs := Figure2Plans()[:3] // N, S1, U1
+		tripped := specs[2].Make
+		specs[2].Make = func() workload.Plan {
+			cancel() // the "Ctrl-C" arrives while cell 2 is being built
+			return tripped()
+		}
+		return specs
+	}
+
+	// Sequential path: cells run in order, so exactly the two cells
+	// before the trip-wire complete.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := Options{Scale: 1, MaxInsts: 50_000_000,
+		Machines: []core.Machine{core.OutOfOrder}, Ctx: ctx, Workers: 1}
+	res, err := HandlerOverhead(pickBench(t, "espresso"), makeSpecs(cancel), opt)
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("sequential: error %v does not wrap govern.ErrCanceled", err)
+	}
+	if len(res) != 2 || res[0].Plan != "N" || res[1].Plan != "S1" {
+		t.Fatalf("sequential partial results %+v, want the N and S1 cells", res)
+	}
+
+	// Parallel path: in-flight earlier cells may also be cancelled, but
+	// whatever comes back must be a prefix of the deterministic order and
+	// the error must still wrap govern.ErrCanceled.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	opt.Ctx = ctx2
+	opt.Workers = 4
+	res, err = HandlerOverhead(pickBench(t, "espresso"), makeSpecs(cancel2), opt)
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("parallel: error %v does not wrap govern.ErrCanceled", err)
+	}
+	if len(res) > 2 {
+		t.Fatalf("parallel returned %d results past the cancellation point", len(res))
+	}
+	for i, want := range []string{"N", "S1"}[:len(res)] {
+		if res[i].Plan != want {
+			t.Errorf("parallel partial result %d is %s, want %s", i, res[i].Plan, want)
+		}
+	}
+}
+
+// TestBaselineExplicit pins the satellite bugfix: sweeps without an "N"
+// plan must either name their baseline or fail loudly, never silently
+// normalise against whatever spec came first.
+func TestBaselineExplicit(t *testing.T) {
+	noN := []PlanSpec{
+		{"S1", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(1) }},
+		{"S10", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(10) }},
+	}
+	opt := Options{Scale: 1, MaxInsts: 50_000_000, Machines: []core.Machine{core.OutOfOrder}}
+
+	if _, err := HandlerOverhead(pickBench(t, "espresso"), noN, opt); err == nil ||
+		!strings.Contains(err.Error(), "Options.Baseline") {
+		t.Errorf("missing-N sweep did not demand an explicit baseline: %v", err)
+	}
+
+	opt.Baseline = "S99"
+	if _, err := HandlerOverhead(pickBench(t, "espresso"), noN, opt); err == nil ||
+		!strings.Contains(err.Error(), "S99") {
+		t.Errorf("unknown baseline not rejected: %v", err)
+	}
+
+	opt.Baseline = "S1"
+	res, err := HandlerOverhead(pickBench(t, "espresso"), noN, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Plan == "S1" {
+			if tot := r.Norm.Total(); tot < 0.999 || tot > 1.001 {
+				t.Errorf("explicit baseline normalises to %.3f, want 1.0", tot)
+			}
+		}
+	}
+}
+
+// TestProgCacheShares verifies the workload cache hands every machine the
+// same assembled program for a given (benchmark, plan) cell.
+func TestProgCacheShares(t *testing.T) {
+	bm := pickBench(t, "espresso")[0]
+	specs := Figure2Plans()
+	cache := newProgCache(1)
+	p1, err := cache.get(bm, specs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cache.get(bm, specs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same (benchmark, plan) built twice")
+	}
+	p3, err := cache.get(bm, specs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("distinct plans share a program")
 	}
 }
 

@@ -9,8 +9,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"informing/internal/core"
+	"informing/internal/sched"
 	"informing/internal/stats"
 	"informing/internal/workload"
 )
@@ -93,7 +95,7 @@ type Result struct {
 	Norm stats.Normalized
 }
 
-// Options controls experiment size.
+// Options controls experiment size and scheduling.
 type Options struct {
 	Scale    int64  // workload iteration multiplier (1 = paper-shaped default)
 	MaxInsts uint64 // per-run dynamic instruction guard
@@ -103,6 +105,20 @@ type Options struct {
 	// interrupt; the experiment then returns the results completed so
 	// far together with the error.
 	Ctx context.Context
+
+	// Workers bounds the worker pool that shards the (benchmark, machine,
+	// plan) cells: <= 0 selects runtime.GOMAXPROCS(0), and 1 is the
+	// sequential reference path (the CLIs' -j flag). Any value produces
+	// bit-identical results — see internal/sched's determinism contract.
+	Workers int
+
+	// Baseline names the plan label every result is normalised against
+	// (the figures' y-axis). Empty selects the spec labelled "N"; when no
+	// such spec exists HandlerOverhead returns an error instead of
+	// silently normalising against whatever spec came first, so sweeps
+	// with unconventional plan lists (e.g. TrapModeComparison's
+	// branch-vs-exception specs) must say which bar is the baseline.
+	Baseline string
 }
 
 // DefaultOptions returns full-size settings for both machines.
@@ -118,45 +134,104 @@ func configFor(machine core.Machine, scheme core.Scheme) core.Config {
 	return core.R10000(scheme)
 }
 
+// baselineIndex resolves which spec the sweep normalises against. An
+// explicit Options.Baseline must name one of the specs; otherwise the
+// spec labelled "N" is chosen, and its absence is an error (see
+// Options.Baseline).
+func baselineIndex(specs []PlanSpec, baseline string) (int, error) {
+	want := baseline
+	if want == "" {
+		want = "N"
+	}
+	for i, spec := range specs {
+		if spec.Label == want {
+			return i, nil
+		}
+	}
+	if baseline == "" {
+		return 0, fmt.Errorf("experiments: no %q plan among %s to normalise against; set Options.Baseline explicitly",
+			want, planLabels(specs))
+	}
+	return 0, fmt.Errorf("experiments: baseline plan %q not among %s", baseline, planLabels(specs))
+}
+
+func planLabels(specs []PlanSpec) string {
+	labels := make([]string, len(specs))
+	for i, spec := range specs {
+		labels[i] = spec.Label
+	}
+	return "[" + strings.Join(labels, " ") + "]"
+}
+
 // HandlerOverhead runs every benchmark under every plan on the selected
-// machines. The first plan in specs is treated as the normalisation
-// baseline (by convention "N").
+// machines, sharding the independent (benchmark, machine, plan) cells
+// across an Options.Workers-bounded pool (internal/sched). Results come
+// back in the deterministic benchmark → machine → plan order regardless
+// of worker count; each Result's Norm is computed against the baseline
+// plan's run (Options.Baseline, by default "N") after the parallel join,
+// never racily inside workers. Workload programs are assembled once per
+// (benchmark, plan) and shared across machines and workers.
 //
-// On error — including cancellation through opt.Ctx — the results
-// completed so far are returned alongside it, so an interrupted sweep
-// still yields a partial report.
+// On error — including cancellation through opt.Ctx, which every
+// worker's run governor polls — the contiguous prefix of results
+// completed before the first failing cell is returned alongside it, so
+// an interrupted sweep still yields a partial report.
 func HandlerOverhead(bms []workload.Benchmark, specs []PlanSpec, opt Options) ([]Result, error) {
-	var out []Result
+	baseIdx, err := baselineIndex(specs, opt.Baseline)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		bm      workload.Benchmark
+		machine core.Machine
+		spec    PlanSpec
+	}
+	var cells []cell
 	for _, bm := range bms {
 		for _, machine := range opt.Machines {
-			var base stats.Run
-			for i, spec := range specs {
-				prog, err := workload.Build(bm, spec.Make(), opt.Scale)
-				if err != nil {
-					return out, fmt.Errorf("%s/%s: %w", bm.Name, spec.Label, err)
-				}
-				cfg := configFor(machine, spec.Scheme).WithMaxInsts(opt.MaxInsts)
-				if opt.Ctx != nil {
-					cfg = cfg.WithContext(opt.Ctx)
-				}
-				run, err := cfg.Run(prog)
-				if err != nil {
-					return out, fmt.Errorf("%s/%s/%v: %w", bm.Name, spec.Label, machine, err)
-				}
-				if i == 0 {
-					base = run
-				}
-				out = append(out, Result{
-					Benchmark: bm.Name,
-					Machine:   machine,
-					Plan:      spec.Label,
-					Run:       run,
-					Norm:      run.NormalizeTo(base),
-				})
+			for _, spec := range specs {
+				cells = append(cells, cell{bm: bm, machine: machine, spec: spec})
 			}
 		}
 	}
-	return out, nil
+
+	cache := newProgCache(opt.Scale)
+	jobs := make([]sched.Job[Result], len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = func(ctx context.Context) (Result, error) {
+			prog, err := cache.get(c.bm, c.spec)
+			if err != nil {
+				return Result{}, fmt.Errorf("%s/%s: %w", c.bm.Name, c.spec.Label, err)
+			}
+			cfg := configFor(c.machine, c.spec.Scheme).WithMaxInsts(opt.MaxInsts).WithContext(ctx)
+			run, err := cfg.Run(prog)
+			if err != nil {
+				return Result{}, fmt.Errorf("%s/%s/%v: %w", c.bm.Name, c.spec.Label, c.machine, err)
+			}
+			return Result{
+				Benchmark: c.bm.Name,
+				Machine:   c.machine,
+				Plan:      c.spec.Label,
+				Run:       run,
+			}, nil
+		}
+	}
+
+	out, err := sched.Map(opt.Ctx, opt.Workers, jobs)
+
+	// Normalisation happens after the join: each (benchmark, machine)
+	// group of len(specs) results is scaled by its baseline run. On a
+	// partial (errored) sweep the tail group may be truncated before its
+	// baseline; those results keep a zero Norm.
+	for i := range out {
+		base := i - i%len(specs) + baseIdx
+		if base < len(out) {
+			out[i].Norm = out[i].Run.NormalizeTo(out[base].Run)
+		}
+	}
+	return out, err
 }
 
 // Figure2 reproduces Figure 2 (thirteen benchmarks, 1- and 10-instruction
@@ -167,7 +242,10 @@ func Figure2(opt Options) ([]Result, error) {
 
 // Figure3 reproduces Figure 3 (the su2cor outlier).
 func Figure3(opt Options) ([]Result, error) {
-	bm, _ := workload.ByName("su2cor")
+	bm, ok := workload.ByName("su2cor")
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", "su2cor")
+	}
 	return HandlerOverhead([]workload.Benchmark{bm}, Figure2Plans(), opt)
 }
 
@@ -191,7 +269,10 @@ func H100(opt Options) ([]Result, error) {
 // machine under both trap implementations. It returns the exception/branch
 // execution-time ratios for each handler size.
 func TrapModeComparison(opt Options) (map[string]float64, []Result, error) {
-	bm, _ := workload.ByName("compress")
+	bm, ok := workload.ByName("compress")
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown benchmark %q", "compress")
+	}
 	specs := []PlanSpec{
 		{"S1/branch", core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(1) }},
 		{"S1/exception", core.TrapException, func() workload.Plan { return workload.NewPlanSingle(1) }},
@@ -200,6 +281,9 @@ func TrapModeComparison(opt Options) (map[string]float64, []Result, error) {
 	}
 	o := opt
 	o.Machines = []core.Machine{core.OutOfOrder}
+	// There is no "N" bar in this spec list; the comparison's Norm column
+	// is deliberately relative to the branch-mode 1-instruction run.
+	o.Baseline = "S1/branch"
 	res, err := HandlerOverhead([]workload.Benchmark{bm}, specs, o)
 	if err != nil {
 		return nil, res, err

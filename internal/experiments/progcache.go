@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"sync"
+
+	"informing/internal/isa"
+	"informing/internal/workload"
+)
+
+// progCache builds each (benchmark, plan) workload program once per sweep
+// and shares it across machines and workers: the assembled program depends
+// only on the benchmark, the instrumentation plan and the scale, so the
+// N/S/U plans of one benchmark need not be re-assembled per machine.
+//
+// Sharing is safe because a built *isa.Program is immutable from the
+// engines' point of view — every run copies the initial data image into a
+// private isa.DataMem and only ever reads the text segment. Each entry
+// carries its own sync.Once so two workers wanting the same program
+// neither build it twice nor serialise unrelated builds behind one lock.
+type progCache struct {
+	scale int64
+
+	mu      sync.Mutex
+	entries map[progKey]*progEntry
+}
+
+type progKey struct {
+	bench string
+	plan  string
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+func newProgCache(scale int64) *progCache {
+	return &progCache{scale: scale, entries: make(map[progKey]*progEntry)}
+}
+
+// get returns the assembled program for (bm, spec), building it on first
+// use. Concurrent callers for the same key block on the build; callers for
+// different keys proceed independently.
+func (c *progCache) get(bm workload.Benchmark, spec PlanSpec) (*isa.Program, error) {
+	key := progKey{bench: bm.Name, plan: spec.Label}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &progEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.prog, e.err = workload.Build(bm, spec.Make(), c.scale)
+	})
+	return e.prog, e.err
+}

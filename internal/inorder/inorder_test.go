@@ -194,12 +194,10 @@ func sweep(armed bool) string {
 func TestSlotAccountingConsistent(t *testing.T) {
 	for _, src := range []string{chain(100), sweep(false), loopWithCond("bne r5, r0")} {
 		r := runSrc(t, src, interp.ModeOff)
-		if got := r.BusySlots() + r.OtherSlots + r.CacheSlots; got != r.TotalSlots() {
-			t.Errorf("slots do not sum: %d + %d + %d != %d",
-				r.BusySlots(), r.OtherSlots, r.CacheSlots, r.TotalSlots())
-		}
-		if uint64(r.Instrs) != r.DynInsts {
-			t.Errorf("instrs %d != dyninsts %d", r.Instrs, r.DynInsts)
+		// Run.Check covers the slot-partition and Instrs==DynInsts
+		// invariants in one place (shared with the ooo engine's test).
+		if err := r.Check(); err != nil {
+			t.Errorf("run fails stats.Check: %v", err)
 		}
 	}
 }

@@ -249,12 +249,10 @@ func TestCondCodeScheme(t *testing.T) {
 func TestSlotAccountingConsistent(t *testing.T) {
 	for _, src := range []string{sweepSrc(1), sweepSrc(10)} {
 		r := runCfg(t, src, func(c *Config) { c.Mode = interp.ModeTrap })
-		if got := r.BusySlots() + r.OtherSlots + r.CacheSlots; got != r.TotalSlots() {
-			t.Errorf("slots do not sum: %d+%d+%d != %d",
-				r.BusySlots(), r.OtherSlots, r.CacheSlots, r.TotalSlots())
-		}
-		if uint64(r.Instrs) != r.DynInsts {
-			t.Errorf("graduated %d != executed %d", r.Instrs, r.DynInsts)
+		// Run.Check covers the slot-partition and Instrs==DynInsts
+		// invariants in one place (shared with the inorder engine's test).
+		if err := r.Check(); err != nil {
+			t.Errorf("run fails stats.Check: %v", err)
 		}
 	}
 }

@@ -1,0 +1,105 @@
+// Package sched is the deterministic worker-pool scheduler behind the
+// experiment harnesses (internal/experiments, internal/coherence). A
+// sweep is a flat list of independent jobs — one per (benchmark, machine,
+// plan) or (application, scheme) cell — and Map shards them across a
+// bounded number of workers while preserving the exact output the
+// sequential code produces.
+//
+// Determinism contract:
+//
+//   - Results are returned in job order, never in completion order.
+//   - Each job must be a pure function of its inputs (the simulators are
+//     deterministic), so the value computed for job i is identical at any
+//     worker count.
+//   - On error, Map returns the error of the lowest-indexed failing job
+//     together with the contiguous prefix of results before that index —
+//     exactly the partial output the sequential loop would have produced,
+//     because jobs are never cancelled by a sibling's failure. The only
+//     sources of cancellation are the caller's context (typically a
+//     govern.SignalContext threaded into every job's run governor) and
+//     the jobs' own budgets.
+//
+// Together these make `-j N` and `-j 1` bit-for-bit comparable, which the
+// differential tests pin.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Job computes one cell of a sweep. The context is the caller's
+// cancellation context; jobs are expected to thread it into their run
+// governors so Ctrl-C aborts in-flight simulations promptly.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Workers resolves a -j style worker-count request: n <= 0 selects
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs jobs on at most Workers(workers) goroutines and returns their
+// results in job order. workers == 1 is the sequential reference path:
+// jobs run in order on the calling goroutine and execution stops at the
+// first error. At higher worker counts every job runs to completion and
+// the merge discards results at and past the lowest failing index, so
+// both paths return identical ([]T, error) pairs (see the package
+// determinism contract).
+func Map[T any](ctx context.Context, workers int, jobs []Job[T]) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	if workers == 1 {
+		var out []T
+		for _, job := range jobs {
+			v, err := job(ctx)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = jobs[i](ctx)
+			}
+		}()
+	}
+	// Indices are handed out in increasing order, so when job e is the
+	// lowest-indexed failure, every job below e has already been started
+	// and run to completion: the prefix results[:e] is fully populated.
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results[:i:i], err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"informing/internal/govern"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map[int](nil, 4, nil)
+	if out != nil || err != nil {
+		t.Errorf("empty map: %v, %v", out, err)
+	}
+}
+
+// TestMapOrderDeterministic checks that results come back in job order
+// regardless of completion order (later jobs finish first here).
+func TestMapOrderDeterministic(t *testing.T) {
+	const n = 32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			// Earlier jobs sleep longer, inverting completion order.
+			time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+			return i * i, nil
+		}
+	}
+	for _, workers := range []int{1, 3, 8, n} {
+		out, err := Map(context.Background(), workers, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapErrorPrefix pins the determinism contract's error clause: the
+// lowest-indexed failure is returned with exactly the results before it,
+// identically at every worker count.
+func TestMapErrorPrefix(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := make([]Job[string], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (string, error) {
+			if i == 4 || i == 7 {
+				return "", fmt.Errorf("job %d: %w", i, boom)
+			}
+			return fmt.Sprintf("v%d", i), nil
+		}
+	}
+	seq, seqErr := Map(context.Background(), 1, jobs)
+	for _, workers := range []int{2, 5, 10} {
+		par, parErr := Map(context.Background(), workers, jobs)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: partial results %v != sequential %v", workers, par, seq)
+		}
+		if !errors.Is(parErr, boom) || parErr.Error() != seqErr.Error() {
+			t.Errorf("workers=%d: error %v != sequential %v", workers, parErr, seqErr)
+		}
+	}
+	if len(seq) != 4 {
+		t.Errorf("prefix length %d, want 4", len(seq))
+	}
+}
+
+// TestMapCancelledPartial models an interrupted sweep: jobs poll the
+// context the way the run governor does and return errors wrapping
+// govern.ErrCanceled. The pool must surface the partial prefix completed
+// before the cancellation together with that error.
+func TestMapCancelledPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			ran.Add(1)
+			if i == 4 {
+				cancel() // the "Ctrl-C" arrives while the sweep is mid-flight
+			}
+			if i >= 4 {
+				// Governed runs poll the context and wrap ErrCanceled.
+				if err := ctx.Err(); err != nil {
+					return 0, fmt.Errorf("%w: %w", govern.ErrCanceled, err)
+				}
+			}
+			return i, nil
+		}
+	}
+	out, err := Map(ctx, 8, jobs)
+	if !errors.Is(err, govern.ErrCanceled) {
+		t.Fatalf("error %v does not wrap govern.ErrCanceled", err)
+	}
+	// Jobs 0..3 never observe the cancellation; job 4 always fails after
+	// cancelling, so the deterministic prefix is exactly [0 1 2 3].
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("partial results %v, want %v", out, want)
+	}
+	if ran.Load() == 0 {
+		t.Error("no jobs ran")
+	}
+}
+
+// TestMapBoundsConcurrency verifies no more than `workers` jobs run at
+// once.
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	jobs := make([]Job[struct{}], 24)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (struct{}, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return struct{}{}, nil
+		}
+	}
+	if _, err := Map(context.Background(), workers, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, want <= %d", p, workers)
+	}
+}

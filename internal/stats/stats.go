@@ -12,8 +12,12 @@ import "fmt"
 type Breakdown struct {
 	IssueWidth int
 
-	Cycles     int64
-	Instrs     int64 // graduated instructions (equals busy slots)
+	Cycles int64
+	// Instrs counts graduated instructions (equals busy slots). It is
+	// unsigned like every other dynamic-instruction counter in Run —
+	// Run.Check enforces Instrs == DynInsts, the "graduated == executed"
+	// invariant the engines' tests pin.
+	Instrs     uint64
 	CacheSlots int64 // lost slots charged to data-cache misses
 	OtherSlots int64 // all other lost slots
 }
@@ -21,8 +25,9 @@ type Breakdown struct {
 // TotalSlots returns issue width × cycles.
 func (b Breakdown) TotalSlots() int64 { return b.Cycles * int64(b.IssueWidth) }
 
-// BusySlots returns the number of slots in which an instruction graduated.
-func (b Breakdown) BusySlots() int64 { return b.Instrs }
+// BusySlots returns the number of slots in which an instruction graduated
+// (as an int64, for arithmetic against the other slot categories).
+func (b Breakdown) BusySlots() int64 { return int64(b.Instrs) }
 
 // IPC returns graduated instructions per cycle.
 func (b Breakdown) IPC() float64 {
@@ -45,7 +50,7 @@ func (b Breakdown) Fractions() (busy, other, cache float64) {
 type Run struct {
 	Breakdown
 
-	DynInsts     uint64 // dynamic instructions executed (== graduated)
+	DynInsts     uint64 // dynamic instructions executed (== Instrs; see Check)
 	MemRefs      uint64
 	L1Misses     uint64
 	L2Misses     uint64
@@ -61,6 +66,38 @@ type Run struct {
 	MSHRMerges      uint64
 	MSHRPeak        int
 	SpecInvalidates uint64 // §3.3 squash-path L1 invalidations
+}
+
+// Check validates the counter invariants of a completed run. The engines'
+// tests call it after every simulation so drift between the slot
+// accounting and the dynamic-instruction counters cannot creep back in:
+//
+//   - Instrs == DynInsts (every executed instruction graduates exactly
+//     once — the two counters are maintained by different pipeline stages
+//     and historically had different signedness, hiding mismatches);
+//   - the slot categories partition the total (busy + other + cache ==
+//     issue width × cycles);
+//   - no slot category is negative and the issue width is sane.
+//
+// Check is meaningful only for runs that completed normally; partial
+// statistics attached to an abort Snapshot may legitimately fail it.
+func (r Run) Check() error {
+	if r.IssueWidth <= 0 {
+		return fmt.Errorf("stats: issue width %d, want >= 1", r.IssueWidth)
+	}
+	if r.Cycles < 0 {
+		return fmt.Errorf("stats: negative cycle count %d", r.Cycles)
+	}
+	if r.Instrs != r.DynInsts {
+		return fmt.Errorf("stats: graduated %d != executed %d (counter drift)", r.Instrs, r.DynInsts)
+	}
+	if r.OtherSlots < 0 || r.CacheSlots < 0 {
+		return fmt.Errorf("stats: negative slot category (other=%d cache=%d)", r.OtherSlots, r.CacheSlots)
+	}
+	if got, want := r.BusySlots()+r.OtherSlots+r.CacheSlots, r.TotalSlots(); got != want {
+		return fmt.Errorf("stats: slot categories sum to %d, want %d total slots", got, want)
+	}
+	return nil
 }
 
 // L1MissRate returns primary data cache misses per reference.

@@ -77,7 +77,7 @@ func TestNormalizationProperty(t *testing.T) {
 	f := func(cyc, instr uint16) bool {
 		cycles := int64(cyc%5000) + 100
 		instrs := int64(instr) % (cycles * 4)
-		r := Run{Breakdown: Breakdown{IssueWidth: 4, Cycles: cycles, Instrs: instrs}}
+		r := Run{Breakdown: Breakdown{IssueWidth: 4, Cycles: cycles, Instrs: uint64(instrs)}}
 		r.CacheSlots = (r.TotalSlots() - instrs) / 2
 		r.OtherSlots = r.TotalSlots() - instrs - r.CacheSlots
 		base := sample()
@@ -88,6 +88,39 @@ func TestNormalizationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	ok := sample()
+	ok.OtherSlots = ok.TotalSlots() - ok.BusySlots() - ok.CacheSlots
+	ok.DynInsts = ok.Instrs
+	if err := ok.Check(); err != nil {
+		t.Errorf("consistent run fails Check: %v", err)
+	}
+
+	drift := ok
+	drift.DynInsts++
+	if err := drift.Check(); err == nil || !strings.Contains(err.Error(), "counter drift") {
+		t.Errorf("Instrs/DynInsts drift not caught: %v", err)
+	}
+
+	hole := ok
+	hole.CacheSlots += 3 // slots no longer partition the total
+	if err := hole.Check(); err == nil {
+		t.Error("slot partition violation not caught")
+	}
+
+	neg := ok
+	neg.OtherSlots = -1
+	neg.CacheSlots += 1 + ok.OtherSlots // keep the sum intact
+	if err := neg.Check(); err == nil {
+		t.Error("negative slot category not caught")
+	}
+
+	var zero Run
+	if err := zero.Check(); err == nil {
+		t.Error("zero run (issue width 0) passes Check")
 	}
 }
 
