@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz verify clean bench-smoke
+.PHONY: build test race fuzz verify clean bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/isa
+
+# bench regenerates the committed hot-path report (EXPERIMENTS.md "Hot-path
+# benchmarks"): ns/inst, allocs/inst and cells/sec for the per-instruction
+# pipeline, with speedups against the committed pre-optimization baseline.
+bench:
+	$(GO) run ./cmd/hotpathbench -label optimized -repeat 5 \
+		-baseline BENCH_hotpath_baseline.json -out BENCH_hotpath.json
 
 # bench-smoke checks the parallel runner end to end: the -j sweep must be
 # byte-identical to the sequential path (and its wall-clock is the sweep

@@ -14,6 +14,7 @@ import (
 	"informing/internal/coherence"
 	"informing/internal/govern"
 	"informing/internal/multi"
+	"informing/internal/prof"
 )
 
 func main() {
@@ -25,7 +26,15 @@ func main() {
 		sweep  = flag.Bool("sweep", false, "run the §4.3.2 sensitivity sweep as well")
 		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
 	)
+	pf := prof.Register()
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := multi.DefaultConfig()
 	cfg.Processors = *procs
@@ -49,7 +58,7 @@ func main() {
 				len(rows), len(coherence.Apps(cfg.Processors)))
 			fmt.Print(coherence.FormatFigure4Detail(rows))
 		}
-		os.Exit(1)
+		prof.StopThenExit(stopProf, 1)
 	}
 	fmt.Print(coherence.FormatFigure4(rows, speedup))
 	if *detail {
@@ -61,7 +70,7 @@ func main() {
 			[]int64{300, 900, 1800}, []int{4, 16, 64}, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
-			os.Exit(1)
+			prof.StopThenExit(stopProf, 1)
 		}
 		fmt.Println()
 		fmt.Print(coherence.FormatSensitivity(points))

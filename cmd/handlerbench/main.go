@@ -16,6 +16,8 @@
 // and -j to bound the worker pool that shards the sweep's independent
 // (benchmark, machine, plan) cells (default: GOMAXPROCS; -j 1 is the
 // sequential reference path and produces byte-identical tables).
+// -cpuprofile/-memprofile write pprof profiles of the sweep (the hot-path
+// optimisation workflow of EXPERIMENTS.md).
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"informing/internal/experiments"
 	"informing/internal/govern"
+	"informing/internal/prof"
 	"informing/internal/workload"
 )
 
@@ -37,7 +40,15 @@ func main() {
 		list  = flag.Bool("list", false, "describe the benchmark suite and exit")
 		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
 	)
+	pf := prof.Register()
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "handlerbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("SPEC92 stand-in suite (see DESIGN.md for the substitution argument):")
@@ -162,7 +173,7 @@ func main() {
 		return nil
 	}
 
-	runAll(run, *exp)
+	runAll(run, *exp, stopProf)
 }
 
 // benchSet resolves benchmark names, erroring on unknown ones instead of
@@ -179,7 +190,7 @@ func benchSet(names ...string) ([]workload.Benchmark, error) {
 	return bms, nil
 }
 
-func runAll(run func(string) error, exp string) {
+func runAll(run func(string) error, exp string, stopProf func()) {
 	names := []string{exp}
 	if exp == "all" {
 		names = []string{"fig2", "fig3", "h100", "trapmode", "condcode", "sampling", "counters"}
@@ -190,7 +201,7 @@ func runAll(run func(string) error, exp string) {
 			if snap, ok := govern.SnapshotIn(err); ok {
 				fmt.Fprintf(os.Stderr, "handlerbench: aborted at %v\n", snap)
 			}
-			os.Exit(1)
+			prof.StopThenExit(stopProf, 1)
 		}
 	}
 }

@@ -85,7 +85,7 @@ type Governor struct {
 	budget       uint64
 	watchdog     int64
 	checkEvery   uint64
-	ticks        uint64
+	untilPoll    uint64 // ticks remaining until the next context poll
 	lastProgress int64
 }
 
@@ -109,6 +109,7 @@ func New(cfg Config) *Governor {
 	if g.checkEvery == 0 {
 		g.checkEvery = DefaultCheckEvery
 	}
+	g.untilPoll = g.checkEvery
 	return g
 }
 
@@ -126,10 +127,15 @@ func (g *Governor) Watchdog() int64 { return g.watchdog }
 // ticks. It returns nil, or an error wrapping both ErrCanceled and the
 // context's own error. The poll uses ctx.Err(), never blocking.
 func (g *Governor) Tick() error {
-	g.ticks++
-	if g.ticks%g.checkEvery != 0 {
+	// Countdown instead of a modulo on a running counter: the polling
+	// schedule is identical (first poll on the CheckEvery-th tick) but the
+	// per-tick cost is a decrement and compare, not a 64-bit division —
+	// Tick sits on the per-cycle hot path of every engine.
+	g.untilPoll--
+	if g.untilPoll != 0 {
 		return nil
 	}
+	g.untilPoll = g.checkEvery
 	return g.CheckCtx()
 }
 

@@ -146,6 +146,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		}
 	}
 	m := interp.New(prog, cfg.Mode, probe)
+	statics := m.Statics()
 	m.TrapThreshold = cfg.TrapThreshold
 	if cfg.Faults != nil {
 		m.Faults = cfg.Faults
@@ -162,6 +163,14 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		gc.MaxInsts = cfg.MaxInsts
 	}
 	gov := govern.New(gc)
+
+	// Per-opcode execution latencies, resolved once so the issue stage
+	// indexes a flat table instead of re-deriving the latency per dynamic
+	// instruction.
+	var lat [isa.NumOps]int64
+	for op := 0; op < isa.NumOps; op++ {
+		lat[op] = int64(cfg.Lat.Latency(isa.Op(op)))
+	}
 
 	var (
 		regReady [isa.NumRegs + 1]int64
@@ -224,6 +233,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		}
 	}
 
+	var rec interp.Rec // reused across StepInto calls (Rec is copy-heavy)
 	for !m.Halted {
 		if m.Seq >= limit {
 			return out, m, abort(fmt.Errorf("inorder: %w: %w (%d instructions)",
@@ -233,11 +243,11 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			return out, m, abort(fmt.Errorf("inorder: %w", err))
 		}
 		wasInHandler := inHandler
-		rec, err := m.Step()
-		if err != nil {
+		if err := m.StepInto(&rec); err != nil {
 			return out, m, err
 		}
 		in := rec.Inst
+		st := &statics[rec.SIdx]
 
 		// --- fetch ---------------------------------------------------
 		if fetchSlots == cfg.FetchWidth {
@@ -263,8 +273,8 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 
 		// --- operand readiness ----------------------------------------
 		earliest := ft + cfg.FrontDepth
-		for _, s := range in.Sources() {
-			if r := regReady[s]; r > earliest {
+		for s := 0; s < int(st.NSrc); s++ {
+			if r := regReady[st.Src[s]]; r > earliest {
 				earliest = r
 			}
 		}
@@ -275,12 +285,12 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		}
 
 		// --- issue & execute -------------------------------------------
-		fu := in.FU()
+		fu := st.FU
 		issueAt := findIssue(earliest, fu)
 		var complete int64
 		missStart, missEnd := int64(-1), int64(-1)
 
-		if in.IsMem() {
+		if st.Mem() {
 			out.MemRefs++
 			if rec.Level > interp.LevelL1 {
 				out.L1Misses++
@@ -308,10 +318,10 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			tagKnown := issueAt + int64(cfg.Timing.L1HitLat)
 			regReady[ccReg] = tagKnown
 			switch {
-			case in.IsLoad():
+			case st.Load():
 				complete = done
-				if d, okd := in.Dest(); okd {
-					regReady[d] = done
+				if st.HasDest {
+					regReady[st.Dest] = done
 				}
 				if rec.Level > interp.LevelL1 {
 					missStart, missEnd = tagKnown, done
@@ -325,9 +335,9 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				fetchSlots = 0
 			}
 		} else {
-			complete = issueAt + int64(cfg.Lat.Latency(in.Op))
-			if d, okd := in.Dest(); okd {
-				regReady[d] = complete
+			complete = issueAt + lat[in.Op]
+			if st.HasDest {
+				regReady[st.Dest] = complete
 			}
 		}
 

@@ -74,6 +74,7 @@ type Rec struct {
 	Seq    uint64
 	PC     uint64
 	Inst   isa.Inst
+	SIdx   int // static instruction index: Prog.Text[SIdx] == Inst
 	NextPC uint64
 
 	// Memory operations only.
@@ -137,6 +138,15 @@ type Machine struct {
 	Traps       uint64
 	BmissTaken  uint64
 	MissCounter uint64
+
+	// Predecoded dispatch state (DESIGN.md §10): the text segment, its
+	// base and the per-static-instruction classification are cached here
+	// at construction so Step neither re-validates the PC arithmetic nor
+	// re-derives instruction invariants per dynamic instance. Built by
+	// New; rebuilt lazily when a Machine is constructed as a literal.
+	static   []isa.Static
+	text     []isa.Inst
+	textBase uint64
 }
 
 // New returns a Machine ready to run p from its text base, with memory
@@ -144,7 +154,27 @@ type Machine struct {
 func New(p *isa.Program, mode Mode, probe Probe) *Machine {
 	mem := &isa.DataMem{}
 	mem.LoadInit(p)
-	return &Machine{Prog: p, Mem: mem, PC: p.TextBase, Mode: mode, Probe: probe}
+	m := &Machine{Prog: p, Mem: mem, PC: p.TextBase, Mode: mode, Probe: probe}
+	m.predecode()
+	return m
+}
+
+// predecode (re)builds the cached dispatch state from Prog.
+func (m *Machine) predecode() {
+	m.text = m.Prog.Text
+	m.textBase = m.Prog.TextBase
+	m.static = isa.PredecodeText(m.text)
+}
+
+// Statics returns the per-static-instruction predecode table, building it
+// on first use. The timing cores index it with Rec.SIdx so their
+// scheduling loops never re-derive static classification (or allocate;
+// Inst.Sources returns a fresh slice, Static.Src does not).
+func (m *Machine) Statics() []isa.Static {
+	if m.static == nil {
+		m.predecode()
+	}
+	return m.static
 }
 
 func (m *Machine) g(r isa.Reg) uint64 {
@@ -194,14 +224,34 @@ func (m *Machine) probe(addr uint64, write bool) int {
 
 // Step executes one instruction and returns its dynamic record.
 func (m *Machine) Step() (Rec, error) {
+	var rec Rec
+	err := m.StepInto(&rec)
+	return rec, err
+}
+
+// StepInto is Step writing the dynamic record into a caller-provided
+// buffer. Rec is large enough that the by-value return of Step is a
+// measurable fraction of the functional hot loop; the per-instruction
+// drivers (Run, the timing cores) hoist one Rec out of their loops and
+// step into it.
+func (m *Machine) StepInto(rec *Rec) error {
 	if m.Halted {
-		return Rec{}, errors.New("interp: step on halted machine")
+		return errors.New("interp: step on halted machine")
 	}
-	in, ok := m.Prog.Fetch(m.PC)
-	if !ok {
-		return Rec{}, fmt.Errorf("%w: %#x", ErrPC, m.PC)
+	if m.static == nil {
+		m.predecode()
 	}
-	rec := Rec{Seq: m.Seq, PC: m.PC, Inst: in}
+	// Predecoded fetch: the text base, segment and per-instruction
+	// classification were cached at construction, so the per-step cost is
+	// bounds arithmetic on constants (InstBytes is a power of two).
+	off := m.PC - m.textBase
+	k := int(off / isa.InstBytes)
+	if m.PC < m.textBase || off%isa.InstBytes != 0 || k >= len(m.text) {
+		return fmt.Errorf("%w: %#x", ErrPC, m.PC)
+	}
+	in := &m.text[k]
+	st := &m.static[k]
+	*rec = Rec{Seq: m.Seq, PC: m.PC, Inst: *in, SIdx: k}
 	m.Seq++
 	next := m.PC + isa.InstBytes
 
@@ -293,10 +343,11 @@ func (m *Machine) Step() (Rec, error) {
 
 	case isa.Ld, isa.Fld, isa.St, isa.Fst, isa.Prefetch:
 		ea := m.g(in.Rs1) + uint64(in.Imm)
+		isStore := st.Store()
 		rec.EA = ea
-		rec.Level = m.probe(ea, in.IsStore())
+		rec.Level = m.probe(ea, isStore)
 		if m.Faults != nil {
-			rec.Level = m.Faults.Outcome(m.PC, ea, in.IsStore(), m.InHandler, rec.Level)
+			rec.Level = m.Faults.Outcome(m.PC, ea, isStore, m.InHandler, rec.Level)
 		}
 		switch in.Op {
 		case isa.Ld:
@@ -375,15 +426,15 @@ func (m *Machine) Step() (Rec, error) {
 		m.InHandler = false
 
 	default:
-		return Rec{}, fmt.Errorf("interp: %#x: unimplemented op %v", m.PC, in.Op)
+		return fmt.Errorf("interp: %#x: unimplemented op %v", m.PC, in.Op)
 	}
 
-	if in.IsCondBranch() && rec.Taken {
+	if rec.Taken && st.CondBranch() {
 		next = m.PC + isa.InstBytes + uint64(in.Imm)
 	}
 	rec.NextPC = next
 	m.PC = next
-	return rec, nil
+	return nil
 }
 
 // Run executes until Halt or until limit instructions have run (0 means
@@ -405,6 +456,7 @@ func (m *Machine) RunGoverned(gov *govern.Governor) error {
 			InHandler: m.InHandler, MHAR: m.MHAR, MHRR: m.MHRR,
 		})
 	}
+	var rec Rec
 	for !m.Halted {
 		if m.Seq >= limit {
 			return abort(fmt.Errorf("interp: %w: %w (%d)", govern.ErrBudget, ErrLimit, limit))
@@ -412,7 +464,7 @@ func (m *Machine) RunGoverned(gov *govern.Governor) error {
 		if err := gov.Tick(); err != nil {
 			return abort(fmt.Errorf("interp: %w", err))
 		}
-		if _, err := m.Step(); err != nil {
+		if err := m.StepInto(&rec); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,112 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDataMemMRUMemoMatchesMapModel replays access patterns chosen to
+// stress the MRU-page memo (DESIGN.md §10) — long sequential runs inside
+// one page, strides that cross page boundaries every few accesses, and
+// random jumps that force memo misses — against a plain map of word
+// addresses, requiring identical load results and final contents.
+func TestDataMemMRUMemoMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var m DataMem
+	model := map[uint64]uint64{}
+	store := func(addr, v uint64) {
+		m.Store(addr, v)
+		model[addr&^7] = v
+	}
+	load := func(addr uint64) {
+		if got, want := m.Load(addr), model[addr&^7]; got != want {
+			t.Fatalf("Load(%#x) = %d, model %d", addr, got, want)
+		}
+	}
+	// Sequential run within and across pages (memo hit until each
+	// boundary, then one memo refill).
+	for addr := uint64(0x10000); addr < 0x10000+3*pageBytes; addr += 8 {
+		store(addr, addr^0xabc)
+		load(addr)
+	}
+	// Strided walk crossing a page every 4 accesses.
+	for addr := uint64(0x40000000); addr < 0x40000000+64*pageBytes; addr += pageBytes / 4 {
+		store(addr, addr*3)
+	}
+	// Interleaved loads to two pages: every access retargets the memo.
+	for i := 0; i < 1000; i++ {
+		load(0x10000 + uint64(i%512)*8)
+		load(0x40000000 + uint64(i%256)*16)
+	}
+	// Random mix, including loads of never-written pages (which must not
+	// allocate or poison the memo with a nil page).
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(16))<<20 | uint64(rng.Intn(pageWords))*8
+		switch rng.Intn(3) {
+		case 0:
+			store(addr, rng.Uint64())
+		default:
+			load(addr)
+		}
+	}
+	for addr, v := range model {
+		if m.Load(addr) != v {
+			t.Fatalf("final sweep: Load(%#x) = %d, model %d", addr, m.Load(addr), v)
+		}
+	}
+}
+
+// TestDataMemMemoColdLoad: a load of an unmapped address must not
+// install a memo entry that a later store could alias, and must not
+// allocate the page.
+func TestDataMemMemoColdLoad(t *testing.T) {
+	var m DataMem
+	m.Store(0x1000, 5) // primes the memo with page 1
+	if m.Load(0x100000) != 0 {
+		t.Fatal("unwritten memory not zero")
+	}
+	if m.Pages() != 1 {
+		t.Fatalf("cold load allocated a page: %d pages", m.Pages())
+	}
+	// The memo must still resolve page 1, not the absent page.
+	if m.Load(0x1000) != 5 {
+		t.Fatal("memo poisoned by cold load")
+	}
+	m.Store(0x100000, 9)
+	if m.Load(0x100000) != 9 || m.Load(0x1000) != 5 {
+		t.Fatal("store after cold load corrupted state")
+	}
+}
+
+// TestDataMemFingerprint pins the Fingerprint contract: equal contents
+// (under Equal's absent==zero equivalence) fingerprint equally, and any
+// observable difference changes the fingerprint.
+func TestDataMemFingerprint(t *testing.T) {
+	var a, b DataMem
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("empty memories differ")
+	}
+	a.Store(0x100, 1)
+	a.Store(0x2000, 2)
+	b.Store(0x2000, 2)
+	b.Store(0x100, 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("write order changed fingerprint")
+	}
+	// A page of zeroes is equivalent to an absent page.
+	a.Store(0x40000, 0)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("explicit zero page changed fingerprint")
+	}
+	b.Store(0x100, 3)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("differing contents fingerprint equally")
+	}
+	b.Store(0x100, 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("restored contents fingerprint differently")
+	}
+	if c := a.Clone(); c.Fingerprint() != a.Fingerprint() {
+		t.Fatal("clone fingerprints differently")
+	}
+}

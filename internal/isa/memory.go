@@ -1,13 +1,25 @@
 package isa
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // DataMem is the simulated flat data memory: a sparse, page-granular store
 // of 64-bit words. All accesses are 8-byte words; addresses are rounded
 // down to word boundaries (the simulated ISA has no sub-word accesses).
 // The zero value is ready to use.
+//
+// An MRU-page memo (DESIGN.md §10) caches the last-touched page so the
+// dominant sequential and strided access patterns resolve with pointer
+// arithmetic instead of a map lookup. The memo is pure acceleration
+// state: pages are never removed from the map, so a (mruPN, mruPg) pair
+// can only go stale by pointing at a page that is still correct.
 type DataMem struct {
 	pages map[uint64]*dataPage
+
+	mruPN uint64    // page number of the most recently touched page
+	mruPg *dataPage // nil until the first page is touched
 }
 
 const (
@@ -27,11 +39,17 @@ func (m *DataMem) page(addr uint64, create bool) *dataPage {
 		pg = new(dataPage)
 		m.pages[pn] = pg
 	}
+	if pg != nil {
+		m.mruPN, m.mruPg = pn, pg
+	}
 	return pg
 }
 
 // Load reads the 64-bit word containing addr. Unwritten memory reads as 0.
 func (m *DataMem) Load(addr uint64) uint64 {
+	if pg := m.mruPg; pg != nil && addr/pageBytes == m.mruPN {
+		return pg[addr%pageBytes/8]
+	}
 	pg := m.page(addr, false)
 	if pg == nil {
 		return 0
@@ -41,8 +59,11 @@ func (m *DataMem) Load(addr uint64) uint64 {
 
 // Store writes the 64-bit word containing addr.
 func (m *DataMem) Store(addr, val uint64) {
-	pg := m.page(addr, true)
-	pg[addr%pageBytes/8] = val
+	if pg := m.mruPg; pg != nil && addr/pageBytes == m.mruPN {
+		pg[addr%pageBytes/8] = val
+		return
+	}
+	m.page(addr, true)[addr%pageBytes/8] = val
 }
 
 // LoadF reads a float64 word.
@@ -85,8 +106,45 @@ func (m *DataMem) Equal(o *DataMem) bool {
 	return covered(m, o) && covered(o, m)
 }
 
+// Fingerprint returns a deterministic FNV-1a hash of the memory's
+// observable contents: non-zero words hashed with their addresses in
+// ascending address order. Absent pages and all-zero pages fingerprint
+// identically, matching Equal's equivalence. Differential tests use it to
+// pin final architectural state across optimisation work.
+func (m *DataMem) Fingerprint() uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(w uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= prime64
+			w >>= 8
+		}
+	}
+	for _, pn := range pns {
+		pg := m.pages[pn]
+		for i, w := range pg {
+			if w == 0 {
+				continue
+			}
+			word(pn*pageBytes + uint64(i)*8)
+			word(w)
+		}
+	}
+	return h
+}
+
 // Clone returns a deep copy of the memory (used by the multithreading
-// example and differential tests).
+// example and differential tests). The MRU-page memo is not carried over:
+// the clone must not alias the source's pages.
 func (m *DataMem) Clone() *DataMem {
 	c := &DataMem{pages: make(map[uint64]*dataPage, len(m.pages))}
 	for pn, pg := range m.pages {

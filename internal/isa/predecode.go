@@ -1,0 +1,105 @@
+package isa
+
+// StaticFlags is the predecoded classification bitmask of one static
+// instruction (see Static).
+type StaticFlags uint8
+
+const (
+	// SfMem marks data-memory operations (Ld, St, Fld, Fst, Prefetch).
+	SfMem StaticFlags = 1 << iota
+	// SfLoad marks register-writing memory reads (Ld, Fld).
+	SfLoad
+	// SfStore marks memory writes (St, Fst).
+	SfStore
+	// SfBranch marks every instruction that may redirect control flow.
+	SfBranch
+	// SfCondBranch marks conditional branches (Beq..Bge, Bmiss).
+	SfCondBranch
+	// SfFP marks floating-point-unit instructions.
+	SfFP
+	// SfInforming marks memory operations participating in the informing
+	// mechanism (Inst.Informing on a memory op).
+	SfInforming
+)
+
+// Static is the predecoded, per-static-instruction classification the
+// timing cores and the functional machine consult on every dynamic
+// instance. It exists so the per-instruction hot loops never re-derive
+// invariants of the static instruction (source registers, destination,
+// functional unit, memory class) and never allocate: Inst.Sources returns
+// a fresh slice per call, Static.Src is a fixed array filled once at
+// predecode time.
+type Static struct {
+	Src     [2]Reg // source registers, R0 excluded (matching Inst.Sources)
+	NSrc    uint8  // number of valid Src entries
+	Dest    Reg    // destination register; meaningful when HasDest
+	HasDest bool
+	FU      FUClass
+	Flags   StaticFlags
+}
+
+// Mem reports whether the instruction accesses data memory.
+func (s *Static) Mem() bool { return s.Flags&SfMem != 0 }
+
+// Load reports whether the instruction reads memory into a register.
+func (s *Static) Load() bool { return s.Flags&SfLoad != 0 }
+
+// Store reports whether the instruction writes memory.
+func (s *Static) Store() bool { return s.Flags&SfStore != 0 }
+
+// Branch reports whether the instruction may change control flow.
+func (s *Static) Branch() bool { return s.Flags&SfBranch != 0 }
+
+// CondBranch reports whether the instruction is a conditional branch.
+func (s *Static) CondBranch() bool { return s.Flags&SfCondBranch != 0 }
+
+// InformingMem reports whether the instruction is an informing memory
+// operation.
+func (s *Static) InformingMem() bool { return s.Flags&SfInforming != 0 }
+
+// Static predecodes one instruction. It is definitionally consistent with
+// the Inst classification methods (Sources, Dest, FU, IsMem, ...); the
+// property test in predecode_test.go pins the equivalence over every
+// opcode.
+func (i Inst) Static() Static {
+	var s Static
+	for _, r := range i.Sources() {
+		s.Src[s.NSrc] = r
+		s.NSrc++
+	}
+	s.Dest, s.HasDest = i.Dest()
+	s.FU = i.FU()
+	if i.IsMem() {
+		s.Flags |= SfMem
+		if i.Informing {
+			s.Flags |= SfInforming
+		}
+	}
+	if i.IsLoad() {
+		s.Flags |= SfLoad
+	}
+	if i.IsStore() {
+		s.Flags |= SfStore
+	}
+	if i.IsBranch() {
+		s.Flags |= SfBranch
+	}
+	if i.IsCondBranch() {
+		s.Flags |= SfCondBranch
+	}
+	if i.IsFP() {
+		s.Flags |= SfFP
+	}
+	return s
+}
+
+// PredecodeText predecodes a text segment. The result is indexed by
+// static instruction index (see Program.IndexOf); it is never nil, so a
+// nil check distinguishes "not yet predecoded" from "empty program".
+func PredecodeText(text []Inst) []Static {
+	out := make([]Static, len(text))
+	for k := range text {
+		out[k] = text[k].Static()
+	}
+	return out
+}

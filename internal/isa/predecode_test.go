@@ -1,0 +1,90 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStaticMatchesInstClassification is the property pinned in the
+// Static doc comment: for every opcode (with randomized register fields
+// and both Informing settings), the predecoded Static agrees with the
+// Inst classification methods it caches.
+func TestStaticMatchesInstClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for o := Op(0); int(o) < NumOps; o++ {
+		for trial := 0; trial < 8; trial++ {
+			in := Inst{
+				Op:        o,
+				Rd:        Reg(rng.Intn(int(NumRegs))),
+				Rs1:       Reg(rng.Intn(int(NumRegs))),
+				Rs2:       Reg(rng.Intn(int(NumRegs))),
+				Imm:       int64(rng.Int31()),
+				Informing: trial%2 == 1,
+			}
+			st := in.Static()
+			srcs := in.Sources()
+			if int(st.NSrc) != len(srcs) {
+				t.Fatalf("%v: NSrc = %d, Sources() has %d", in, st.NSrc, len(srcs))
+			}
+			for k, r := range srcs {
+				if st.Src[k] != r {
+					t.Fatalf("%v: Src[%d] = %v, Sources()[%d] = %v", in, k, st.Src[k], k, r)
+				}
+			}
+			d, okd := in.Dest()
+			if st.HasDest != okd || (okd && st.Dest != d) {
+				t.Fatalf("%v: Dest = (%v,%v), Inst.Dest = (%v,%v)", in, st.Dest, st.HasDest, d, okd)
+			}
+			if st.FU != in.FU() {
+				t.Fatalf("%v: FU = %v, Inst.FU = %v", in, st.FU, in.FU())
+			}
+			checks := []struct {
+				name string
+				got  bool
+				want bool
+			}{
+				{"Mem", st.Mem(), in.IsMem()},
+				{"Load", st.Load(), in.IsLoad()},
+				{"Store", st.Store(), in.IsStore()},
+				{"Branch", st.Branch(), in.IsBranch()},
+				{"CondBranch", st.CondBranch(), in.IsCondBranch()},
+				{"FP", st.Flags&SfFP != 0, in.IsFP()},
+				{"InformingMem", st.InformingMem(), in.IsMem() && in.Informing},
+			}
+			for _, c := range checks {
+				if c.got != c.want {
+					t.Fatalf("%v: %s = %v, Inst method says %v", in, c.name, c.got, c.want)
+				}
+			}
+		}
+	}
+}
+
+// TestPredecodeText covers the slice-level contract: index alignment
+// with the text segment and the never-nil guarantee.
+func TestPredecodeText(t *testing.T) {
+	if PredecodeText(nil) == nil {
+		t.Fatal("PredecodeText(nil) returned nil")
+	}
+	text := []Inst{
+		{Op: Add, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: Ld, Rd: 4, Rs1: 5, Imm: 16, Informing: true},
+		{Op: Beq, Rs1: 1, Rs2: 2, Imm: -8},
+		{Op: Halt},
+	}
+	sts := PredecodeText(text)
+	if len(sts) != len(text) {
+		t.Fatalf("length %d, want %d", len(sts), len(text))
+	}
+	for k := range text {
+		if sts[k] != text[k].Static() {
+			t.Fatalf("entry %d: %+v != %+v", k, sts[k], text[k].Static())
+		}
+	}
+	if !sts[1].Mem() || !sts[1].Load() || !sts[1].InformingMem() {
+		t.Fatal("informing load misclassified")
+	}
+	if !sts[2].Branch() || !sts[2].CondBranch() {
+		t.Fatal("conditional branch misclassified")
+	}
+}

@@ -39,6 +39,14 @@ func (c CacheConfig) validate() error {
 // Cache is a set-associative cache with true-LRU replacement. It tracks
 // tag state only (the simulator keeps data in isa.DataMem); a dirty bit is
 // maintained so write-back traffic can be accounted.
+//
+// A way memo (DESIGN.md §10) remembers the most recently hit or filled
+// (line, way) so the dominant same-line re-reference takes a single-compare
+// fast path instead of the set scan. Invariant: whenever memoOK is set,
+// ways[memoIdx] is valid and holds tag memoLine. Every mutation that could
+// break the invariant — Invalidate, Flush, victim replacement — clears or
+// retargets the memo, so a memoized hit can never survive an invalidation
+// and Accesses/Misses/LRU state are bit-identical to the unmemoized cache.
 type Cache struct {
 	cfg       CacheConfig
 	lineShift uint
@@ -46,6 +54,10 @@ type Cache struct {
 	ways      []way // sets*assoc, set-major
 
 	stamp uint64 // LRU clock
+
+	memoLine uint64 // line address (addr >> lineShift) of the memoized way
+	memoIdx  int32  // global way index of the memoized line
+	memoOK   bool
 
 	// Statistics.
 	Accesses uint64
@@ -103,10 +115,31 @@ func (c *Cache) set(addr uint64) []way {
 // miss (write-allocate). It reports whether the access hit and, when an
 // eviction of a dirty line occurred, the evicted line address.
 func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback uint64, wb bool) {
-	c.Accesses++
 	tag := addr >> c.lineShift
-	set := c.set(addr)
+	if c.memoOK && c.memoLine == tag {
+		// Way-memo fast path: same line as the previous hit/fill.
+		c.Accesses++
+		c.stamp++
+		w := &c.ways[c.memoIdx]
+		w.used = c.stamp
+		if write {
+			w.dirty = true
+		}
+		return true, 0, false
+	}
+	return c.accessSlow(tag, write)
+}
+
+// accessSlow is the full set scan; a single pass finds the hit way and, in
+// the same loop, the replacement victim (first invalid way, else true LRU
+// with lowest-index tie break — the same choice the historical two-scan
+// code made).
+func (c *Cache) accessSlow(tag uint64, write bool) (hit bool, writeback uint64, wb bool) {
+	c.Accesses++
+	base := int(tag&c.setMask) * c.cfg.Assoc
+	set := c.ways[base : base+c.cfg.Assoc]
 	c.stamp++
+	victim, invalidFound := 0, false
 	for i := range set {
 		w := &set[i]
 		if w.valid && w.tag == tag {
@@ -114,33 +147,39 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback uint64, wb 
 			if write {
 				w.dirty = true
 			}
+			c.memoLine, c.memoIdx, c.memoOK = tag, int32(base+i), true
 			return true, 0, false
+		}
+		if !invalidFound {
+			if !w.valid {
+				victim, invalidFound = i, true
+			} else if w.used < set[victim].used {
+				victim = i
+			}
 		}
 	}
 	c.Misses++
-	// Choose a victim: an invalid way if one exists, else true LRU.
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].used < set[victim].used {
-			victim = i
-		}
-	}
 	w := &set[victim]
 	if w.valid && w.dirty {
 		writeback = w.tag << c.lineShift
 		wb = true
 	}
 	*w = way{tag: tag, valid: true, dirty: write, used: c.stamp}
+	// Retarget the memo at the freshly filled line: the replacement may
+	// just have evicted the memoized line from this very way, and the new
+	// line is the MRU re-reference candidate either way.
+	c.memoLine, c.memoIdx, c.memoOK = tag, int32(base+victim), true
 	return false, writeback, wb
 }
 
 // Contains reports whether addr's line is present, without updating LRU.
+// It consults the way memo first; the memo invariant (see Cache) makes
+// that answer exact.
 func (c *Cache) Contains(addr uint64) bool {
 	tag := addr >> c.lineShift
+	if c.memoOK && c.memoLine == tag {
+		return true
+	}
 	for _, w := range c.set(addr) {
 		if w.valid && w.tag == tag {
 			return true
@@ -150,8 +189,15 @@ func (c *Cache) Contains(addr uint64) bool {
 }
 
 // Invalidate removes addr's line if present and reports whether it was.
+// The way memo is cleared when it named the invalidated line, so a
+// memoized hit can never survive an invalidation.
 func (c *Cache) Invalidate(addr uint64) bool {
 	tag := addr >> c.lineShift
+	if c.memoOK && c.memoLine == tag {
+		c.memoOK = false
+		c.ways[c.memoIdx] = way{}
+		return true
+	}
 	set := c.set(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -164,6 +210,7 @@ func (c *Cache) Invalidate(addr uint64) bool {
 
 // Flush invalidates the entire cache (context switch modelling).
 func (c *Cache) Flush() {
+	c.memoOK = false
 	for i := range c.ways {
 		c.ways[i] = way{}
 	}

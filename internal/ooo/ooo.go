@@ -162,6 +162,7 @@ type producer struct {
 
 type robEntry struct {
 	rec     interp.Rec
+	st      *isa.Static // predecoded classification of rec.Inst (never nil)
 	fu      isa.FUClass
 	srcs    [3]producer // register producers (up to 2) + CC producer for BMISS
 	nsrc    int
@@ -219,6 +220,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		}
 	}
 	m := interp.New(prog, cfg.Mode, probe)
+	statics := m.Statics()
 	m.TrapThreshold = cfg.TrapThreshold
 	if cfg.Faults != nil {
 		m.Faults = cfg.Faults
@@ -236,6 +238,14 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		gc.MaxInsts = cfg.MaxInsts
 	}
 	gov := govern.New(gc)
+
+	// Per-opcode execution latencies, resolved once so the issue stage
+	// indexes a flat table instead of re-deriving the latency per dynamic
+	// instruction.
+	var lat [isa.NumOps]int64
+	for op := 0; op < isa.NumOps; op++ {
+		lat[op] = int64(cfg.Lat.Latency(isa.Op(op)))
+	}
 
 	rob := make([]robEntry, cfg.ROBSize)
 	head, tail, count := 0, 0, 0
@@ -277,6 +287,8 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		return govern.WithSnapshot(cause, snap)
 	}
 
+	var rec interp.Rec // reused across StepInto calls (Rec is copy-heavy)
+
 	ready := func(p producer) bool {
 		if !p.set {
 			return true
@@ -300,8 +312,11 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 
 	shadowCount := func() int {
 		n := 0
-		for i, c := head, count; c > 0; i, c = (i+1)%cfg.ROBSize, c-1 {
+		for i, c := head, count; c > 0; c-- {
 			e := &rob[i]
+			if i++; i == cfg.ROBSize {
+				i = 0
+			}
 			if !e.shadow {
 				continue
 			}
@@ -311,7 +326,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				continue
 			}
 			res := e.compC
-			if e.rec.Inst.IsMem() {
+			if e.st.Mem() {
 				res = e.tagC
 			}
 			if res > cycle {
@@ -370,10 +385,14 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					Trap:     e.rec.Trap,
 				})
 			}
-			if e.rec.Inst.IsMem() && cfg.ExtendMSHRLifetime && e.isMiss {
+			// isMiss is only ever set on memory operations, so the
+			// explicit IsMem() conjunct is redundant.
+			if cfg.ExtendMSHRLifetime && e.isMiss {
 				timing.Release(e.memAddr)
 			}
-			head = (head + 1) % cfg.ROBSize
+			if head++; head == cfg.ROBSize {
+				head = 0
+			}
 			count--
 			gradN++
 			out.Instrs++
@@ -388,8 +407,12 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		// ---- issue ----------------------------------------------------
 		issuedN := 0
 		var fuUsed [isa.NumFUClasses]int
-		for i, c := head, count; c > 0 && issuedN < cfg.IssueWidth; i, c = (i+1)%cfg.ROBSize, c-1 {
+		for i, c := head, count; c > 0 && issuedN < cfg.IssueWidth; c-- {
 			e := &rob[i]
+			at := i
+			if i++; i == cfg.ROBSize {
+				i = 0
+			}
 			if e.issued || e.fetchC+cfg.FrontDepth > cycle {
 				continue
 			}
@@ -399,7 +422,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			ok := true
 			// Counter reads serialize the pipeline (§1): MFCNT issues
 			// only from the head of the reorder buffer.
-			if e.rec.Inst.Op == isa.Mfcnt && i != head {
+			if e.rec.Inst.Op == isa.Mfcnt && at != head {
 				ok = false
 			}
 			for s := 0; s < e.nsrc; s++ {
@@ -414,8 +437,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			if !ok {
 				continue
 			}
-			in := e.rec.Inst
-			if in.IsMem() {
+			if e.st.Mem() {
 				done, accepted := timing.Request(cycle, e.rec.Level, e.rec.EA)
 				if accepted && cfg.Faults != nil {
 					done += cfg.Faults.Delay(e.rec.PC, e.rec.EA)
@@ -427,13 +449,13 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					continue
 				}
 				e.tagC = cycle + int64(cfg.Timing.L1HitLat)
-				if in.IsLoad() {
+				if e.st.Load() {
 					e.compC = done
 				} else {
 					e.compC = e.tagC
 				}
 			} else {
-				e.compC = cycle + int64(cfg.Lat.Latency(in.Op))
+				e.compC = cycle + lat[e.rec.Inst.Op]
 				e.tagC = e.compC
 			}
 			e.issueC = cycle
@@ -446,10 +468,16 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		if cycle >= fetchBlocked && stallResolved() {
 			stallKind = stallNone
 			fetched := 0
+			// Shadow-state occupancy is computed once per fetch stage and
+			// then maintained incrementally: the cycle does not advance
+			// mid-stage and dispatch never mutates older entries, so no
+			// shadow can resolve while fetching — the count only grows, by
+			// exactly the shadow entries dispatched below.
+			shadows := shadowCount()
 			for fetched < cfg.IssueWidth && count < cfg.ROBSize && !m.Halted {
 				// Shadow-state limit gates fetch past unresolved
 				// speculation.
-				if shadowCount() >= cfg.ShadowStates {
+				if shadows >= cfg.ShadowStates {
 					break
 				}
 				if m.Seq >= limit {
@@ -457,8 +485,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 						govern.ErrBudget, interp.ErrLimit, limit))
 				}
 				wasInHandler := inHandler
-				rec, err := m.Step()
-				if err != nil {
+				if err := m.StepInto(&rec); err != nil {
 					return out, m, err
 				}
 				in := rec.Inst
@@ -477,23 +504,25 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 						}
 					}
 				}
-				e := &rob[tail]
-				*e = robEntry{rec: rec, fu: in.FU(), fetchC: fetchAt}
-				for _, s := range in.Sources() {
-					e.srcs[e.nsrc] = regProd[s]
+				st := &statics[rec.SIdx]
+				idx := tail
+				e := &rob[idx]
+				*e = robEntry{rec: rec, st: st, fu: st.FU, fetchC: fetchAt}
+				for s := 0; s < int(st.NSrc); s++ {
+					e.srcs[e.nsrc] = regProd[st.Src[s]]
 					e.nsrc++
 				}
 				if in.Op == isa.Bmiss {
 					e.srcs[2] = ccProd
 				}
-				if d, okd := in.Dest(); okd {
-					regProd[d] = producer{idx: tail, seq: rec.Seq, set: true}
+				if st.HasDest {
+					regProd[st.Dest] = producer{idx: idx, seq: rec.Seq, set: true}
 				}
-				if in.IsMem() {
+				if st.Mem() {
 					e.memAddr = rec.EA
 					e.isMiss = rec.Level > interp.LevelL1
 					if in.Op != isa.Prefetch {
-						ccProd = producer{idx: tail, seq: rec.Seq, set: true}
+						ccProd = producer{idx: idx, seq: rec.Seq, set: true}
 					}
 					out.MemRefs++
 					if rec.Level > interp.LevelL1 {
@@ -503,7 +532,9 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 						out.L2Misses++
 					}
 				}
-				tail = (tail + 1) % cfg.ROBSize
+				if tail++; tail == cfg.ROBSize {
+					tail = 0
+				}
 				count++
 				fetched++
 
@@ -526,7 +557,6 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 						fetchBlocked = t
 					}
 				}
-				idx := (tail - 1 + cfg.ROBSize) % cfg.ROBSize
 				switch {
 				case in.Op == isa.Bmiss:
 					// Statically predicted not-taken.
@@ -535,7 +565,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 						out.BmissTaken++
 						stallKind, stallIdx, stallSeq = stallExec, idx, rec.Seq
 					}
-				case in.IsCondBranch():
+				case st.CondBranch():
 					pred := bp.Predict(rec.PC)
 					bp.Update(rec.PC, rec.Taken)
 					e.shadow = true
@@ -548,7 +578,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					// The serializing counter read also stops fetch
 					// until it graduates.
 					stallKind, stallIdx, stallSeq = stallGrad, idx, rec.Seq
-				case in.IsBranch():
+				case st.Branch():
 					// Unconditional and return-style transfers are
 					// predicted via BTB/return hardware.
 					blockUntil(fetchAt + 1 + cfg.TakenBubble)
@@ -560,16 +590,21 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					case TrapAsException:
 						stallKind, stallIdx, stallSeq = stallGrad, idx, rec.Seq
 					}
-				case in.IsMem() && cfg.Mode == interp.ModeTrap && cfg.Trap == TrapAsBranch &&
-					in.Informing && in.Op != isa.Prefetch && m.MHAR != 0:
+				case st.InformingMem() && cfg.Mode == interp.ModeTrap && cfg.Trap == TrapAsBranch &&
+					in.Op != isa.Prefetch && m.MHAR != 0:
 					// A non-trapping informing reference still occupies
 					// shadow state until its tag check resolves.
+					// (SfInforming is only ever set on memory operations,
+					// so the explicit IsMem conjunct is subsumed.)
 					e.shadow = true
+				}
+				if e.shadow {
+					shadows++
 				}
 
 				// §3.3 exercise: inject a squashed speculative
 				// informing load.
-				if cfg.SpecInjectEvery > 0 && in.IsMem() {
+				if cfg.SpecInjectEvery > 0 && st.Mem() {
 					memSeen++
 					if memSeen%cfg.SpecInjectEvery == 0 {
 						specEA := rec.EA + cfg.SpecInjectStride

@@ -1,0 +1,72 @@
+// Package prof wires the standard runtime/pprof CPU and heap profiles
+// into the bench commands. The perf methodology (EXPERIMENTS.md "Hot-path
+// benchmarks") is: profile a bench command with -cpuprofile, read the
+// flat list with `go tool pprof`, and attack the top entries — the way
+// memos and predecoded dispatch of DESIGN.md §10 came out of exactly
+// this loop.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by Register.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// Register adds -cpuprofile and -memprofile to the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a pprof CPU profile to `file`"),
+		mem: flag.String("memprofile", "", "write a pprof heap profile to `file` on exit"),
+	}
+}
+
+// Start begins CPU profiling when requested. The returned stop function
+// finishes the CPU profile and writes the heap profile; it must run
+// before the process exits (including error exits — see StopThenExit).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *f.mem != "" {
+			mf, err := os.Create(*f.mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// StopThenExit runs stop and exits with code: error paths in commands
+// must not lose a partially collected profile to os.Exit.
+func StopThenExit(stop func(), code int) {
+	stop()
+	os.Exit(code)
+}
