@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz verify clean bench bench-smoke
+.PHONY: build test race fuzz verify clean bench bench-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,29 @@ bench:
 		-baseline BENCH_hotpath_baseline.json -out BENCH_hotpath.json
 
 # bench-smoke checks the parallel runner end to end: the -j sweep must be
-# byte-identical to the sequential path (and its wall-clock is the sweep
-# regression signal in CI logs).
+# byte-identical to the sequential path. (No `time` prefix: make runs
+# recipes under /bin/sh, where `time` is not a builtin on dash systems;
+# the CI workflow, which runs under bash, still times the two runs.)
 bench-smoke:
 	$(GO) build -o /tmp/handlerbench ./cmd/handlerbench
-	time /tmp/handlerbench -experiment fig3 -j 1 > /tmp/fig3_j1.txt
-	time /tmp/handlerbench -experiment fig3 > /tmp/fig3_jN.txt
+	/tmp/handlerbench -experiment fig3 -j 1 > /tmp/fig3_j1.txt
+	/tmp/handlerbench -experiment fig3 > /tmp/fig3_jN.txt
 	cmp /tmp/fig3_j1.txt /tmp/fig3_jN.txt
+
+# obs-smoke checks observability end to end (EXPERIMENTS.md
+# "Observability"): a sweep with metrics and 1-in-64 trace sampling must
+# leave the stdout tables byte-identical to a plain run, emit schema-valid
+# JSONL (cmd/tracecheck), and print a metrics registry on stderr.
+obs-smoke:
+	$(GO) build -o /tmp/handlerbench ./cmd/handlerbench
+	$(GO) build -o /tmp/tracecheck ./cmd/tracecheck
+	/tmp/handlerbench -experiment fig3 -j 1 > /tmp/fig3_plain.txt
+	/tmp/handlerbench -experiment fig3 -j 1 -metrics \
+		-trace-out /tmp/fig3_trace.jsonl -trace-sample 64 \
+		> /tmp/fig3_obs.txt 2> /tmp/fig3_metrics.txt
+	cmp /tmp/fig3_plain.txt /tmp/fig3_obs.txt
+	/tmp/tracecheck /tmp/fig3_trace.jsonl
+	grep -q '"sim_instrs"' /tmp/fig3_metrics.txt
 
 # verify is the full CI gate: build, vet, race-enabled tests, fuzz seeds.
 verify: build
@@ -39,6 +55,7 @@ verify: build
 	$(GO) test -race ./...
 	$(MAKE) fuzz
 	$(MAKE) bench-smoke
+	$(MAKE) obs-smoke
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,7 @@ import (
 	"informing/internal/coherence"
 	"informing/internal/govern"
 	"informing/internal/multi"
+	"informing/internal/obs"
 	"informing/internal/prof"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
 	)
 	pf := prof.Register()
+	of := obs.RegisterFlags()
 	flag.Parse()
 
 	stopProf, err := pf.Start()
@@ -36,10 +38,20 @@ func main() {
 	}
 	defer stopProf()
 
+	sess, err := of.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
+		prof.StopThenExit(stopProf, 1)
+	}
+	defer sess.Close()
+
 	cfg := multi.DefaultConfig()
 	cfg.Processors = *procs
 	cfg.MsgLatency = *msgLat
 	cfg.L1.SizeBytes = *l1kb << 10
+	// The multi engine has no per-instruction trace, but its reference,
+	// level, protocol-action and cycle metrics aggregate across the sweep.
+	cfg.Obs = sess.Sim
 
 	// Ctrl-C (or SIGTERM) cancels the simulation at the next governor
 	// poll; the applications completed by then are still printed.
@@ -58,6 +70,9 @@ func main() {
 				len(rows), len(coherence.Apps(cfg.Processors)))
 			fmt.Print(coherence.FormatFigure4Detail(rows))
 		}
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
+		}
 		prof.StopThenExit(stopProf, 1)
 	}
 	fmt.Print(coherence.FormatFigure4(rows, speedup))
@@ -70,6 +85,9 @@ func main() {
 			[]int64{300, 900, 1800}, []int{4, 16, 64}, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
+			if err := sess.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "coherencebench: %v\n", err)
+			}
 			prof.StopThenExit(stopProf, 1)
 		}
 		fmt.Println()

@@ -28,9 +28,14 @@ import (
 
 	"informing/internal/experiments"
 	"informing/internal/govern"
+	"informing/internal/obs"
 	"informing/internal/prof"
 	"informing/internal/workload"
 )
+
+// sess is the observability session; the error exit path routes through it
+// so aborted sweeps still flush the trace sink and print metrics.
+var sess *obs.Session
 
 func main() {
 	var (
@@ -41,6 +46,7 @@ func main() {
 		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
 	)
 	pf := prof.Register()
+	of := obs.RegisterFlags()
 	flag.Parse()
 
 	stopProf, err := pf.Start()
@@ -49,6 +55,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	if sess, err = of.Start(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "handlerbench: %v\n", err)
+		prof.StopThenExit(stopProf, 1)
+	}
+	defer sess.Close()
 
 	if *list {
 		fmt.Println("SPEC92 stand-in suite (see DESIGN.md for the substitution argument):")
@@ -67,6 +79,11 @@ func main() {
 	opt.Scale = *scale
 	opt.Ctx = ctx
 	opt.Workers = *jobs
+	// The obs sinks are goroutine-safe, so one session serves the whole
+	// worker pool; metrics aggregate across all cells of the sweep.
+	opt.Obs = sess.Sim
+	opt.Trace = sess.Trace()
+	opt.TraceEvery = sess.TraceEvery()
 
 	// partial prints the results an interrupted experiment completed
 	// before returning its error.
@@ -200,6 +217,12 @@ func runAll(run func(string) error, exp string, stopProf func()) {
 			fmt.Fprintf(os.Stderr, "handlerbench: %v\n", err)
 			if snap, ok := govern.SnapshotIn(err); ok {
 				fmt.Fprintf(os.Stderr, "handlerbench: aborted at %v\n", snap)
+			}
+			// prof.StopThenExit calls os.Exit (skipping defers), so the
+			// abort path must flush the trace sink itself — losing the
+			// buffered tail here was the bug this layer fixes.
+			if err := sess.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "handlerbench: %v\n", err)
 			}
 			prof.StopThenExit(stopProf, 1)
 		}

@@ -38,9 +38,16 @@ import (
 	"informing/internal/interp"
 	"informing/internal/isa"
 	"informing/internal/mem"
+	"informing/internal/obs"
 	"informing/internal/prof"
 	"informing/internal/workload"
 )
+
+// sess is the observability session. Measuring a timing cell with
+// `-metrics` (and optionally `-trace-out`/`-trace-sample`) quantifies the
+// enabled-path overhead against a plain run — the workflow that enforces
+// the DESIGN.md §11 budget.
+var sess *obs.Session
 
 // Result is one measurement in the report.
 type Result struct {
@@ -70,6 +77,7 @@ func main() {
 		repeat   = flag.Int("repeat", 3, "repetitions per measurement (best-of)")
 	)
 	pf := prof.Register()
+	of := obs.RegisterFlags()
 	flag.Parse()
 
 	stopProf, err := pf.Start()
@@ -78,6 +86,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	if sess, err = of.Start(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "hotpathbench: %v\n", err)
+		prof.StopThenExit(stopProf, 1)
+	}
+	defer sess.Close()
 
 	rep := Report{Label: *label, Go: runtime.Version(), Results: map[string]Result{}}
 
@@ -93,7 +107,7 @@ func main() {
 			runtime.ReadMemStats(&m1)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hotpathbench: %s: %v\n", name, err)
-				os.Exit(1)
+				sess.CloseThenExit(1)
 			}
 			r := Result{
 				NsPerOp:     float64(el.Nanoseconds()) / float64(ops),
@@ -121,12 +135,12 @@ func main() {
 		b, err := os.ReadFile(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hotpathbench: %v\n", err)
-			os.Exit(1)
+			sess.CloseThenExit(1)
 		}
 		var base Report
 		if err := json.Unmarshal(b, &base); err != nil {
 			fmt.Fprintf(os.Stderr, "hotpathbench: baseline: %v\n", err)
-			os.Exit(1)
+			sess.CloseThenExit(1)
 		}
 		base.Baseline, base.Speedup = nil, nil // never nest
 		rep.Baseline = &base
@@ -141,7 +155,7 @@ func main() {
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hotpathbench: %v\n", err)
-		os.Exit(1)
+		sess.CloseThenExit(1)
 	}
 	enc = append(enc, '\n')
 	if *out == "-" {
@@ -150,7 +164,7 @@ func main() {
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "hotpathbench: %v\n", err)
-		os.Exit(1)
+		sess.CloseThenExit(1)
 	}
 }
 
@@ -230,6 +244,16 @@ func benchInterpRun() (uint64, error) {
 	return m.Seq, nil
 }
 
+// withObs applies the session's observability (if any) to a cell config,
+// so the enabled-path cost shows up in the measured ns/inst.
+func withObs(cfg core.Config) core.Config {
+	cfg = cfg.WithObs(sess.Sim)
+	if tr := sess.Trace(); tr != nil {
+		cfg = cfg.WithTrace(tr).WithTraceEvery(sess.TraceEvery())
+	}
+	return cfg
+}
+
 // benchCell runs one full timing cell and reports dynamic instructions.
 func benchCell(cfg core.Config, bench string) (uint64, error) {
 	bm, ok := workload.ByName(bench)
@@ -240,7 +264,7 @@ func benchCell(cfg core.Config, bench string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	run, err := cfg.WithMaxInsts(100_000_000).Run(prog)
+	run, err := withObs(cfg).WithMaxInsts(100_000_000).Run(prog)
 	if err != nil {
 		return 0, err
 	}
@@ -263,11 +287,11 @@ func benchFig2Cell() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	r1, err := core.R10000(core.Off).WithMaxInsts(100_000_000).Run(base)
+	r1, err := withObs(core.R10000(core.Off)).WithMaxInsts(100_000_000).Run(base)
 	if err != nil {
 		return 0, err
 	}
-	r2, err := core.R10000(core.TrapBranch).WithMaxInsts(100_000_000).Run(inst)
+	r2, err := withObs(core.R10000(core.TrapBranch)).WithMaxInsts(100_000_000).Run(inst)
 	if err != nil {
 		return 0, err
 	}

@@ -17,8 +17,13 @@ import (
 	"informing/internal/asm"
 	"informing/internal/core"
 	"informing/internal/govern"
+	"informing/internal/obs"
 	"informing/internal/stats"
 )
+
+// sess is the observability session; fail routes through it so error exits
+// still flush the trace sink and print collected metrics.
+var sess *obs.Session
 
 func main() {
 	var (
@@ -29,12 +34,18 @@ func main() {
 		dump    = flag.Bool("dump", false, "print round-trippable assembler text and exit")
 		trace   = flag.Int("trace", 0, "print pipeline timing for the first N instructions")
 	)
+	of := obs.RegisterFlags()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: informsim [flags] prog.s")
 		flag.Usage()
 		os.Exit(2)
 	}
+	var err error
+	if sess, err = of.Start(os.Stderr); err != nil {
+		fail(err)
+	}
+	defer sess.Close()
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -79,12 +90,13 @@ func main() {
 		fail(fmt.Errorf("unknown machine %q", *machine))
 	}
 
-	cfg = cfg.WithMaxInsts(*maxInst)
+	cfg = cfg.WithMaxInsts(*maxInst).WithObs(sess.Sim)
+	var printTrace func(stats.TraceEvent)
 	if *trace > 0 {
 		n := 0
 		fmt.Printf("%-6s %-10s %-8s %-8s %-8s %-8s %-5s %s\n",
 			"seq", "pc", "fetch", "issue", "compl", "grad", "mem", "instruction")
-		cfg = cfg.WithTrace(func(ev stats.TraceEvent) {
+		printTrace = func(ev stats.TraceEvent) {
 			if n >= *trace {
 				return
 			}
@@ -102,7 +114,19 @@ func main() {
 			}
 			fmt.Printf("%-6d %-#10x %-8d %-8d %-8d %-8d %-5s %s%s\n",
 				ev.Seq, ev.PC, ev.Fetch, ev.Issue, ev.Complete, ev.Graduate, lvl, ev.Disasm, mark)
-		})
+		}
+	}
+	// Compose the human-readable -trace printer with the session's JSONL
+	// sink; when -trace-out is active its -trace-sample interval applies to
+	// both consumers (sampling happens at the source, in the engine).
+	switch sink := sess.Trace(); {
+	case printTrace != nil && sink != nil:
+		cfg = cfg.WithTrace(func(ev stats.TraceEvent) { printTrace(ev); sink(ev) }).
+			WithTraceEvery(sess.TraceEvery())
+	case sink != nil:
+		cfg = cfg.WithTrace(sink).WithTraceEvery(sess.TraceEvery())
+	case printTrace != nil:
+		cfg = cfg.WithTrace(printTrace)
 	}
 	// Ctrl-C (or SIGTERM) cancels the simulation at the next governor
 	// poll; the partial statistics accumulated so far are still printed.
@@ -121,7 +145,9 @@ func main() {
 			fmt.Println("--- partial report (run aborted) ---")
 			report(cfg, snap.Partial)
 		}
-		os.Exit(1)
+		// Aborts must still flush the partial JSONL trace and report the
+		// metrics collected so far.
+		sess.CloseThenExit(1)
 	}
 	report(cfg, run)
 }
@@ -153,5 +179,8 @@ func safeDiv(a, b uint64) float64 {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "informsim: %v\n", err)
+	if sess != nil {
+		sess.CloseThenExit(1)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,118 @@
+// Command tracecheck validates a JSONL pipeline trace produced with
+// -trace-out (see internal/obs and the EXPERIMENTS.md observability
+// section): every line must parse against the stable schema, carry the
+// required fields, and respect the per-instruction stage ordering
+// fetch ≤ issue ≤ complete. It is the CI gate for the trace format —
+// partial traces flushed by aborted runs must pass it too.
+//
+//	tracecheck trace.jsonl        validate a file
+//	tracecheck -                  validate stdin
+//
+// Exit status 0 with a one-line summary when the trace is valid; 1 with
+// the offending line otherwise. Sequence numbers may reset mid-file:
+// experiment sweeps concatenate the traces of many independent runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// traceLine mirrors the JSONL schema written by obs.JSONLSink. Pointer
+// fields distinguish "absent" from zero so required-field checks work.
+type traceLine struct {
+	Seq      *uint64 `json:"seq"`
+	PC       *string `json:"pc"`
+	Disasm   *string `json:"disasm"`
+	Fetch    *int64  `json:"fetch"`
+	Issue    *int64  `json:"issue"`
+	Complete *int64  `json:"complete"`
+	Graduate *int64  `json:"graduate"`
+	Level    *int    `json:"level"`
+	Trap     *bool   `json:"trap"`
+}
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the summary line")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-q] trace.jsonl|-")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	name := flag.Arg(0)
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	lines, traps, err := validate(in)
+	if err != nil {
+		fail("%s: %v", name, err)
+	}
+	if !*quiet {
+		fmt.Printf("tracecheck: %s: %d events ok (%d traps)\n", name, lines, traps)
+	}
+}
+
+// validate checks every line of the trace, returning the event and trap
+// counts or the first violation found.
+func validate(in io.Reader) (lines, traps uint64, err error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			return lines, traps, fmt.Errorf("line %d: empty line", n)
+		}
+		dec := json.NewDecoder(strings.NewReader(sc.Text()))
+		dec.DisallowUnknownFields()
+		var ev traceLine
+		if err := dec.Decode(&ev); err != nil {
+			return lines, traps, fmt.Errorf("line %d: %v", n, err)
+		}
+		switch {
+		case ev.Seq == nil, ev.PC == nil, ev.Disasm == nil, ev.Fetch == nil,
+			ev.Issue == nil, ev.Complete == nil, ev.Graduate == nil,
+			ev.Level == nil, ev.Trap == nil:
+			return lines, traps, fmt.Errorf("line %d: missing required field", n)
+		case !strings.HasPrefix(*ev.PC, "0x"):
+			return lines, traps, fmt.Errorf("line %d: pc %q not hexadecimal", n, *ev.PC)
+		case *ev.Disasm == "":
+			return lines, traps, fmt.Errorf("line %d: empty disasm", n)
+		case *ev.Level < 0 || *ev.Level > 3:
+			return lines, traps, fmt.Errorf("line %d: memory level %d out of range", n, *ev.Level)
+		case *ev.Issue < *ev.Fetch:
+			return lines, traps, fmt.Errorf("line %d: issued (%d) before fetch (%d)", n, *ev.Issue, *ev.Fetch)
+		case *ev.Complete < *ev.Issue:
+			return lines, traps, fmt.Errorf("line %d: completed (%d) before issue (%d)", n, *ev.Complete, *ev.Issue)
+		case *ev.Trap && *ev.Level <= 1:
+			return lines, traps, fmt.Errorf("line %d: trap on level %d (traps require a miss)", n, *ev.Level)
+		}
+		lines++
+		if *ev.Trap {
+			traps++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, traps, err
+	}
+	return lines, traps, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodLine = `{"seq":1,"pc":"0x1000","disasm":"ld r1, 0(r2)","fetch":0,"issue":1,"complete":3,"graduate":4,"level":1,"trap":false}`
+
+func TestValidateAccepts(t *testing.T) {
+	in := goodLine + "\n" +
+		`{"seq":2,"pc":"0x1004","disasm":"add r1, r1, r2","fetch":1,"issue":2,"complete":3,"graduate":5,"level":0,"trap":false}` + "\n" +
+		`{"seq":1,"pc":"0x1000","disasm":"ld r1, 0(r2)","fetch":0,"issue":1,"complete":60,"graduate":61,"level":3,"trap":true}` + "\n"
+	lines, traps, err := validate(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seq resets between runs are fine (concatenated sweep traces).
+	if lines != 3 || traps != 1 {
+		t.Errorf("(lines, traps) = (%d, %d), want (3, 1)", lines, traps)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]string{
+		"torn line":       goodLine[:40],
+		"missing field":   `{"seq":1,"pc":"0x1000","disasm":"nop","fetch":0,"issue":1,"complete":2,"graduate":3,"level":0}`,
+		"unknown field":   strings.Replace(goodLine, `"seq"`, `"sequence"`, 1),
+		"non-hex pc":      strings.Replace(goodLine, `"0x1000"`, `"4096"`, 1),
+		"empty disasm":    strings.Replace(goodLine, `"ld r1, 0(r2)"`, `""`, 1),
+		"bad level":       strings.Replace(goodLine, `"level":1`, `"level":7`, 1),
+		"issue<fetch":     strings.Replace(goodLine, `"fetch":0`, `"fetch":2`, 1),
+		"complete<issue":  strings.Replace(goodLine, `"complete":3`, `"complete":0`, 1),
+		"trap on L1 hit":  strings.Replace(goodLine, `"trap":false`, `"trap":true`, 1),
+		"empty mid-trace": goodLine + "\n\n" + goodLine,
+	}
+	for name, in := range cases {
+		if _, _, err := validate(strings.NewReader(in + "\n")); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"informing/internal/inorder"
 	"informing/internal/interp"
 	"informing/internal/isa"
+	"informing/internal/obs"
 	"informing/internal/ooo"
 	"informing/internal/stats"
 )
@@ -163,6 +164,24 @@ func (c Config) WithGovernor(gc govern.Config) Config {
 func (c Config) WithFaults(inj *faults.Injector) Config {
 	c.OOO.Faults = inj
 	c.IO.Faults = inj
+	return c
+}
+
+// WithObs attaches a live-metrics sink (counters and histograms; see
+// internal/obs) to whichever machine runs. A nil sim is valid and leaves
+// the hot path allocation-free (DESIGN.md §11).
+func (c Config) WithObs(sim *obs.Sim) Config {
+	c.OOO.Obs = sim
+	c.IO.Obs = sim
+	return c
+}
+
+// WithTraceEvery samples the pipeline trace at the source: only every n-th
+// instruction (in graduation/retirement order) constructs and emits a
+// TraceEvent. 0 or 1 traces every instruction.
+func (c Config) WithTraceEvery(n uint64) Config {
+	c.OOO.TraceEvery = n
+	c.IO.TraceEvery = n
 	return c
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"informing/internal/core"
+	"informing/internal/obs"
 	"informing/internal/sched"
 	"informing/internal/stats"
 	"informing/internal/workload"
@@ -119,6 +120,19 @@ type Options struct {
 	// with unconventional plan lists (e.g. TrapModeComparison's
 	// branch-vs-exception specs) must say which bar is the baseline.
 	Baseline string
+
+	// Obs, when non-nil, receives live metrics from every cell. obs.Sim's
+	// counters and histograms are atomic, so the one registry is shared
+	// across the worker pool; rates and distributions aggregate over the
+	// whole sweep. Nil (the default) keeps the hot path allocation-free.
+	Obs *obs.Sim
+
+	// Trace, when non-nil, receives sampled TraceEvents from every cell
+	// (TraceEvery selects the source-side 1-in-N sampling; 0 or 1 traces
+	// every instruction). The callback must be goroutine-safe when
+	// Workers != 1 — the obs sinks are.
+	Trace      func(stats.TraceEvent)
+	TraceEvery uint64
 }
 
 // DefaultOptions returns full-size settings for both machines.
@@ -206,6 +220,12 @@ func HandlerOverhead(bms []workload.Benchmark, specs []PlanSpec, opt Options) ([
 				return Result{}, fmt.Errorf("%s/%s: %w", c.bm.Name, c.spec.Label, err)
 			}
 			cfg := configFor(c.machine, c.spec.Scheme).WithMaxInsts(opt.MaxInsts).WithContext(ctx)
+			if opt.Obs != nil {
+				cfg = cfg.WithObs(opt.Obs)
+			}
+			if opt.Trace != nil {
+				cfg = cfg.WithTrace(opt.Trace).WithTraceEvery(opt.TraceEvery)
+			}
 			run, err := cfg.Run(prog)
 			if err != nil {
 				return Result{}, fmt.Errorf("%s/%s/%v: %w", c.bm.Name, c.spec.Label, c.machine, err)

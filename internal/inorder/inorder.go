@@ -22,6 +22,7 @@ import (
 	"informing/internal/interp"
 	"informing/internal/isa"
 	"informing/internal/mem"
+	"informing/internal/obs"
 	"informing/internal/stats"
 )
 
@@ -80,6 +81,18 @@ type Config struct {
 	// Trace, when non-nil, receives one TraceEvent per instruction in
 	// retirement order (debugging/visualisation; adds overhead).
 	Trace func(stats.TraceEvent)
+
+	// TraceEvery samples the trace at the source: one TraceEvent per N
+	// retired instructions (0 or 1 = every instruction). Source-side
+	// sampling skips event construction — including the disassembly
+	// string — entirely (DESIGN.md §11).
+	TraceEvery uint64
+
+	// Obs, when non-nil, receives live metrics (instruction/cycle/trap
+	// counters, miss- and trap-latency histograms, handler occupancy,
+	// per-opcode issue stalls; see obs.Sim). A nil Obs costs only
+	// nil-checks: the disabled hot path stays allocation-free.
+	Obs *obs.Sim
 }
 
 // DefaultConfig returns the Table 1 in-order machine: 4-wide, 2 INT, 2 FP,
@@ -114,6 +127,11 @@ func DefaultConfig() Config {
 
 const ccReg = isa.NumRegs // pseudo-register index for the cache condition code
 
+// obsFlushEvery is the cadence (in retired instructions, power of two) at
+// which batched observability counters are pushed to the shared atomic
+// registry. Every exit path flushes too, so totals are exact.
+const obsFlushEvery = 4096
+
 // Run simulates prog to completion and returns the measured statistics.
 func Run(prog *isa.Program, cfg Config) (stats.Run, error) {
 	r, _, err := RunDetailed(prog, cfg)
@@ -128,6 +146,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 	if err != nil {
 		return stats.Run{}, nil, fmt.Errorf("inorder: %w", err)
 	}
+	hier.Obs = cfg.Obs
 	var icache *mem.Cache
 	if cfg.ICache.SizeBytes > 0 {
 		if icache, err = mem.NewCache(cfg.ICache); err != nil {
@@ -190,15 +209,52 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 
 		out       stats.Run
 		inHandler bool
+
+		handlerLen int64 // instructions in the current handler episode
 	)
 	out.IssueWidth = cfg.IssueWidth
 
 	limit := gov.Budget()
 
+	sim := cfg.Obs
+	traceEvery := cfg.TraceEvery
+	if traceEvery == 0 {
+		traceEvery = 1
+	}
+	traceLeft := traceEvery
+	var disasms []string // per-static disassembly, built only when tracing
+	if cfg.Trace != nil {
+		disasms = m.Disasms()
+	}
+
+	// Instruction and cycle counts accumulate in plain locals and reach
+	// the shared atomic cells in batches (obsFlushEvery instructions, plus
+	// every exit path), bounding the enabled-metrics cost to well under
+	// the DESIGN.md §11 budget while live readers stay at most a few
+	// thousand instructions behind.
+	var obsInstrs, obsCycles uint64
+	var obsStalls [isa.NumOps]uint64
+	flushObs := func() {
+		if sim == nil {
+			return
+		}
+		sim.Instrs.Add(obsInstrs)
+		sim.Cycles.Add(obsCycles)
+		obsInstrs, obsCycles = 0, 0
+		for op, n := range obsStalls {
+			if n != 0 {
+				sim.IssueStalls[op].Add(n)
+				obsStalls[op] = 0
+			}
+		}
+		hier.FlushObs()
+	}
+
 	// abort wraps cause with a diagnostic snapshot of where the machine
 	// was: the architectural PC, the retirement cycle, and the statistics
 	// accumulated so far.
 	abort := func(cause error) error {
+		flushObs()
 		snap := govern.Snapshot{
 			PC: m.PC, Cycle: retireCycle, Seq: m.Seq,
 			InHandler: m.InHandler, MHAR: m.MHAR, MHRR: m.MHRR,
@@ -244,6 +300,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		}
 		wasInHandler := inHandler
 		if err := m.StepInto(&rec); err != nil {
+			flushObs()
 			return out, m, err
 		}
 		in := rec.Inst
@@ -341,6 +398,14 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			}
 		}
 
+		if sim != nil && issueAt > earliest {
+			// Cycles this instruction waited past operand readiness,
+			// charged to its opcode: FU/issue-width contention plus, for
+			// memory ops, the request-retry loop above (which advances
+			// issueAt until the memory system accepts).
+			obsStalls[in.Op] += uint64(issueAt - earliest)
+		}
+
 		// --- control flow ---------------------------------------------
 		switch in.Op {
 		case isa.Beq, isa.Bne, isa.Blt, isa.Bge:
@@ -391,37 +456,52 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					out.CacheSlots += int64(cfg.IssueWidth) * (hi - lo + 1)
 				}
 			}
+			obsCycles += uint64(rt - retireCycle)
 			retireCycle = rt
 			retiredInC = 0
 		}
 		retiredInC++
 		out.Instrs++
 		if cfg.Trace != nil {
-			cfg.Trace(stats.TraceEvent{
-				Seq:      rec.Seq,
-				PC:       rec.PC,
-				Disasm:   in.String(),
-				Fetch:    ft,
-				Issue:    issueAt,
-				Complete: complete,
-				Graduate: retireCycle,
-				MemLevel: rec.Level,
-				Trap:     rec.Trap,
-			})
+			if traceLeft--; traceLeft == 0 {
+				traceLeft = traceEvery
+				cfg.Trace(rec.TraceEvent(disasms[rec.SIdx], ft, issueAt, complete, retireCycle))
+			}
+		}
+		obsInstrs++
+		if sim != nil {
+			if missStart >= 0 {
+				sim.MissLatency.Observe(complete - issueAt)
+			}
+			if rec.Trap {
+				sim.TrapLatency.Observe(retireCycle - issueAt)
+			}
+			if obsInstrs&(obsFlushEvery-1) == 0 {
+				flushObs()
+			}
 		}
 
 		if rec.Trap {
 			inHandler = true
+			handlerLen = 0
 			out.Traps++
+			if sim != nil {
+				sim.Traps.Inc()
+			}
 		}
 		if wasInHandler {
 			out.HandlerInsts++
+			handlerLen++
 			if in.Op == isa.Rfmh {
 				inHandler = false
+				if sim != nil {
+					sim.HandlerOcc.Observe(handlerLen)
+				}
 			}
 		}
 	}
 
+	flushObs()
 	out.Cycles = retireCycle
 	if out.Cycles < 1 {
 		out.Cycles = 1

@@ -15,6 +15,7 @@ import (
 
 	"informing/internal/govern"
 	"informing/internal/isa"
+	"informing/internal/stats"
 )
 
 // Mode selects which informing mechanism is architecturally active.
@@ -86,6 +87,35 @@ type Rec struct {
 	Trap  bool // an informing miss trap fired after this memory op
 }
 
+// TraceEvent builds the per-instruction pipeline trace record from the
+// dynamic record plus the timing core's stage timestamps. Both timing
+// cores construct their trace events exclusively through this helper at
+// retirement/graduation, so the architectural fields — Seq, PC, Disasm,
+// MemLevel and in particular the Trap flag — have a single, shared
+// definition; the cores differ only in the four timestamps they supply.
+// (Historically each core assembled the event by hand at a different
+// pipeline stage, which let the field semantics drift; the differential
+// trace test in internal/core pins the parity.)
+//
+// The disassembly text is supplied by the caller — normally
+// Machine.Disasms()[r.SIdx] — rather than derived here: disassembling is
+// a handful of fmt.Sprintf calls, far too expensive for a per-event cost
+// on the sampled trace path, while the text depends only on the static
+// instruction and so is computed once per run.
+func (r *Rec) TraceEvent(disasm string, fetch, issue, complete, graduate int64) stats.TraceEvent {
+	return stats.TraceEvent{
+		Seq:      r.Seq,
+		PC:       r.PC,
+		Disasm:   disasm,
+		Fetch:    fetch,
+		Issue:    issue,
+		Complete: complete,
+		Graduate: graduate,
+		MemLevel: r.Level,
+		Trap:     r.Trap,
+	}
+}
+
 // ErrPC is returned when execution falls outside the text segment.
 var ErrPC = errors.New("interp: PC outside text segment")
 
@@ -147,6 +177,7 @@ type Machine struct {
 	static   []isa.Static
 	text     []isa.Inst
 	textBase uint64
+	disasm   []string // lazily-built per-static-instruction disassembly
 }
 
 // New returns a Machine ready to run p from its text base, with memory
@@ -175,6 +206,23 @@ func (m *Machine) Statics() []isa.Static {
 		m.predecode()
 	}
 	return m.static
+}
+
+// Disasms returns the per-static-instruction disassembly table, built on
+// first use. Tracing cores index it with Rec.SIdx so a sampled trace
+// reuses one string per static instruction instead of re-disassembling
+// (several fmt.Sprintf calls, plus allocations) per dynamic instance.
+func (m *Machine) Disasms() []string {
+	if m.disasm == nil {
+		if m.text == nil {
+			m.predecode()
+		}
+		m.disasm = make([]string, len(m.text))
+		for k := range m.text {
+			m.disasm[k] = m.text[k].String()
+		}
+	}
+	return m.disasm
 }
 
 func (m *Machine) g(r isa.Reg) uint64 {

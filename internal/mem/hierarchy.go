@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"informing/internal/obs"
+)
 
 // HierConfig describes a two-level data hierarchy (Table 1).
 type HierConfig struct {
@@ -20,6 +24,33 @@ type Hierarchy struct {
 	L1Misses uint64
 	L2Misses uint64
 	Refs     uint64
+
+	// Obs, when non-nil, receives the per-level reference distribution
+	// (obs.Sim.Levels) via FlushObs: the hierarchy is the single place
+	// every architectural probe funnels through (the engines' ordinary
+	// references, FlushEvery wrappers and the §3.3 speculative-inject
+	// probes alike), so its Refs/L1Misses/L2Misses counters already hold
+	// the distribution and ProbeData itself needs no extra work — the
+	// engines flush deltas on their coarse observability cadence
+	// (DESIGN.md §11 overhead contract).
+	Obs *obs.Sim
+
+	// prev* are the counter values at the last FlushObs.
+	prevRefs, prevL1M, prevL2M uint64
+}
+
+// FlushObs pushes the per-level reference counts accumulated since the
+// last flush to the attached obs.Sim as deltas (safe for sweeps sharing
+// one Sim across hierarchies). A no-op without an attached Sim.
+func (h *Hierarchy) FlushObs() {
+	if h.Obs == nil {
+		return
+	}
+	refs, l1m, l2m := h.Refs, h.L1Misses, h.L2Misses
+	h.Obs.Levels[1].Add((refs - h.prevRefs) - (l1m - h.prevL1M))
+	h.Obs.Levels[2].Add((l1m - h.prevL1M) - (l2m - h.prevL2M))
+	h.Obs.Levels[3].Add(l2m - h.prevL2M)
+	h.prevRefs, h.prevL1M, h.prevL2M = refs, l1m, l2m
 }
 
 // NewHierarchy builds the hierarchy, rejecting invalid level

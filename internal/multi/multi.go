@@ -17,6 +17,7 @@ import (
 	"informing/internal/govern"
 	"informing/internal/interp"
 	"informing/internal/mem"
+	"informing/internal/obs"
 )
 
 // Config holds the machine parameters of Table 2.
@@ -45,6 +46,13 @@ type Config struct {
 	// each firing faults.Protocol rule drops one invalidation message,
 	// leaving a stale remote copy for the invariant checker to find.
 	Faults *faults.Injector
+
+	// Obs, when non-nil, receives live metrics: one Instrs count per
+	// reference, the per-level satisfaction distribution (Levels), one
+	// Traps count per coherence/protocol action (the access-control
+	// analogue of an informing trap), and the final execution time as a
+	// Cycles delta. Nil costs only nil-checks.
+	Obs *obs.Sim
 }
 
 // DefaultConfig returns the paper's Table 2 machine: 16 processors, 16 KB
@@ -240,11 +248,18 @@ func (m *machine) doRef(p int, r Ref) {
 	if !r.Shared {
 		m.res.PrivateRefs++
 		var miss int64
+		level := 1
 		if hit, _, _ := pr.l1.Access(r.Addr, r.Write); !hit {
 			miss = cfg.L1MissPenalty
+			level = 2
 			if hit2, _, _ := pr.l2.Access(r.Addr, r.Write); !hit2 {
 				miss += cfg.L2MissPenalty
+				level = 3
 			}
+		}
+		if sim := cfg.Obs; sim != nil {
+			sim.Instrs.Inc()
+			sim.Levels[level].Inc()
 		}
 		pr.clock += miss
 		m.res.MemoryCycles += miss
@@ -274,14 +289,21 @@ func (m *machine) doRef(p int, r Ref) {
 
 	if sufficient {
 		var miss int64
+		level := 1
 		if hit, _, _ := pr.l1.Access(r.Addr, r.Write); hit {
 			m.res.L1Hits++
 		} else {
 			m.res.L1Misses++
 			miss = cfg.L1MissPenalty
+			level = 2
 			if hit2, _, _ := pr.l2.Access(r.Addr, r.Write); !hit2 {
 				miss += cfg.L2MissPenalty
+				level = 3
 			}
+		}
+		if sim := cfg.Obs; sim != nil {
+			sim.Instrs.Inc()
+			sim.Levels[level].Inc()
 		}
 		pr.clock += miss
 		m.res.MemoryCycles += miss
@@ -291,6 +313,14 @@ func (m *machine) doRef(p int, r Ref) {
 	// ---- protocol action ------------------------------------------
 	m.res.CoherenceActions++
 	m.res.L1Misses++
+	if sim := cfg.Obs; sim != nil {
+		// A protocol action behaves like an informing trap: detection
+		// found insufficient protection and a handler ran. The line is
+		// fetched from beyond the local hierarchy.
+		sim.Instrs.Inc()
+		sim.Traps.Inc()
+		sim.Levels[3].Inc()
+	}
 	d := m.dir[line]
 	if d == nil {
 		d = &dirEntry{owner: -1}
@@ -502,5 +532,9 @@ func Simulate(app App, pol AccessPolicy, cfg Config) (Result, error) {
 		}
 		m.barrier()
 	}
-	return m.result(), nil
+	res := m.result()
+	if cfg.Obs != nil {
+		cfg.Obs.Cycles.Add(uint64(res.Cycles))
+	}
+	return res, nil
 }

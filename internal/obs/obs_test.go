@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"informing/internal/isa"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	c.Store(7)
+	if got := c.Load(); got != 7 {
+		t.Errorf("after Store, counter = %d, want 7", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Errorf("concurrent increments lost: %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{2, 8, 32})
+	for _, v := range []int64{1, 2, 3, 8, 9, 32, 33, 1000} {
+		h.Observe(v)
+	}
+	// 1,2 -> le=2; 3,8 -> le=8; 9,32 -> le=32; 33,1000 -> overflow.
+	b := h.Buckets()
+	wantCounts := []uint64{2, 2, 2, 2}
+	wantLe := []int64{2, 8, 32, math.MaxInt64}
+	if len(b) != len(wantCounts) {
+		t.Fatalf("bucket count %d, want %d", len(b), len(wantCounts))
+	}
+	for i := range b {
+		if b[i].Count != wantCounts[i] || b[i].Le != wantLe[i] {
+			t.Errorf("bucket %d = {le=%d n=%d}, want {le=%d n=%d}",
+				i, b[i].Le, b[i].Count, wantLe[i], wantCounts[i])
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count %d, want 8", h.Count())
+	}
+	if want := int64(1 + 2 + 3 + 8 + 9 + 32 + 33 + 1000); h.Sum() != want {
+		t.Errorf("sum %d, want %d", h.Sum(), want)
+	}
+	if got, want := h.Mean(), float64(1088)/8; got != want {
+		t.Errorf("mean %f, want %f", got, want)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {4, 4}, {8, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryCreateOnFirstUse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c1.Inc()
+	if c2 := r.Counter("a"); c2 != c1 {
+		t.Error("second Counter lookup returned a different cell")
+	}
+	h1 := r.Histogram("h", []int64{1, 2})
+	if h2 := r.Histogram("h", []int64{99}); h2 != h1 {
+		t.Error("second Histogram lookup returned a different cell")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "h" {
+		t.Errorf("Names() = %v, want [a h]", names)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("instrs").Add(100)
+	r.Histogram("lat", []int64{4, 16}).Observe(5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Histograms map[string]struct {
+			Count   uint64   `json:"count"`
+			Sum     int64    `json:"sum"`
+			Mean    float64  `json:"mean"`
+			Buckets []Bucket `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Counters["instrs"] != 100 {
+		t.Errorf("counters[instrs] = %d, want 100", got.Counters["instrs"])
+	}
+	lat := got.Histograms["lat"]
+	if lat.Count != 1 || lat.Sum != 5 || len(lat.Buckets) != 3 {
+		t.Errorf("histograms[lat] = %+v", lat)
+	}
+}
+
+func TestSimMetricsRegistered(t *testing.T) {
+	s := NewSim()
+	for _, name := range []string{MetricInstrs, MetricCycles, MetricTraps,
+		MetricRefsLevel + "1", MetricRefsLevel + "3"} {
+		found := false
+		for _, n := range s.Reg.Names() {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("metric %q not registered", name)
+		}
+	}
+	// One issue-stall counter per opcode, resolvable by the exported name.
+	for op := 0; op < isa.NumOps; op++ {
+		if s.IssueStalls[op] == nil {
+			t.Fatalf("IssueStalls[%v] is nil", isa.Op(op))
+		}
+	}
+
+	s.Level(1)
+	s.Level(2)
+	s.Level(3)
+	s.Level(3)
+	if got := s.MissRate(); got != 0.75 {
+		t.Errorf("miss rate %f, want 0.75", got)
+	}
+	s.Level(-1)
+	s.Level(99)
+	if got := s.Levels[0].Load(); got != 2 {
+		t.Errorf("out-of-range levels landed in spill cell %d times, want 2", got)
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	s := NewSim()
+	s.Instrs.Add(4000)
+	s.Cycles.Add(2000)
+	s.Levels[1].Add(90)
+	s.Levels[2].Add(10)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := StartProgress(w, s, 5*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := buf.Len()
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "obs: instrs=") || !strings.Contains(out, "l1-miss=10.00%") {
+		t.Errorf("progress line %q missing expected fields", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestHTTPEndpoint(t *testing.T) {
+	s := NewSim()
+	s.Instrs.Add(123)
+	srv, err := Serve("127.0.0.1:0", s.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics body not JSON: %v", err)
+	}
+	if !strings.Contains(string(body), `"sim_instrs": 123`) {
+		t.Errorf("/metrics missing sim_instrs: %s", body)
+	}
+}

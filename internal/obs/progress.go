@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartProgress launches a goroutine that prints one progress line to w
+// every interval — instructions retired, retirement rate, IPC and the
+// primary miss rate, all read live from the engine-updated counters. The
+// returned stop function terminates the reporter and waits for it to
+// finish; it is safe to call more than once.
+//
+// Rates are computed over the reporting interval (not since start), so
+// phase changes in a long run are visible as they happen.
+func StartProgress(w io.Writer, sim *Sim, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		prevInstrs := sim.Instrs.Load()
+		prevCycles := sim.Cycles.Load()
+		prev := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				instrs := sim.Instrs.Load()
+				cycles := sim.Cycles.Load()
+				dt := now.Sub(prev).Seconds()
+				if dt <= 0 {
+					dt = every.Seconds()
+				}
+				rate := float64(instrs-prevInstrs) / dt
+				ipc := 0.0
+				if dc := cycles - prevCycles; dc > 0 {
+					ipc = float64(instrs-prevInstrs) / float64(dc)
+				}
+				fmt.Fprintf(w, "obs: instrs=%s (%s/s) ipc=%.2f l1-miss=%.2f%% traps=%d\n",
+					human(instrs), human(uint64(rate)), ipc, 100*sim.MissRate(), sim.Traps.Load())
+				prevInstrs, prevCycles, prev = instrs, cycles, now
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-finished
+	}
+}
+
+// human renders a count with a k/M/G suffix for progress lines.
+func human(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}

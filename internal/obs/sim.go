@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+
+	"informing/internal/isa"
+)
+
+// Canonical metric names registered by NewSim. The per-opcode issue-stall
+// counters are named "sim_issue_stall_cycles:<opcode>".
+const (
+	MetricInstrs      = "sim_instrs"
+	MetricCycles      = "sim_cycles"
+	MetricTraps       = "sim_traps"
+	MetricRefsLevel   = "sim_refs_level" // + "1".."3"
+	MetricMissLatency = "sim_miss_latency_cycles"
+	MetricTrapLatency = "sim_trap_latency_cycles"
+	MetricHandlerOcc  = "sim_handler_instrs"
+	MetricIssueStall  = "sim_issue_stall_cycles"
+)
+
+// latencyBounds covers the cycle latencies the Table 1 machines can
+// produce: L1 hits (2), L2 hits (11-12), memory (50-75) and MSHR/bank
+// queueing tails beyond that.
+var latencyBounds = []int64{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// occupancyBounds covers handler lengths: the experiments use 1-, 10- and
+// 100-instruction handler bodies.
+var occupancyBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Sim bundles the pre-resolved metric handles the engine loops touch, so
+// the per-instruction cost of enabled metrics is a few atomic adds and
+// never a registry lookup. A nil *Sim disables everything: the engines
+// nil-check the handle once per site, keeping the disabled hot path
+// allocation-free and branch-cheap (the PR 3 contract).
+//
+// Counter semantics (shared across internal/ooo, internal/inorder and
+// internal/multi; aggregate across workers in parallel sweeps):
+//
+//   - Instrs: graduated (retired) instructions, or references in multi;
+//   - Cycles: simulated cycles, accumulated as deltas so parallel sweeps
+//     aggregate total simulated cycles (IPC = Instrs/Cycles stays a
+//     meaningful average);
+//   - Traps: informing trap entries;
+//   - Levels[1..3]: data references by satisfying hierarchy level,
+//     counted where the architectural probe resolves (mem.Hierarchy for
+//     the timing cores, the private cache pair in multi);
+//   - MissLatency: issue-to-complete cycles of loads that missed L1;
+//   - TrapLatency: issue-to-retire cycles of the trapping reference (the
+//     pipeline cost of the trap redirect, DESIGN.md §11);
+//   - HandlerOcc: dynamic instructions per miss-handler episode (trap
+//     entry to RFMH);
+//   - IssueStalls[op]: cycles lost waiting to issue, charged to the
+//     oldest blocked opcode (ooo) or the stalled instruction (inorder).
+type Sim struct {
+	Reg *Registry
+
+	Instrs *Counter
+	Cycles *Counter
+	Traps  *Counter
+
+	Levels      [4]*Counter // [0] unused; [1]=L1 hit, [2]=L2 hit, [3]=memory
+	MissLatency *Histogram
+	TrapLatency *Histogram
+	HandlerOcc  *Histogram
+	IssueStalls [isa.NumOps]*Counter
+}
+
+// NewSim builds a registry pre-populated with every simulator metric and
+// returns the resolved handle bundle.
+func NewSim() *Sim {
+	reg := NewRegistry()
+	s := &Sim{
+		Reg:         reg,
+		Instrs:      reg.Counter(MetricInstrs),
+		Cycles:      reg.Counter(MetricCycles),
+		Traps:       reg.Counter(MetricTraps),
+		MissLatency: reg.Histogram(MetricMissLatency, latencyBounds),
+		TrapLatency: reg.Histogram(MetricTrapLatency, latencyBounds),
+		HandlerOcc:  reg.Histogram(MetricHandlerOcc, occupancyBounds),
+	}
+	for lvl := 1; lvl < len(s.Levels); lvl++ {
+		s.Levels[lvl] = reg.Counter(fmt.Sprintf("%s%d", MetricRefsLevel, lvl))
+	}
+	// Level 0 is "non-memory / out of range": a live cell rather than a
+	// nil deref if an engine ever feeds an unexpected level.
+	s.Levels[0] = reg.Counter(MetricRefsLevel + "0")
+	for op := 0; op < isa.NumOps; op++ {
+		s.IssueStalls[op] = reg.Counter(fmt.Sprintf("%s:%v", MetricIssueStall, isa.Op(op)))
+	}
+	return s
+}
+
+// Level counts one data reference resolved at hierarchy level lvl
+// (1 = L1, 2 = L2, 3 = memory); out-of-range levels land in the spill
+// cell instead of panicking.
+func (s *Sim) Level(lvl int) {
+	if lvl < 0 || lvl >= len(s.Levels) {
+		lvl = 0
+	}
+	s.Levels[lvl].Inc()
+}
+
+// MissRate returns the fraction of counted references that missed the
+// primary cache (levels 2 and 3 over all levels).
+func (s *Sim) MissRate() float64 {
+	l1 := s.Levels[1].Load()
+	l2 := s.Levels[2].Load()
+	mem := s.Levels[3].Load()
+	total := l1 + l2 + mem
+	if total == 0 {
+		return 0
+	}
+	return float64(l2+mem) / float64(total)
+}

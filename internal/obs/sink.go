@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"informing/internal/stats"
+)
+
+// Sink consumes per-instruction trace events. Emit must be safe for
+// concurrent use: parallel experiment sweeps (internal/sched) funnel the
+// trace streams of all workers into one sink. Flush forces buffered
+// events out so an aborted run (govern.ErrBudget, ErrLivelock, SIGINT)
+// still leaves a well-formed partial trace behind; Close implies Flush
+// and is idempotent.
+type Sink interface {
+	Emit(ev stats.TraceEvent)
+	Flush() error
+	Close() error
+}
+
+// sampler implements deterministic 1-in-N keep-every-Nth sampling shared
+// by the sinks. every <= 1 keeps everything.
+type sampler struct {
+	every uint64
+	seen  uint64
+}
+
+func (s *sampler) keep() bool {
+	if s.every <= 1 {
+		return true
+	}
+	s.seen++
+	if s.seen == s.every {
+		s.seen = 0
+		return true
+	}
+	return false
+}
+
+// RingSink keeps the most recent events in a bounded ring buffer with
+// optional 1-in-N sampling: cheap enough to leave attached to a long run
+// and inspect after the fact (or at abort). The buffer is allocated once
+// at construction; Emit never allocates.
+type RingSink struct {
+	mu      sync.Mutex
+	samp    sampler
+	buf     []stats.TraceEvent
+	next    int
+	wrapped bool
+	total   uint64 // events offered (pre-sampling)
+	kept    uint64 // events written into the ring
+}
+
+// NewRing builds a ring sink holding the last capacity sampled events,
+// keeping one event in every sampleEvery offered (<= 1 keeps all).
+func NewRing(capacity int, sampleEvery int) (*RingSink, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("obs: ring capacity %d, want >= 1", capacity)
+	}
+	s := &RingSink{buf: make([]stats.TraceEvent, capacity)}
+	if sampleEvery > 1 {
+		s.samp.every = uint64(sampleEvery)
+	}
+	return s, nil
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(ev stats.TraceEvent) {
+	r.mu.Lock()
+	r.total++
+	if r.samp.keep() {
+		r.buf[r.next] = ev
+		if r.next++; r.next == len(r.buf) {
+			r.next = 0
+			r.wrapped = true
+		}
+		r.kept++
+	}
+	r.mu.Unlock()
+}
+
+// Flush implements Sink (a ring has nothing buffered downstream).
+func (r *RingSink) Flush() error { return nil }
+
+// Close implements Sink.
+func (r *RingSink) Close() error { return nil }
+
+// Events returns the buffered events, oldest first.
+func (r *RingSink) Events() []stats.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]stats.TraceEvent, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]stats.TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Stats reports how many events were offered and how many were kept.
+func (r *RingSink) Stats() (total, kept uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.kept
+}
+
+// traceJSON is the stable JSONL schema of one trace event
+// (EXPERIMENTS.md documents it; cmd/tracecheck validates it).
+// appendTraceJSON is the encoder — the struct exists as schema
+// documentation and for tests that decode the stream.
+type traceJSON struct {
+	Seq      uint64 `json:"seq"`
+	PC       string `json:"pc"` // hex, human-greppable
+	Disasm   string `json:"disasm"`
+	Fetch    int64  `json:"fetch"`
+	Issue    int64  `json:"issue"`
+	Complete int64  `json:"complete"`
+	Graduate int64  `json:"graduate"`
+	Level    int    `json:"level"`
+	Trap     bool   `json:"trap"`
+}
+
+// appendJSONString appends s as a JSON string literal. Disassembly text is
+// plain ASCII in practice, so the fast path is a straight copy; quotes,
+// backslashes, control characters and invalid UTF-8 get the standard
+// escapes so the output always parses.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c < utf8.RuneSelf {
+			b = append(b, c)
+			i++
+			continue
+		}
+		switch {
+		case c == '"', c == '\\':
+			b = append(b, '\\', c)
+			i++
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			switch c {
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+			}
+			i++
+		default: // non-ASCII: validate the rune, re-encode as UTF-8
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if r == utf8.RuneError && size == 1 {
+				b = append(b, `�`...)
+				i++
+				continue
+			}
+			b = append(b, s[i:i+size]...)
+			i += size
+		}
+	}
+	return append(b, '"')
+}
+
+// appendTraceJSON appends one schema line (without trailing newline),
+// field-for-field what encoding/json would produce for traceJSON —
+// sink_test.go round-trips the stream through the struct to keep the two
+// in agreement.
+func appendTraceJSON(b []byte, ev *stats.TraceEvent) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, `,"pc":"0x`...)
+	b = strconv.AppendUint(b, ev.PC, 16)
+	b = append(b, `","disasm":`...)
+	b = appendJSONString(b, ev.Disasm)
+	b = append(b, `,"fetch":`...)
+	b = strconv.AppendInt(b, ev.Fetch, 10)
+	b = append(b, `,"issue":`...)
+	b = strconv.AppendInt(b, ev.Issue, 10)
+	b = append(b, `,"complete":`...)
+	b = strconv.AppendInt(b, ev.Complete, 10)
+	b = append(b, `,"graduate":`...)
+	b = strconv.AppendInt(b, ev.Graduate, 10)
+	b = append(b, `,"level":`...)
+	b = strconv.AppendInt(b, int64(ev.MemLevel), 10)
+	if ev.Trap {
+		b = append(b, `,"trap":true}`...)
+	} else {
+		b = append(b, `,"trap":false}`...)
+	}
+	return b
+}
+
+// JSONLSink streams sampled trace events as one JSON object per line
+// through a buffered writer. Events sit in the buffer until Flush/Close —
+// which is exactly why every abort path must route through Flush (the
+// satellite bug this layer fixes): without it a govern abort loses the
+// tail of the trace.
+type JSONLSink struct {
+	mu      sync.Mutex
+	samp    sampler
+	bw      *bufio.Writer
+	under   io.Writer
+	scratch []byte // reused line-encoding buffer (guarded by mu)
+	closed  bool
+	err     error // first write error, surfaced by Flush/Close
+}
+
+// NewJSONL builds a JSONL sink writing to w, keeping one event in every
+// sampleEvery offered (<= 1 keeps all). If w is an io.Closer, Close
+// closes it after the final flush.
+func NewJSONL(w io.Writer, sampleEvery int) *JSONLSink {
+	s := &JSONLSink{bw: bufio.NewWriterSize(w, 64<<10), under: w}
+	if sampleEvery > 1 {
+		s.samp.every = uint64(sampleEvery)
+	}
+	return s
+}
+
+// Emit implements Sink. The line is built with the allocation-free append
+// encoder into a buffer reused across calls: with tracing enabled the sink
+// is on the simulators' per-instruction path, and encoding/json here costs
+// more than the whole §11 overhead budget.
+func (s *JSONLSink) Emit(ev stats.TraceEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil || !s.samp.keep() {
+		return
+	}
+	s.scratch = appendTraceJSON(s.scratch[:0], &ev)
+	s.scratch = append(s.scratch, '\n')
+	if _, err := s.bw.Write(s.scratch); err != nil {
+		s.err = err
+	}
+}
+
+// Flush implements Sink: buffered lines reach the underlying writer. A
+// partial trace flushed mid-run is still well-formed JSONL (events are
+// written whole lines at a time through the buffer).
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *JSONLSink) flushLocked() error {
+	if s.err != nil {
+		return fmt.Errorf("obs: jsonl sink: %w", s.err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.err = err
+		return fmt.Errorf("obs: jsonl sink: %w", err)
+	}
+	return nil
+}
+
+// Close implements Sink: flush, then close the underlying writer when it
+// is an io.Closer. Idempotent.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.flushLocked()
+	if c, ok := s.under.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("obs: jsonl sink: %w", cerr)
+		}
+	}
+	return err
+}
+
+// Tee fans one trace stream out to several sinks.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(ev stats.TraceEvent) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// Flush implements Sink, returning the first error.
+func (t Tee) Flush() error {
+	var first error
+	for _, s := range t {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close implements Sink, closing every sink and returning the first
+// error.
+func (t Tee) Close() error {
+	var first error
+	for _, s := range t {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

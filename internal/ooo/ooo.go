@@ -26,6 +26,7 @@ import (
 	"informing/internal/interp"
 	"informing/internal/isa"
 	"informing/internal/mem"
+	"informing/internal/obs"
 	"informing/internal/stats"
 )
 
@@ -120,6 +121,19 @@ type Config struct {
 	// Trace, when non-nil, receives one TraceEvent per instruction in
 	// graduation order (debugging/visualisation; adds overhead).
 	Trace func(stats.TraceEvent)
+
+	// TraceEvery samples the trace at the source: one TraceEvent per N
+	// graduated instructions (0 or 1 = every instruction). Source-side
+	// sampling skips event construction entirely — including the
+	// disassembly string — so a 1-in-64 sampled trace costs a counter
+	// decrement per instruction, not an allocation (DESIGN.md §11).
+	TraceEvery uint64
+
+	// Obs, when non-nil, receives live metrics (instruction/cycle/trap
+	// counters, miss- and trap-latency histograms, handler occupancy,
+	// per-opcode issue stalls; see obs.Sim). A nil Obs costs only
+	// nil-checks: the disabled hot path stays allocation-free.
+	Obs *obs.Sim
 }
 
 // DefaultConfig returns the Table 1 out-of-order machine: 4-wide, 32-entry
@@ -187,6 +201,12 @@ const (
 	stallGrad                // resume after entry graduates (+FlushPenalty)
 )
 
+// obsFlushEvery is the cadence (in cycles, power of two) at which batched
+// observability counters are pushed to the shared atomic registry. Every
+// exit path flushes too, so totals are exact; between flushes live readers
+// lag by at most this many cycles of work.
+const obsFlushEvery = 4096
+
 // Run simulates prog to completion and returns the measured statistics.
 func Run(prog *isa.Program, cfg Config) (stats.Run, error) {
 	r, _, err := RunDetailed(prog, cfg)
@@ -201,6 +221,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 	if err != nil {
 		return stats.Run{}, nil, fmt.Errorf("ooo: %w", err)
 	}
+	hier.Obs = cfg.Obs
 	var icache *mem.Cache
 	if cfg.ICache.SizeBytes > 0 {
 		if icache, err = mem.NewCache(cfg.ICache); err != nil {
@@ -263,15 +284,52 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		out       stats.Run
 		inHandler bool
 		memSeen   int // committed memory refs, for SpecInjectEvery
+
+		handlerLen int64 // instructions in the current handler episode
 	)
 	out.IssueWidth = cfg.IssueWidth
 
 	limit := gov.Budget()
 
+	sim := cfg.Obs
+	traceEvery := cfg.TraceEvery
+	if traceEvery == 0 {
+		traceEvery = 1
+	}
+	traceLeft := traceEvery
+	var disasms []string // per-static disassembly, built only when tracing
+	if cfg.Trace != nil {
+		disasms = m.Disasms()
+	}
+
+	// Instruction and cycle counts accumulate in plain locals and reach
+	// the shared atomic cells in batches (obsFlushEvery cycles, plus every
+	// exit path), bounding the enabled-metrics cost to well under the
+	// DESIGN.md §11 budget while live readers stay at most a few thousand
+	// cycles behind.
+	var obsInstrs, obsCycles uint64
+	var obsStalls [isa.NumOps]uint64
+	flushObs := func() {
+		if sim == nil {
+			return
+		}
+		sim.Instrs.Add(obsInstrs)
+		sim.Cycles.Add(obsCycles)
+		obsInstrs, obsCycles = 0, 0
+		for op, n := range obsStalls {
+			if n != 0 {
+				sim.IssueStalls[op].Add(n)
+				obsStalls[op] = 0
+			}
+		}
+		hier.FlushObs()
+	}
+
 	// abort wraps cause with a diagnostic snapshot of where the machine
 	// was: the architectural PC, the cycle, reorder-buffer occupancy, the
 	// oldest un-graduated instruction, and the statistics so far.
 	abort := func(cause error) error {
+		flushObs()
 		snap := govern.Snapshot{
 			PC: m.PC, Cycle: cycle, Seq: m.Seq,
 			ROBOccupied: count,
@@ -373,17 +431,20 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			e.grad = true
 			e.gradC = cycle
 			if cfg.Trace != nil {
-				cfg.Trace(stats.TraceEvent{
-					Seq:      e.rec.Seq,
-					PC:       e.rec.PC,
-					Disasm:   e.rec.Inst.String(),
-					Fetch:    e.fetchC,
-					Issue:    e.issueC,
-					Complete: e.compC,
-					Graduate: e.gradC,
-					MemLevel: e.rec.Level,
-					Trap:     e.rec.Trap,
-				})
+				// Unified emission point (see interp.Rec.TraceEvent):
+				// events are built at graduation, sampled at the source.
+				if traceLeft--; traceLeft == 0 {
+					traceLeft = traceEvery
+					cfg.Trace(e.rec.TraceEvent(disasms[e.rec.SIdx], e.fetchC, e.issueC, e.compC, e.gradC))
+				}
+			}
+			if sim != nil {
+				if e.isMiss && e.st.Load() {
+					sim.MissLatency.Observe(e.compC - e.issueC)
+				}
+				if e.rec.Trap {
+					sim.TrapLatency.Observe(e.gradC - e.issueC)
+				}
 			}
 			// isMiss is only ever set on memory operations, so the
 			// explicit IsMem() conjunct is redundant.
@@ -403,9 +464,11 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				out.CacheSlots += int64(cfg.IssueWidth - gradN)
 			}
 		}
+		obsInstrs += uint64(gradN)
 
 		// ---- issue ----------------------------------------------------
 		issuedN := 0
+		stallCharged := false // one issue-stall charge per cycle (oldest blocked)
 		var fuUsed [isa.NumFUClasses]int
 		for i, c := head, count; c > 0 && issuedN < cfg.IssueWidth; c-- {
 			e := &rob[i]
@@ -417,6 +480,10 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				continue
 			}
 			if fuUsed[e.fu] >= cfg.Units[e.fu] {
+				if sim != nil && !stallCharged {
+					stallCharged = true
+					obsStalls[e.rec.Inst.Op]++
+				}
 				continue
 			}
 			ok := true
@@ -435,6 +502,10 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				ok = false
 			}
 			if !ok {
+				if sim != nil && !stallCharged {
+					stallCharged = true
+					obsStalls[e.rec.Inst.Op]++
+				}
 				continue
 			}
 			if e.st.Mem() {
@@ -446,6 +517,10 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					// Lockup-free cache full: retry next cycle.
 					fuUsed[e.fu]++ // the port was occupied by the attempt
 					issuedN++
+					if sim != nil && !stallCharged {
+						stallCharged = true
+						obsStalls[e.rec.Inst.Op]++
+					}
 					continue
 				}
 				e.tagC = cycle + int64(cfg.Timing.L1HitLat)
@@ -486,6 +561,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				}
 				wasInHandler := inHandler
 				if err := m.StepInto(&rec); err != nil {
+					flushObs()
 					return out, m, err
 				}
 				in := rec.Inst
@@ -541,9 +617,19 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				if rec.Trap {
 					out.Traps++
 					inHandler = true
+					if sim != nil {
+						sim.Traps.Inc()
+						handlerLen = 0
+					}
 				}
 				if wasInHandler {
 					out.HandlerInsts++
+					if sim != nil {
+						handlerLen++
+						if in.Op == isa.Rfmh {
+							sim.HandlerOcc.Observe(handlerLen)
+						}
+					}
 					if in.Op == isa.Rfmh {
 						inHandler = false
 					}
@@ -640,8 +726,13 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			return out, m, abort(fmt.Errorf("ooo: %w", err))
 		}
 		cycle++
+		obsCycles++
+		if sim != nil && cycle&(obsFlushEvery-1) == 0 {
+			flushObs()
+		}
 	}
 
+	flushObs()
 	out.Cycles = cycle
 	if out.Cycles < 1 {
 		out.Cycles = 1

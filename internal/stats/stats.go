@@ -6,7 +6,10 @@
 // oldest not-yet-graduated instruction is a data-cache miss), or other.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Breakdown is the per-run graduation-slot accounting.
 type Breakdown struct {
@@ -22,12 +25,28 @@ type Breakdown struct {
 	OtherSlots int64 // all other lost slots
 }
 
-// TotalSlots returns issue width × cycles.
-func (b Breakdown) TotalSlots() int64 { return b.Cycles * int64(b.IssueWidth) }
+// TotalSlots returns issue width × cycles, saturating at math.MaxInt64
+// instead of silently wrapping when the product overflows (a 4-wide
+// machine overflows past ~2.3e18 cycles — unreachable in a governed run,
+// but hand-built Breakdowns in tests and tools must not produce negative
+// slot totals). Check reports the overflow explicitly.
+func (b Breakdown) TotalSlots() int64 {
+	if b.IssueWidth > 0 && b.Cycles > math.MaxInt64/int64(b.IssueWidth) {
+		return math.MaxInt64
+	}
+	return b.Cycles * int64(b.IssueWidth)
+}
 
 // BusySlots returns the number of slots in which an instruction graduated
-// (as an int64, for arithmetic against the other slot categories).
-func (b Breakdown) BusySlots() int64 { return int64(b.Instrs) }
+// (as an int64, for arithmetic against the other slot categories). The
+// unsigned Instrs counter saturates at math.MaxInt64 rather than
+// converting to a negative count; Check reports the overflow explicitly.
+func (b Breakdown) BusySlots() int64 {
+	if b.Instrs > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(b.Instrs)
+}
 
 // IPC returns graduated instructions per cycle.
 func (b Breakdown) IPC() float64 {
@@ -87,6 +106,16 @@ func (r Run) Check() error {
 	}
 	if r.Cycles < 0 {
 		return fmt.Errorf("stats: negative cycle count %d", r.Cycles)
+	}
+	// Saturation guards: BusySlots/TotalSlots clamp instead of wrapping,
+	// so a run whose counters exceed int64 arithmetic is reported here
+	// rather than passing (or failing) the partition check on clamped
+	// values.
+	if r.Instrs > math.MaxInt64 {
+		return fmt.Errorf("stats: instruction count %d exceeds int64 slot arithmetic", r.Instrs)
+	}
+	if r.Cycles > math.MaxInt64/int64(r.IssueWidth) {
+		return fmt.Errorf("stats: total slots overflow (cycles=%d × width=%d)", r.Cycles, r.IssueWidth)
 	}
 	if r.Instrs != r.DynInsts {
 		return fmt.Errorf("stats: graduated %d != executed %d (counter drift)", r.Instrs, r.DynInsts)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -121,6 +122,43 @@ func TestCheckInvariants(t *testing.T) {
 	var zero Run
 	if err := zero.Check(); err == nil {
 		t.Error("zero run (issue width 0) passes Check")
+	}
+}
+
+// Regression: BusySlots converted the unsigned Instrs counter straight to
+// int64 (an Instrs above math.MaxInt64 became a negative busy-slot count)
+// and TotalSlots multiplied width×cycles with silent wrap. Both must
+// saturate, and Check must report the overflow explicitly instead of
+// comparing clamped values.
+func TestBreakdownOverflow(t *testing.T) {
+	big := Breakdown{IssueWidth: 4, Cycles: 1000, Instrs: math.MaxInt64 + 1}
+	if got := big.BusySlots(); got != math.MaxInt64 {
+		t.Errorf("BusySlots with Instrs > MaxInt64 = %d, want saturation at MaxInt64", got)
+	}
+
+	wide := Breakdown{IssueWidth: 4, Cycles: math.MaxInt64 / 2}
+	if got := wide.TotalSlots(); got != math.MaxInt64 {
+		t.Errorf("TotalSlots with overflowing product = %d, want saturation at MaxInt64", got)
+	}
+	if got := wide.TotalSlots(); got < 0 {
+		t.Errorf("TotalSlots wrapped negative: %d", got)
+	}
+
+	// Exactly at the boundary the product is still representable.
+	edge := Breakdown{IssueWidth: 4, Cycles: math.MaxInt64 / 4}
+	if got, want := edge.TotalSlots(), int64(math.MaxInt64/4)*4; got != want {
+		t.Errorf("TotalSlots at boundary = %d, want %d", got, want)
+	}
+
+	r := Run{Breakdown: big}
+	r.DynInsts = r.Instrs
+	if err := r.Check(); err == nil || !strings.Contains(err.Error(), "exceeds int64") {
+		t.Errorf("Check with Instrs > MaxInt64: got %v, want instruction-count overflow error", err)
+	}
+
+	r = Run{Breakdown: wide}
+	if err := r.Check(); err == nil || !strings.Contains(err.Error(), "total slots overflow") {
+		t.Errorf("Check with overflowing slot product: got %v, want total-slots overflow error", err)
 	}
 }
 
