@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz verify clean bench bench-smoke obs-smoke
+.PHONY: build test test-short race race-serve fuzz verify clean bench bench-smoke obs-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -10,8 +10,20 @@ build:
 test:
 	$(GO) test ./...
 
+# test-short is the fast lane: skips the heavy experiment sweeps,
+# differential grids and real-simulation service tests (seconds, not
+# minutes) — the first thing to run while iterating.
+test-short:
+	$(GO) test -short ./...
+
 race:
 	$(GO) test -race ./...
+
+# race-serve shakes the serving layer's concurrency machinery
+# (single-flight, bounded queue, dispatcher batching, LRU) and the pool
+# and metrics under it with the race detector.
+race-serve:
+	$(GO) test -race ./internal/serve/ ./internal/sched/ ./internal/obs/
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
@@ -48,6 +60,13 @@ obs-smoke:
 	cmp /tmp/fig3_plain.txt /tmp/fig3_obs.txt
 	/tmp/tracecheck /tmp/fig3_trace.jsonl
 	grep -q '"sim_instrs"' /tmp/fig3_metrics.txt
+
+# serve-smoke exercises informd end to end (EXPERIMENTS.md "Simulation as
+# a service") without leaving the test harness: the examples smoke test
+# builds the daemon, starts it on an ephemeral port, round-trips one
+# request and shuts it down with SIGTERM.
+serve-smoke:
+	$(GO) test -run TestInformdSmoke -v .
 
 # verify is the full CI gate: build, vet, race-enabled tests, fuzz seeds.
 verify: build

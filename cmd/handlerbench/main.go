@@ -95,41 +95,11 @@ func main() {
 		return err
 	}
 
+	// The table-shaped experiments come from experiments.Named — the same
+	// definitions informd serves, so the CLI tables and the served tables
+	// cannot drift apart. trapmode is the one ratio-shaped exception.
 	run := func(name string) error {
-		switch name {
-		case "fig2":
-			res, err := experiments.Figure2(opt)
-			if err != nil {
-				return partial(res, err)
-			}
-			fmt.Print(experiments.FormatFigure(
-				"Figure 2: performance of generic miss handlers (1 and 10 instructions)", res))
-			fmt.Println()
-			fmt.Print(experiments.FormatOverheadSummary(res))
-			if *raw {
-				fmt.Print(experiments.FormatRuns(res))
-			}
-		case "fig3":
-			res, err := experiments.Figure3(opt)
-			if err != nil {
-				return partial(res, err)
-			}
-			fmt.Print(experiments.FormatFigure(
-				"Figure 3: su2cor with generic miss handlers", res))
-			if *raw {
-				fmt.Print(experiments.FormatRuns(res))
-			}
-		case "h100":
-			res, err := experiments.H100(opt)
-			if err != nil {
-				return partial(res, err)
-			}
-			fmt.Print(experiments.FormatFigure(
-				"100-instruction handlers (paper: compress ~6x, su2cor ~7x, ora ~2%)", res))
-			if *raw {
-				fmt.Print(experiments.FormatRuns(res))
-			}
-		case "trapmode":
+		if name == "trapmode" {
 			ratios, res, err := experiments.TrapModeComparison(opt)
 			if err != nil {
 				return partial(res, err)
@@ -143,68 +113,32 @@ func main() {
 			if *raw {
 				fmt.Print(experiments.FormatRuns(res))
 			}
-		case "condcode":
-			res, err := experiments.HandlerOverhead(workload.Fig2Set(), experiments.CondCodePlans(), opt)
-			if err != nil {
-				return partial(res, err)
-			}
-			fmt.Print(experiments.FormatFigure(
-				"Condition-code checks (CC) vs unique-handler traps (U)", res))
+			fmt.Println()
+			return nil
+		}
+		ne, err := experiments.Named(name)
+		if err != nil {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		o := opt
+		o.Baseline = ne.Baseline
+		res, err := experiments.HandlerOverhead(ne.Benchmarks, ne.Specs, o)
+		if err != nil {
+			return partial(res, err)
+		}
+		fmt.Print(experiments.FormatFigure(ne.Title, res))
+		if ne.Summary {
 			fmt.Println()
 			fmt.Print(experiments.FormatOverheadSummary(res))
-			if *raw {
-				fmt.Print(experiments.FormatRuns(res))
-			}
-		case "counters":
-			bms, err := benchSet("compress", "espresso", "alvinn", "tomcatv")
-			if err != nil {
-				return err
-			}
-			res, err := experiments.HandlerOverhead(bms, experiments.MotivationPlans(), opt)
-			if err != nil {
-				return partial(res, err)
-			}
-			fmt.Print(experiments.FormatFigure(
-				"§1 motivation: serializing miss counters (CNT) vs informing mechanisms", res))
-			if *raw {
-				fmt.Print(experiments.FormatRuns(res))
-			}
-		case "sampling":
-			bms, err := benchSet("compress", "su2cor", "tomcatv")
-			if err != nil {
-				return err
-			}
-			res, err := experiments.HandlerOverhead(bms, experiments.SamplingPlans(), opt)
-			if err != nil {
-				return partial(res, err)
-			}
-			fmt.Print(experiments.FormatFigure(
-				"Sampled 100-instruction handlers (§4.2.2 mitigation)", res))
-			if *raw {
-				fmt.Print(experiments.FormatRuns(res))
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if *raw {
+			fmt.Print(experiments.FormatRuns(res))
 		}
 		fmt.Println()
 		return nil
 	}
 
 	runAll(run, *exp, stopProf)
-}
-
-// benchSet resolves benchmark names, erroring on unknown ones instead of
-// silently simulating zero-value benchmarks.
-func benchSet(names ...string) ([]workload.Benchmark, error) {
-	var bms []workload.Benchmark
-	for _, name := range names {
-		bm, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown benchmark %q", name)
-		}
-		bms = append(bms, bm)
-	}
-	return bms, nil
 }
 
 func runAll(run func(string) error, exp string, stopProf func()) {

@@ -1,0 +1,101 @@
+// Command informd serves the paper's simulations over HTTP: a
+// long-running daemon that validates, batches and caches simulation
+// requests (see internal/serve and EXPERIMENTS.md "Simulation as a
+// service").
+//
+//	informd -listen 127.0.0.1:8372
+//
+// Endpoints:
+//
+//	POST /v1/simulate     batch of cells: handler-overhead cells, Figure 4
+//	                      coherence points, or assembler programs
+//	POST /v1/experiment   a named §4.2 experiment (fig2, fig3, h100,
+//	                      condcode, sampling, counters) or a custom
+//	                      benchmarks × plans grid; returns the CLI tables
+//	GET  /metrics         serve_* and sim_* metrics (internal/obs registry)
+//	GET  /healthz         liveness, code version, cache occupancy
+//
+// Identical requests are served from a fingerprint-keyed LRU cache;
+// distinct concurrent requests are batched onto one worker pool. When the
+// bounded queue fills, POST /v1/simulate responds 429 (backpressure) —
+// clients should retry after a short delay. SIGINT/SIGTERM drains
+// gracefully: new work is rejected with 503, in-flight simulations finish
+// (up to -drain-timeout, then their run governors abort them).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"informing/internal/govern"
+	"informing/internal/serve"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8372", "listen address (\":0\" picks an ephemeral port)")
+		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count")
+		queueSize    = flag.Int("queue", 0, "bounded queue size; overflow returns 429 (0 = default 256)")
+		maxBatch     = flag.Int("max-batch", 0, "max cells per dispatcher batch (0 = default 32)")
+		cacheSize    = flag.Int("cache", 0, "result cache entries (0 = default 4096)")
+		maxCells     = flag.Int("max-cells", 0, "max cells per /v1/simulate request (0 = default 64)")
+		maxInstsCap  = flag.Uint64("maxinsts-cap", 0, "reject requests budgeted above this (0 = 1e9)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget before in-flight runs are aborted")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:            *jobs,
+		QueueSize:          *queueSize,
+		MaxBatch:           *maxBatch,
+		CacheEntries:       *cacheSize,
+		MaxCellsPerRequest: *maxCells,
+		MaxInstsCap:        *maxInstsCap,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "informd: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	// The listening line goes to stdout (and is the last thing printed
+	// before serving) so scripts and the smoke test can scrape the bound
+	// address when ":0" picked an ephemeral port.
+	fmt.Printf("informd: listening on http://%s (workers=%d, code=%s)\n",
+		ln.Addr(), *jobs, serve.CodeVersion)
+
+	ctx, stopSignals := govern.SignalContext(nil)
+	defer stopSignals()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "informd: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new simulation work, let the HTTP layer
+	// finish in-flight requests within the budget, then abort whatever is
+	// left through the run governors.
+	fmt.Println("informd: draining (signal received)")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "informd: shutdown: %v\n", err)
+	}
+	srv.Close()
+	fmt.Println("informd: stopped")
+}

@@ -1,8 +1,16 @@
 package informing
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -34,5 +42,100 @@ func TestExamplesRun(t *testing.T) {
 				t.Fatalf("%s produced no output", ex)
 			}
 		})
+	}
+}
+
+// TestInformdSmoke exercises the service daemon the way an operator would:
+// build it, start it on an ephemeral port, scrape the bound address from
+// its listening line, round-trip one simulation over real HTTP, and shut
+// it down with SIGTERM expecting a clean drain and exit 0.
+func TestInformdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "informd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/informd").CombinedOutput(); err != nil {
+		t.Fatalf("build informd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killer := time.AfterFunc(2*time.Minute, func() { cmd.Process.Kill() })
+	defer killer.Stop()
+	defer cmd.Process.Kill() // no-op after a clean Wait
+
+	// The daemon prints "informd: listening on http://ADDR (...)" before
+	// serving; that line is the contract for scripts binding port 0.
+	reader := bufio.NewReader(stdout)
+	line, err := reader.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v (stderr: %s)", err, stderr.String())
+	}
+	_, rest, ok := strings.Cut(line, "http://")
+	if !ok {
+		t.Fatalf("no address in listening line %q", line)
+	}
+	addr, _, ok := strings.Cut(rest, " ")
+	if !ok {
+		t.Fatalf("malformed listening line %q", line)
+	}
+	base := "http://" + addr
+	restOut := make(chan string, 1)
+	go func() {
+		tail, _ := io.ReadAll(reader)
+		restOut <- line + string(tail)
+	}()
+
+	// One real (tiny) simulation through the full stack.
+	body := `{"cells":[{"kind":"program","source":"\taddi r1, r0, 3\nloop:\taddi r1, r1, -1\n\tbne r1, r0, loop\n\thalt\n"}]}`
+	resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/simulate: %v", err)
+	}
+	var sim struct {
+		Results []struct {
+			Run   *json.RawMessage `json:"run"`
+			Error *json.RawMessage `json:"error"`
+		} `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sim)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("simulate: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if len(sim.Results) != 1 || sim.Results[0].Error != nil || sim.Results[0].Run == nil {
+		t.Fatalf("simulate result = %+v, want one successful run", sim.Results)
+	}
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != 200 || !bytes.Contains(hbody, []byte(`"ok"`)) {
+		t.Fatalf("healthz = %d %s", hresp.StatusCode, hbody)
+	}
+
+	// Graceful shutdown: SIGTERM → drain → exit 0 with the stop line.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("informd exited uncleanly: %v (stderr: %s)", err, stderr.String())
+	}
+	out := <-restOut
+	for _, want := range []string{"informd: listening on http://", "informd: draining (signal received)", "informd: stopped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
 	}
 }

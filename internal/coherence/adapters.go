@@ -1,0 +1,53 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+
+	"informing/internal/multi"
+)
+
+// Request→cell adapters for the serving layer (internal/serve): resolve
+// the application and access-control-scheme names the Figure 4 tables
+// print into the objects multi.Simulate consumes.
+
+// AppNames lists the Figure 4 applications in table order.
+func AppNames() []string {
+	names := make([]string, 0, 5)
+	for _, app := range Apps(1) {
+		names = append(names, app.Name)
+	}
+	return names
+}
+
+// AppByName builds the named Figure 4 application for n processors.
+func AppByName(name string, n int) (multi.App, error) {
+	for _, app := range Apps(n) {
+		if app.Name == name {
+			return app, nil
+		}
+	}
+	return multi.App{}, fmt.Errorf("coherence: unknown application %q (have %s)",
+		name, strings.Join(AppNames(), ", "))
+}
+
+// SchemeNames lists the access-control schemes in Figure 4 column order.
+func SchemeNames() []string {
+	names := make([]string, 0, 3)
+	for _, pol := range Schemes() {
+		names = append(names, pol.Name())
+	}
+	return names
+}
+
+// SchemeByName resolves an access-control scheme by its table name
+// ("reference-checking", "ecc-fault", "informing").
+func SchemeByName(name string) (multi.AccessPolicy, error) {
+	for _, pol := range Schemes() {
+		if pol.Name() == name {
+			return pol, nil
+		}
+	}
+	return nil, fmt.Errorf("coherence: unknown access-control scheme %q (have %s)",
+		name, strings.Join(SchemeNames(), ", "))
+}

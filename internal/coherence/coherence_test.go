@@ -192,6 +192,9 @@ func TestFigure4InformingAlwaysWins(t *testing.T) {
 // sequential reference: rows, per-scheme results and headline speedups
 // must be identical at any worker count.
 func TestFigure4ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker-count differential sweep is heavy")
+	}
 	cfg := multi.DefaultConfig()
 	cfg.Processors = 8
 	seqRows, seqSpeedup, err := Figure4(cfg, 1)

@@ -194,6 +194,9 @@ func TestReportFormatting(t *testing.T) {
 // tables must be byte-identical. Run it under -race to also shake out
 // data races in the pool and the shared program cache.
 func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker-count differential sweep is heavy")
+	}
 	var bms []workload.Benchmark
 	for _, name := range []string{"espresso", "alvinn", "ora"} {
 		bms = append(bms, pickBench(t, name)[0])

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"informing/internal/stats"
+)
+
+func out(n int64) outcome {
+	r := stats.Run{}
+	r.IssueWidth = 4
+	r.Cycles = n
+	return outcome{run: &r}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", out(1))
+	c.add("b", out(2))
+	c.add("c", out(3)) // evicts a
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for key, want := range map[string]int64{"b": 2, "c": 3} {
+		got, ok := c.get(key)
+		if !ok || got.run.Cycles != want {
+			t.Fatalf("get(%q) = (%+v, %v), want cycles %d", key, got, ok, want)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUGetPromotes(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", out(1))
+	c.add("b", out(2))
+	c.get("a")         // a is now most-recent
+	c.add("c", out(3)) // evicts b, not a
+
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+}
+
+func TestLRUOverwriteSameKey(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", out(1))
+	c.add("a", out(9))
+	got, ok := c.get("a")
+	if !ok || got.run.Cycles != 9 {
+		t.Fatalf("get(a) = (%+v, %v), want overwritten value", got, ok)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (same key must not duplicate)", c.len())
+	}
+}
+
+func TestLRUCapacityStaysBounded(t *testing.T) {
+	c := newLRU(8)
+	for i := 0; i < 100; i++ {
+		c.add(fmt.Sprintf("k%d", i), out(int64(i)))
+		if c.len() > 8 {
+			t.Fatalf("cache grew to %d entries, cap 8", c.len())
+		}
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d, want 8", c.len())
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"informing/internal/experiments"
+	"informing/internal/stats"
+	"informing/internal/workload"
+)
+
+// The differential contract: informd is a transport in front of the same
+// pure simulations the CLI runs, so its results must be bit-identical to
+// the sequential reference path — and a repeated request must be served
+// from the cache without simulating a single instruction.
+
+// diffGrid is the 18-cell golden grid of internal/core's hot-path tests:
+// three benchmarks × both machines × {no instrumentation, 1-instr trap
+// handler, 1-instr condition-code check}.
+func diffGrid() []Request {
+	var cells []Request
+	for _, bench := range []string{"compress", "espresso", "tomcatv"} {
+		for _, machine := range []string{MachineOOO, MachineInOrder} {
+			for _, plan := range []string{"N", "S1", "CC1"} {
+				cells = append(cells, Request{Kind: KindCell, Benchmark: bench, Plan: plan, Machine: machine})
+			}
+		}
+	}
+	return cells
+}
+
+// directRun is the sequential reference: the same workload/config path the
+// CLI's -j 1 lane uses, no serving layer involved.
+func directRun(t *testing.T, c Request) stats.Run {
+	t.Helper()
+	canon, err := Canonicalize(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, ok := workload.ByName(canon.Benchmark)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", canon.Benchmark)
+	}
+	spec, err := experiments.PlanByLabel(canon.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Build(bm, spec.Make(), canon.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, _, err := machineByName(canon.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := experiments.ConfigFor(machine, spec.Scheme).WithMaxInsts(canon.MaxInsts).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestDifferentialGoldenGrid runs the 18-cell grid through a real server
+// (full HTTP round trip, real simulations) and demands:
+//
+//  1. every served stats.Run equals the sequential reference bit for bit;
+//  2. an identical second batch is served entirely from the cache, with a
+//     sim_instrs delta of exactly zero — the obs layer proving no cell was
+//     re-simulated.
+func TestDifferentialGoldenGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden grid simulation is heavy")
+	}
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	cells := diffGrid()
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: cells})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSim(t, body)
+	if len(sr.Results) != len(cells) {
+		t.Fatalf("got %d results, want %d", len(sr.Results), len(cells))
+	}
+	for i, cr := range sr.Results {
+		if cr.Error != nil {
+			t.Fatalf("cell %+v failed: %+v", cells[i], cr.Error)
+		}
+		want := directRun(t, cells[i])
+		if *cr.Run != want {
+			t.Errorf("cell %+v diverged from sequential reference:\n got: %+v\nwant: %+v", cells[i], *cr.Run, want)
+		}
+	}
+
+	// Round 2: identical batch. Every cell cached, zero instructions
+	// simulated, and the payloads unchanged.
+	instrsBefore := s.Sim().Instrs.Load()
+	_, body2 := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: cells})
+	sr2 := decodeSim(t, body2)
+	for i, cr := range sr2.Results {
+		if cr.Error != nil || !cr.Cached {
+			t.Fatalf("repeat cell %+v not served from cache: %+v", cells[i], cr)
+		}
+		if *cr.Run != *sr.Results[i].Run {
+			t.Errorf("cached payload for %+v differs from computed payload", cells[i])
+		}
+	}
+	if delta := s.Sim().Instrs.Load() - instrsBefore; delta != 0 {
+		t.Errorf("repeat batch simulated %d instructions, want 0", delta)
+	}
+	if misses := s.met.Misses.Load(); misses != uint64(len(cells)) {
+		t.Errorf("serve_cache_misses = %d, want %d (one per unique cell)", misses, len(cells))
+	}
+}
+
+// TestDifferentialExperimentTable: POST /v1/experiment fig3 returns the
+// exact bytes the sequential CLI prints for the same experiment — the
+// served tables and the paper-reproduction tables cannot drift apart.
+func TestDifferentialExperimentTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig3 sweep is heavy")
+	}
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/experiment", ExperimentRequest{Name: "fig3"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	var er ExperimentResponse
+	decodeTo(t, body, &er)
+
+	ne, err := experiments.Named("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := experiments.DefaultOptions()
+	opt.Workers = 1 // the sequential reference path
+	opt.Baseline = ne.Baseline
+	res, err := experiments.HandlerOverhead(ne.Benchmarks, ne.Specs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := experiments.FormatFigure(ne.Title, res)
+	if er.Table != want {
+		t.Errorf("served table differs from sequential CLI table:\n--- served ---\n%s--- sequential ---\n%s", er.Table, want)
+	}
+	if er.Cells != len(res) {
+		t.Errorf("cells = %d, want %d", er.Cells, len(res))
+	}
+	if er.Computed != len(res) || er.CacheHits != 0 {
+		t.Errorf("first run: computed=%d hits=%d, want %d/0", er.Computed, er.CacheHits, len(res))
+	}
+
+	// Served again: the whole experiment resolves from the cache and the
+	// table is still byte-identical.
+	instrsBefore := s.Sim().Instrs.Load()
+	_, body2 := postJSON(t, ts.URL+"/v1/experiment", ExperimentRequest{Name: "fig3"})
+	var er2 ExperimentResponse
+	decodeTo(t, body2, &er2)
+	if er2.Table != want {
+		t.Error("cached experiment table differs from sequential CLI table")
+	}
+	if er2.CacheHits != len(res) || er2.Computed != 0 {
+		t.Errorf("repeat run: computed=%d hits=%d, want 0/%d", er2.Computed, er2.CacheHits, len(res))
+	}
+	if delta := s.Sim().Instrs.Load() - instrsBefore; delta != 0 {
+		t.Errorf("repeat experiment simulated %d instructions, want 0", delta)
+	}
+}

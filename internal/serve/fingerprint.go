@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CodeVersion names the simulator semantics the cache keys are valid for.
+// It participates in every fingerprint, so results computed by one build
+// of the simulator are never served for a build whose measured statistics
+// could differ. Bump it whenever a change would re-record the hot-path
+// golden grid (internal/core TestHotpathGolden) — the two pins guard the
+// same property from opposite directions.
+const CodeVersion = "informing-sim/5"
+
+// Fingerprint returns the cache key of a canonical request: the first 16
+// bytes of the SHA-256 of its canonical string, hex-encoded (32
+// characters). Keys are stable across processes and architectures — the
+// canonical string is built from struct fields in a fixed order, never
+// from map iteration or wire field order — and the fingerprint-determinism
+// tests regression-pin known keys in testdata/fingerprints.json.
+//
+// Call only with a request Canonicalize has produced; fingerprinting a
+// non-canonical request would let two spellings of the same simulation
+// occupy two cache slots (correct but wasteful) — or worse, let a
+// non-validated field into the key.
+func Fingerprint(c Request) string {
+	sum := sha256.Sum256([]byte(canonicalString(c)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// canonicalString serialises a canonical request field by field in a
+// fixed order. Program sources are folded in as their own SHA-256 so the
+// canonical string stays bounded and printable.
+func canonicalString(c Request) string {
+	switch c.Kind {
+	case KindCell:
+		return fmt.Sprintf("%s|cell|bench=%s|plan=%s|machine=%s|scale=%d|maxinsts=%d",
+			CodeVersion, c.Benchmark, c.Plan, c.Machine, c.Scale, c.MaxInsts)
+	case KindFig4:
+		return fmt.Sprintf("%s|fig4|app=%s|scheme=%s|procs=%d|maxrefs=%d",
+			CodeVersion, c.App, c.Scheme, c.Processors, c.MaxRefs)
+	case KindProgram:
+		src := sha256.Sum256([]byte(c.Source))
+		return fmt.Sprintf("%s|program|machine=%s|scheme=%s|maxinsts=%d|src=%s",
+			CodeVersion, c.Machine, c.Scheme, c.MaxInsts, hex.EncodeToString(src[:]))
+	}
+	// Canonicalize never emits another kind; keep unknown kinds from
+	// colliding with anything real.
+	return fmt.Sprintf("%s|unknown|%q", CodeVersion, c.Kind)
+}

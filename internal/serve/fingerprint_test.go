@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestFingerprintSpellingInvariance: every wire spelling of the same
+// simulation canonicalizes to the same struct and therefore the same
+// fingerprint — machine aliases, omitted defaults, plan-suffix noise and
+// JSON field order must all be invisible to the cache key.
+func TestFingerprintSpellingInvariance(t *testing.T) {
+	groups := [][]Request{
+		{
+			{Kind: KindCell, Benchmark: "compress", Plan: "S1"},
+			{Kind: KindCell, Benchmark: "compress", Plan: "S1", Machine: "ooo"},
+			{Kind: KindCell, Benchmark: "compress", Plan: "S1", Machine: "out-of-order"},
+			{Kind: KindCell, Benchmark: "compress", Plan: "S1/branch", Scale: 1},
+			{Kind: KindCell, Benchmark: "compress", Plan: "S1", MaxInsts: DefaultMaxInsts},
+		},
+		{
+			{Kind: KindCell, Benchmark: "tomcatv", Plan: "CC1", Machine: "inorder"},
+			{Kind: KindCell, Benchmark: "tomcatv", Plan: "CC1", Machine: "in-order"},
+		},
+		{
+			{Kind: KindFig4, App: "lu", Scheme: "informing"},
+			{Kind: KindFig4, App: "lu", Scheme: "informing", Processors: DefaultProcessors},
+		},
+		{
+			{Kind: KindProgram, Source: "\thalt\n"},
+			{Kind: KindProgram, Source: "\thalt\n", Machine: "ooo", Scheme: "off"},
+		},
+	}
+	for gi, group := range groups {
+		want := ""
+		for si, req := range group {
+			canon, err := Canonicalize(req, 0)
+			if err != nil {
+				t.Fatalf("group %d spelling %d: %v", gi, si, err)
+			}
+			key := Fingerprint(canon)
+			if si == 0 {
+				want = key
+				continue
+			}
+			if key != want {
+				t.Errorf("group %d spelling %d: key %s, want %s (spellings of one simulation must share a key)",
+					gi, si, key, want)
+			}
+		}
+	}
+}
+
+// TestFingerprintFieldOrderInvariance: the key is computed from struct
+// fields in a fixed order, so the JSON wire order cannot matter.
+func TestFingerprintFieldOrderInvariance(t *testing.T) {
+	docs := []string{
+		`{"kind":"cell","benchmark":"compress","plan":"S1","machine":"ooo","scale":2}`,
+		`{"scale":2,"machine":"ooo","plan":"S1","benchmark":"compress","kind":"cell"}`,
+		`{"plan":"S1","kind":"cell","scale":2,"benchmark":"compress","machine":"ooo"}`,
+	}
+	want := ""
+	for i, doc := range docs {
+		var req Request
+		if err := json.Unmarshal([]byte(doc), &req); err != nil {
+			t.Fatal(err)
+		}
+		canon, err := Canonicalize(req, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := Fingerprint(canon)
+		if i == 0 {
+			want = key
+		} else if key != want {
+			t.Errorf("field order %d changed the key: %s vs %s", i, key, want)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: any change to what would be simulated — the
+// plan, the workload, the machine, the budget, the scale, the program
+// text, the processor count — must change the key.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Request{Kind: KindCell, Benchmark: "compress", Plan: "S1"}
+	variants := []Request{
+		{Kind: KindCell, Benchmark: "compress", Plan: "S2"},
+		{Kind: KindCell, Benchmark: "compress", Plan: "U1"},
+		{Kind: KindCell, Benchmark: "compress", Plan: "S1/exception"},
+		{Kind: KindCell, Benchmark: "espresso", Plan: "S1"},
+		{Kind: KindCell, Benchmark: "compress", Plan: "S1", Machine: MachineInOrder},
+		{Kind: KindCell, Benchmark: "compress", Plan: "S1", Scale: 2},
+		{Kind: KindCell, Benchmark: "compress", Plan: "S1", MaxInsts: 1_000_000},
+	}
+	seen := map[string]string{}
+	record := func(r Request) string {
+		canon, err := Canonicalize(r, 0)
+		if err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+		return Fingerprint(canon)
+	}
+	baseKey := record(base)
+	seen[baseKey] = "base"
+	for _, v := range variants {
+		key := record(v)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("key collision: %+v and %s share %s", v, prev, key)
+		}
+		seen[key] = fmt.Sprintf("%+v", v)
+	}
+
+	// Program text and fig4 topology are part of the key too.
+	p1 := record(Request{Kind: KindProgram, Source: "\thalt\n"})
+	p2 := record(Request{Kind: KindProgram, Source: "\tnop\n\thalt\n"})
+	if p1 == p2 {
+		t.Error("program source change did not change the key")
+	}
+	f1 := record(Request{Kind: KindFig4, App: "lu", Scheme: "informing"})
+	f2 := record(Request{Kind: KindFig4, App: "lu", Scheme: "informing", Processors: 8})
+	f3 := record(Request{Kind: KindFig4, App: "lu", Scheme: "ecc-fault"})
+	if f1 == f2 || f1 == f3 || f2 == f3 {
+		t.Error("fig4 topology/scheme change did not change the key")
+	}
+}
+
+type fingerprintPins struct {
+	CodeVersion string `json:"code_version"`
+	Pins        []struct {
+		Name    string          `json:"name"`
+		Request json.RawMessage `json:"request"`
+		Key     string          `json:"key"`
+	} `json:"pins"`
+}
+
+// TestFingerprintPinned replays the regression pins of
+// testdata/fingerprints.json. The pinned keys were computed outside this
+// process (sha256sum of the documented canonical strings), so agreement
+// here is the cross-process determinism proof: the same request produces
+// the same cache key in every informd instance of this code version.
+//
+// Regenerate after an intentional format/CodeVersion change with
+// FINGERPRINT_PINS_PRINT=1.
+func TestFingerprintPinned(t *testing.T) {
+	raw, err := os.ReadFile("testdata/fingerprints.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pins fingerprintPins
+	if err := json.Unmarshal(raw, &pins); err != nil {
+		t.Fatal(err)
+	}
+	if pins.CodeVersion != CodeVersion {
+		t.Fatalf("pins recorded for %q, code is %q — regenerate testdata/fingerprints.json",
+			pins.CodeVersion, CodeVersion)
+	}
+	printMode := os.Getenv("FINGERPRINT_PINS_PRINT") != ""
+	for _, pin := range pins.Pins {
+		t.Run(pin.Name, func(t *testing.T) {
+			dec := json.NewDecoder(bytes.NewReader(pin.Request))
+			dec.DisallowUnknownFields()
+			var req Request
+			if err := dec.Decode(&req); err != nil {
+				t.Fatal(err)
+			}
+			canon, err := Canonicalize(req, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := Fingerprint(canon)
+			if printMode {
+				fmt.Printf("\t%s: %s\n", pin.Name, key)
+				return
+			}
+			if key != pin.Key {
+				t.Errorf("key %s, want pinned %s (canonical %q)", key, pin.Key, canonicalString(canon))
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package serve
+
+import "informing/internal/obs"
+
+// Canonical serving-layer metric names, registered next to the sim_*
+// metrics in the same obs.Registry so GET /metrics exposes one coherent
+// snapshot: how much the server is being asked, how much of it the cache
+// absorbs, and how much simulation actually ran (sim_instrs et al.).
+const (
+	MetricRequests   = "serve_requests_total"
+	MetricCells      = "serve_cells_total"
+	MetricHits       = "serve_cache_hits"
+	MetricMisses     = "serve_cache_misses"
+	MetricCoalesced  = "serve_coalesced"
+	MetricRejected   = "serve_rejected_total"
+	MetricCellErrors = "serve_cell_errors"
+	MetricInflight   = "serve_inflight"    // gauge: flights not yet completed
+	MetricQueueDepth = "serve_queue_depth" // gauge: flights waiting for the pool
+	MetricLatencyMs  = "serve_request_latency_ms"
+	MetricBatchSize  = "serve_batch_size"
+)
+
+// latencyMsBounds spans a cached hit (sub-millisecond) to a full
+// 100M-instruction cell (tens of seconds).
+var latencyMsBounds = []int64{1, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 60_000}
+
+// batchBounds covers the dispatcher's batch sizes up to the default
+// MaxBatch and beyond.
+var batchBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// metrics bundles the pre-resolved serving-layer handles (the obs.Sim
+// pattern: the request path touches handles, never the registry).
+type metrics struct {
+	Requests   *obs.Counter
+	Cells      *obs.Counter
+	Hits       *obs.Counter
+	Misses     *obs.Counter
+	Coalesced  *obs.Counter
+	Rejected   *obs.Counter
+	CellErrors *obs.Counter
+	Inflight   *obs.Counter
+	QueueDepth *obs.Counter
+	LatencyMs  *obs.Histogram
+	BatchSize  *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		Requests:   reg.Counter(MetricRequests),
+		Cells:      reg.Counter(MetricCells),
+		Hits:       reg.Counter(MetricHits),
+		Misses:     reg.Counter(MetricMisses),
+		Coalesced:  reg.Counter(MetricCoalesced),
+		Rejected:   reg.Counter(MetricRejected),
+		CellErrors: reg.Counter(MetricCellErrors),
+		Inflight:   reg.Counter(MetricInflight),
+		QueueDepth: reg.Counter(MetricQueueDepth),
+		LatencyMs:  reg.Histogram(MetricLatencyMs, latencyMsBounds),
+		BatchSize:  reg.Histogram(MetricBatchSize, batchBounds),
+	}
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// Round trips of the two non-cell request kinds through the real runner:
+// an assembled program on the out-of-order core, and a Figure 4 coherence
+// point on the multiprocessor model.
+func TestProgramAndFig4RoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations")
+	}
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	src := `
+	addi r1, r0, 64
+loop:
+	ld r2, 0(r1)
+	addi r1, r1, -8
+	bne r1, r0, loop
+	halt
+`
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{
+		{Kind: KindProgram, Source: src, Machine: MachineOOO, Scheme: "off"},
+		{Kind: KindFig4, App: "lu", Scheme: "informing", Processors: 4},
+	}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSim(t, body)
+
+	prog := sr.Results[0]
+	if prog.Error != nil || prog.Run == nil {
+		t.Fatalf("program cell = %+v, want success", prog)
+	}
+	if prog.Run.Instrs == 0 || prog.Run.Cycles == 0 {
+		t.Errorf("program ran %d instrs in %d cycles, want non-zero", prog.Run.Instrs, prog.Run.Cycles)
+	}
+
+	fig4 := sr.Results[1]
+	if fig4.Error != nil || fig4.Multi == nil {
+		t.Fatalf("fig4 cell = %+v, want success", fig4)
+	}
+	if fig4.Multi.Cycles == 0 || len(fig4.Multi.PerProc) != 4 {
+		t.Errorf("fig4 result = %+v, want 4-processor run with non-zero cycles", fig4.Multi)
+	}
+
+	// Both kinds participate in the fingerprint cache.
+	_, body2 := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{
+		{Kind: KindProgram, Source: src, Machine: MachineOOO, Scheme: "off"},
+		{Kind: KindFig4, App: "lu", Scheme: "informing", Processors: 4},
+	}})
+	sr2 := decodeSim(t, body2)
+	for i, cr := range sr2.Results {
+		if !cr.Cached {
+			t.Errorf("repeat of kind %q not served from cache", sr.Results[i].Key)
+		}
+	}
+}

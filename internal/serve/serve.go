@@ -1,0 +1,761 @@
+// Package serve is the simulation-as-a-service layer: a long-running
+// HTTP/JSON front end over the experiment harnesses (internal/experiments,
+// internal/coherence) and the timing cores. The paper's experiments are
+// pure functions of (workload, plan, machine configuration), which is what
+// makes this layer sound:
+//
+//   - every request is validated and canonicalized (Canonicalize), then
+//     keyed by a deterministic fingerprint of the canonical request plus
+//     the simulator code version (Fingerprint);
+//   - repeats are served from a bounded in-memory LRU without touching
+//     the simulator;
+//   - identical requests racing each other coalesce onto one in-flight
+//     computation (single-flight), whose run governor is cancelled only
+//     when every interested request has gone away;
+//   - distinct requests are queued (bounded — the queue overflowing is
+//     the server's backpressure signal, surfaced as HTTP 429) and batched
+//     by a dispatcher onto the shared internal/sched worker pool;
+//   - per-request budgets and cancellation ride the existing govern
+//     layer: a cell's MaxInsts becomes its governor budget and the flight
+//     context is threaded into the engines, so a cancelled batch aborts
+//     at the next governor poll with a diagnostic snapshot.
+//
+// Observability reuses internal/obs: one registry holds both the serving
+// metrics (serve_*) and the simulator metrics (sim_*), served on GET
+// /metrics — the differential tests use exactly this to prove a cache hit
+// re-simulates nothing (sim_instrs delta zero).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"informing/internal/asm"
+	"informing/internal/coherence"
+	"informing/internal/core"
+	"informing/internal/experiments"
+	"informing/internal/govern"
+	"informing/internal/multi"
+	"informing/internal/obs"
+	"informing/internal/sched"
+	"informing/internal/stats"
+	"informing/internal/workload"
+)
+
+// maxBodyBytes bounds request bodies (program sources are capped at
+// MaxSourceBytes each; a full batch stays comfortably under this).
+const maxBodyBytes = 4 << 20
+
+// Config parameterises a Server. The zero value is valid: every field
+// falls back to the defaults documented on it.
+type Config struct {
+	// Workers bounds the simulation worker pool (internal/sched
+	// semantics: <= 0 selects GOMAXPROCS).
+	Workers int
+
+	// QueueSize bounds the number of flights waiting for the pool; an
+	// arriving cell that finds the queue full is rejected with HTTP 429
+	// (0 = 256).
+	QueueSize int
+
+	// MaxBatch bounds how many queued flights one dispatcher round hands
+	// to sched.Map (0 = 32).
+	MaxBatch int
+
+	// CacheEntries bounds the result LRU (0 = 4096).
+	CacheEntries int
+
+	// MaxCellsPerRequest bounds the batch size of one POST /v1/simulate
+	// (0 = 64).
+	MaxCellsPerRequest int
+
+	// MaxInstsCap rejects requests whose budget exceeds it
+	// (0 = govern.DefaultBudget).
+	MaxInstsCap uint64
+
+	// runCell, when non-nil, replaces the real simulation runner — test
+	// seam for exercising the concurrency machinery without simulating.
+	runCell func(ctx context.Context, c Request) outcome
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize == 0 {
+		c.QueueSize = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxCellsPerRequest == 0 {
+		c.MaxCellsPerRequest = 64
+	}
+	if c.MaxInstsCap == 0 {
+		c.MaxInstsCap = govern.DefaultBudget
+	}
+	return c
+}
+
+// outcome is one completed computation: exactly one of run/multiRes set on
+// success, err on failure. Only successful outcomes enter the cache.
+type outcome struct {
+	run      *stats.Run
+	multiRes *multi.Result
+	err      error
+}
+
+// flight is one in-flight computation, shared by every request that asked
+// for the same fingerprint while it ran. Its context is a child of the
+// server context, cancelled early when the last interested request leaves
+// — that cancellation reaches the simulation through its run governor.
+type flight struct {
+	key string
+	req Request
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done chan struct{} // closed after out is written
+	out  outcome
+
+	waiters int // guarded by Server.mu
+}
+
+// Server is the simulation service. Create with New, expose via Handler,
+// stop with Drain (graceful) and Close.
+type Server struct {
+	cfg   Config
+	sim   *obs.Sim
+	met   *metrics
+	cache *lruCache
+	mux   *http.ServeMux
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *flight
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	draining bool
+}
+
+// New builds a Server and starts its dispatcher.
+func New(cfg Config) *Server {
+	sim := obs.NewSim()
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		sim:     sim,
+		met:     newMetrics(sim.Reg),
+		flights: map[string]*flight{},
+	}
+	s.cache = newLRU(s.cfg.CacheEntries)
+	s.queue = make(chan *flight, s.cfg.QueueSize)
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "informd simulation service; see POST /v1/simulate, POST /v1/experiment, GET /metrics")
+	})
+
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// Sim exposes the shared simulator-metrics bundle (tests read sim_instrs
+// deltas from it; every served simulation counts into it).
+func (s *Server) Sim() *obs.Sim { return s.sim }
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into draining mode: new simulation requests are
+// rejected with 503 while in-flight work completes. /healthz reports the
+// state so load balancers can rotate the instance out.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Close cancels every in-flight computation (their governors abort at the
+// next poll), fails everything still queued, and waits for the dispatcher
+// to exit. Idempotent.
+func (s *Server) Close() {
+	s.Drain()
+	s.stop()
+	s.wg.Wait()
+}
+
+// errShutdown is the outcome error of flights interrupted by Close.
+var errShutdown = fmt.Errorf("%w: server shutting down", govern.ErrCanceled)
+
+// ticket is the submit result for one cell: either an immediate cached
+// outcome or a flight to await.
+type ticket struct {
+	key    string
+	cached *outcome
+	f      *flight
+}
+
+// submit resolves one canonical cell: cache hit, join of an identical
+// in-flight computation, or a fresh flight pushed onto the queue. With
+// block=false a full queue fails fast (the 429 path); with block=true the
+// caller waits for a slot (the experiment path, where the client's open
+// request is the backpressure).
+func (s *Server) submit(reqCtx context.Context, c Request, block bool) (ticket, *WireError) {
+	key := Fingerprint(c)
+	if out, ok := s.cache.get(key); ok {
+		s.met.Hits.Inc()
+		return ticket{key: key, cached: &out}, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ticket{}, &WireError{Code: CodeCanceled, Message: "server draining"}
+	}
+	if f, ok := s.flights[key]; ok {
+		f.waiters++
+		s.mu.Unlock()
+		s.met.Coalesced.Inc()
+		return ticket{key: key, f: f}, nil
+	}
+	fctx, fcancel := context.WithCancel(s.baseCtx)
+	f := &flight{key: key, req: c, ctx: fctx, cancel: fcancel, done: make(chan struct{}), waiters: 1}
+	s.flights[key] = f
+	s.met.Inflight.Store(uint64(len(s.flights)))
+	s.met.Misses.Inc()
+
+	if !block {
+		// Enqueue under mu: either the flight is queued before anyone can
+		// observe it, or it is removed before anyone could have joined.
+		select {
+		case s.queue <- f:
+			s.met.QueueDepth.Store(uint64(len(s.queue)))
+			s.mu.Unlock()
+			return ticket{key: key, f: f}, nil
+		default:
+			delete(s.flights, key)
+			s.met.Inflight.Store(uint64(len(s.flights)))
+			s.mu.Unlock()
+			fcancel()
+			s.met.Rejected.Inc()
+			return ticket{}, &WireError{Code: CodeOverload, Message: "simulation queue full"}
+		}
+	}
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- f:
+		s.met.QueueDepth.Store(uint64(len(s.queue)))
+		return ticket{key: key, f: f}, nil
+	case <-reqCtx.Done():
+		s.complete(f, outcome{err: fmt.Errorf("%w: %w", govern.ErrCanceled, reqCtx.Err())})
+		return ticket{}, &WireError{Code: CodeCanceled, Message: "request canceled while queueing"}
+	case <-s.baseCtx.Done():
+		s.complete(f, outcome{err: errShutdown})
+		return ticket{}, &WireError{Code: CodeCanceled, Message: "server shutting down"}
+	}
+}
+
+// await blocks until the ticket's result is available or the request
+// context is cancelled. A cancelled waiter leaves the flight; the flight
+// itself is cancelled only when its last waiter leaves, so duplicate
+// requests keep a shared computation alive.
+func (s *Server) await(reqCtx context.Context, t ticket) CellResult {
+	if t.cached != nil {
+		return cellResult(t.key, *t.cached, true)
+	}
+	select {
+	case <-t.f.done:
+		return cellResult(t.key, t.f.out, false)
+	case <-reqCtx.Done():
+		s.leave(t.f)
+		return CellResult{Key: t.key, Error: &WireError{
+			Code: CodeCanceled, Message: "request canceled: " + reqCtx.Err().Error()}}
+	}
+}
+
+// leave drops one waiter; the last one out cancels the computation.
+func (s *Server) leave(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	last := f.waiters <= 0
+	s.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// complete publishes a flight's outcome: successful results enter the
+// cache, the flight leaves the index (so later identical requests hit the
+// cache instead), and every waiter wakes.
+func (s *Server) complete(f *flight, out outcome) {
+	if out.err == nil {
+		s.cache.add(f.key, out)
+	} else {
+		s.met.CellErrors.Inc()
+	}
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	s.met.Inflight.Store(uint64(len(s.flights)))
+	f.out = out
+	s.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+// dispatch is the single batching loop: it blocks for the first queued
+// flight, drains whatever else is already waiting (up to MaxBatch) so
+// concurrent requests land in one batch, and runs the batch on the shared
+// sched pool. While a batch runs nothing reads the queue — the bounded
+// queue filling up is the backpressure signal.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		var first *flight
+		select {
+		case first = <-s.queue:
+		case <-s.baseCtx.Done():
+			s.failPending()
+			return
+		}
+		batch := []*flight{first}
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case f := <-s.queue:
+				batch = append(batch, f)
+			default:
+				goto collected
+			}
+		}
+	collected:
+		s.met.QueueDepth.Store(uint64(len(s.queue)))
+		s.met.BatchSize.Observe(int64(len(batch)))
+
+		jobs := make([]sched.Job[struct{}], len(batch))
+		for i, f := range batch {
+			f := f
+			jobs[i] = func(context.Context) (struct{}, error) {
+				s.complete(f, s.compute(f))
+				return struct{}{}, nil
+			}
+		}
+		// Jobs report their errors through the flight, never to the pool,
+		// so the batch always runs to completion.
+		_, _ = sched.Map(s.baseCtx, s.cfg.Workers, jobs)
+
+		if s.baseCtx.Err() != nil {
+			s.failPending()
+			return
+		}
+	}
+}
+
+// failPending completes everything still queued with the shutdown error.
+func (s *Server) failPending() {
+	for {
+		select {
+		case f := <-s.queue:
+			s.complete(f, outcome{err: errShutdown})
+		default:
+			return
+		}
+	}
+}
+
+// compute runs one flight's simulation (or the test seam). A flight whose
+// every waiter left while it was queued is not simulated at all.
+func (s *Server) compute(f *flight) outcome {
+	if err := f.ctx.Err(); err != nil {
+		return outcome{err: fmt.Errorf("%w: %w", govern.ErrCanceled, err)}
+	}
+	if s.cfg.runCell != nil {
+		return s.cfg.runCell(f.ctx, f.req)
+	}
+	return runRequest(f.ctx, f.req, s.sim)
+}
+
+// runRequest executes one canonical request against the real simulators,
+// threading the flight context and the request budget into the engines'
+// run governors and the shared obs.Sim into their metric hooks.
+func runRequest(ctx context.Context, c Request, sim *obs.Sim) outcome {
+	switch c.Kind {
+	case KindCell:
+		bm, ok := workload.ByName(c.Benchmark)
+		if !ok {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: fmt.Sprintf("unknown benchmark %q", c.Benchmark)}}
+		}
+		spec, err := experiments.PlanByLabel(c.Plan)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		prog, err := workload.Build(bm, spec.Make(), c.Scale)
+		if err != nil {
+			return outcome{err: err}
+		}
+		machine, _, err := machineByName(c.Machine)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		cfg := experiments.ConfigFor(machine, spec.Scheme).
+			WithMaxInsts(c.MaxInsts).WithContext(ctx).WithObs(sim)
+		run, err := cfg.Run(prog)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{run: &run}
+
+	case KindProgram:
+		prog, err := asm.Assemble(c.Source)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		machine, _, err := machineByName(c.Machine)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		scheme, err := schemeByName(c.Scheme)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		var cfg core.Config
+		if machine == core.InOrder {
+			cfg = core.Alpha21164(scheme)
+		} else {
+			cfg = core.R10000(scheme)
+		}
+		run, err := cfg.WithMaxInsts(c.MaxInsts).WithContext(ctx).WithObs(sim).Run(prog)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{run: &run}
+
+	case KindFig4:
+		app, err := coherence.AppByName(c.App, c.Processors)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		pol, err := coherence.SchemeByName(c.Scheme)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		mcfg := multi.DefaultConfig()
+		mcfg.Processors = c.Processors
+		mcfg.Govern = govern.Config{Ctx: ctx, MaxInsts: c.MaxRefs}
+		mcfg.Obs = sim
+		res, err := multi.Simulate(app, pol, mcfg)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{multiRes: &res}
+	}
+	return outcome{err: &WireError{Code: CodeInvalid, Message: fmt.Sprintf("unknown kind %q", c.Kind)}}
+}
+
+func cellResult(key string, out outcome, cached bool) CellResult {
+	if out.err != nil {
+		return CellResult{Key: key, Error: wireErr(out.err)}
+	}
+	return CellResult{Key: key, Cached: cached, Run: out.run, Multi: out.multiRes}
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the top-level body of whole-request failures.
+type errorBody struct {
+	Error *WireError `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, we *WireError) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorBody{Error: we})
+}
+
+func (s *Server) observeLatency(start time.Time) {
+	s.met.LatencyMs.Observe(time.Since(start).Milliseconds())
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observeLatency(start)
+	s.met.Requests.Inc()
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, &WireError{Code: CodeCanceled, Message: "server draining"})
+		return
+	}
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req SimulateRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: "no cells in request"})
+		return
+	}
+	if len(req.Cells) > s.cfg.MaxCellsPerRequest {
+		writeError(w, http.StatusBadRequest, &WireError{
+			Code: CodeInvalid, Message: fmt.Sprintf("%d cells above per-request limit %d", len(req.Cells), s.cfg.MaxCellsPerRequest)})
+		return
+	}
+	s.met.Cells.Add(uint64(len(req.Cells)))
+
+	// Submit every valid cell before awaiting any, so the whole batch
+	// lands in the dispatcher's current round and runs concurrently.
+	results := make([]CellResult, len(req.Cells))
+	tickets := make([]*ticket, len(req.Cells))
+	for i, cell := range req.Cells {
+		canon, err := Canonicalize(cell, s.cfg.MaxInstsCap)
+		if err != nil {
+			results[i] = CellResult{Error: &WireError{Code: CodeInvalid, Message: err.Error()}}
+			s.met.CellErrors.Inc()
+			continue
+		}
+		t, we := s.submit(r.Context(), canon, false)
+		if we != nil {
+			// Queue overflow rejects the whole request: drop the waiters
+			// we already registered and tell the client to back off.
+			for _, prev := range tickets {
+				if prev != nil && prev.f != nil {
+					s.leave(prev.f)
+				}
+			}
+			status := http.StatusTooManyRequests
+			if we.Code == CodeCanceled {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, we)
+			return
+		}
+		t2 := t
+		tickets[i] = &t2
+	}
+
+	for i, t := range tickets {
+		if t == nil {
+			continue // per-cell validation error already recorded
+		}
+		results[i] = s.await(r.Context(), *t)
+		if results[i].Error != nil && results[i].Error.Code != CodeCanceled {
+			s.met.CellErrors.Inc()
+		}
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{Results: results})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observeLatency(start)
+	s.met.Requests.Inc()
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, &WireError{Code: CodeCanceled, Message: "server draining"})
+		return
+	}
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req ExperimentRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: "bad request body: " + err.Error()})
+		return
+	}
+
+	var (
+		title    string
+		bms      []workload.Benchmark
+		specs    []experiments.PlanSpec
+		baseline string
+		summary  bool
+	)
+	if req.Name != "" {
+		ne, err := experiments.Named(req.Name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: err.Error()})
+			return
+		}
+		title, bms, specs, baseline, summary = ne.Title, ne.Benchmarks, ne.Specs, ne.Baseline, ne.Summary
+	} else {
+		if len(req.Benchmarks) == 0 || len(req.Plans) == 0 {
+			writeError(w, http.StatusBadRequest, &WireError{
+				Code: CodeInvalid, Message: "experiment needs a name or benchmarks+plans"})
+			return
+		}
+		for _, name := range req.Benchmarks {
+			bm, ok := workload.ByName(name)
+			if !ok {
+				writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: fmt.Sprintf("unknown benchmark %q", name)})
+				return
+			}
+			bms = append(bms, bm)
+		}
+		for _, label := range req.Plans {
+			spec, err := experiments.PlanByLabel(label)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: err.Error()})
+				return
+			}
+			specs = append(specs, spec)
+		}
+		title = req.Title
+		if title == "" {
+			title = "custom experiment"
+		}
+		baseline = req.Baseline
+	}
+
+	// Resolve the normalisation baseline exactly like
+	// experiments.HandlerOverhead ("" selects the "N" bar; its absence is
+	// an error rather than a silent default).
+	want := baseline
+	if want == "" {
+		want = "N"
+	}
+	baseIdx := -1
+	for i, spec := range specs {
+		if spec.Label == want {
+			baseIdx = i
+			break
+		}
+	}
+	if baseIdx < 0 {
+		writeError(w, http.StatusBadRequest, &WireError{
+			Code: CodeInvalid, Message: fmt.Sprintf("no %q plan to normalise against", want)})
+		return
+	}
+
+	// Enumerate cells in the harness's benchmark → machine → plan order;
+	// the served tables must be byte-identical to the sequential CLI's.
+	machines := []core.Machine{core.OutOfOrder, core.InOrder}
+	machineNames := map[core.Machine]string{core.OutOfOrder: MachineOOO, core.InOrder: MachineInOrder}
+	type cellRef struct {
+		bm      string
+		machine core.Machine
+		plan    string
+	}
+	var cells []cellRef
+	for _, bm := range bms {
+		for _, m := range machines {
+			for _, spec := range specs {
+				cells = append(cells, cellRef{bm.Name, m, spec.Label})
+			}
+		}
+	}
+
+	resp := ExperimentResponse{Name: req.Name, Cells: len(cells)}
+	tickets := make([]ticket, len(cells))
+	for i, c := range cells {
+		canon, err := Canonicalize(Request{
+			Kind: KindCell, Benchmark: c.bm, Plan: c.plan,
+			Machine: machineNames[c.machine], Scale: req.Scale, MaxInsts: req.MaxInsts,
+		}, s.cfg.MaxInstsCap)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: err.Error()})
+			return
+		}
+		// Blocking submit: an experiment larger than the queue trickles in
+		// as the pool drains; the open request is the backpressure.
+		t, we := s.submit(r.Context(), canon, true)
+		if we != nil {
+			for _, prev := range tickets[:i] {
+				if prev.f != nil {
+					s.leave(prev.f)
+				}
+			}
+			writeError(w, http.StatusServiceUnavailable, we)
+			return
+		}
+		if t.cached != nil {
+			resp.CacheHits++
+		} else {
+			resp.Computed++
+		}
+		tickets[i] = t
+	}
+
+	results := make([]experiments.Result, len(cells))
+	for i, t := range tickets {
+		cr := s.await(r.Context(), t)
+		if cr.Error != nil {
+			status := http.StatusInternalServerError
+			switch cr.Error.Code {
+			case CodeCanceled:
+				status = http.StatusServiceUnavailable
+			case CodeBudget, CodeLivelock:
+				status = http.StatusUnprocessableEntity
+			}
+			s.met.CellErrors.Inc()
+			writeError(w, status, cr.Error)
+			return
+		}
+		results[i] = experiments.Result{
+			Benchmark: cells[i].bm,
+			Machine:   cells[i].machine,
+			Plan:      cells[i].plan,
+			Run:       *cr.Run,
+		}
+	}
+	// Post-join normalisation, identical to HandlerOverhead's.
+	for i := range results {
+		base := i - i%len(specs) + baseIdx
+		results[i].Norm = results[i].Run.NormalizeTo(results[base].Run)
+	}
+
+	resp.Table = experiments.FormatFigure(title, results)
+	if summary {
+		resp.Summary = experiments.FormatOverheadSummary(results)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.sim.Reg.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.isDraining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        status,
+		"code_version":  CodeVersion,
+		"cache_entries": s.cache.len(),
+	})
+}

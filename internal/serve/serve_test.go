@@ -1,0 +1,562 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"informing/internal/govern"
+	"informing/internal/stats"
+)
+
+// newTestServer builds a Server (closed at test end) and an httptest
+// front end for it — the full end-to-end path: real router, real JSON
+// codecs, real TCP.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// fakeRunner is a controllable runCell hook: it counts invocations per
+// canonical request and can hold computations until released.
+type fakeRunner struct {
+	mu      sync.Mutex
+	calls   map[string]int
+	started chan string   // receives the canonical string of each started call
+	release chan struct{} // when non-nil, computations block here (or on ctx)
+}
+
+func newFakeRunner(blocking bool) *fakeRunner {
+	f := &fakeRunner{calls: map[string]int{}, started: make(chan string, 64)}
+	if blocking {
+		f.release = make(chan struct{})
+	}
+	return f
+}
+
+func (f *fakeRunner) run(ctx context.Context, c Request) outcome {
+	key := canonicalString(c)
+	f.mu.Lock()
+	f.calls[key]++
+	f.mu.Unlock()
+	f.started <- key
+	if f.release != nil {
+		select {
+		case <-f.release:
+		case <-ctx.Done():
+			return outcome{err: fmt.Errorf("%w: %w", govern.ErrCanceled, ctx.Err())}
+		}
+	}
+	// A distinguishable, deterministic payload per request.
+	run := stats.Run{}
+	run.IssueWidth = 4
+	run.Cycles = int64(len(key))
+	return outcome{run: &run}
+}
+
+func (f *fakeRunner) count(c Request) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[canonicalString(c)]
+}
+
+func (f *fakeRunner) total() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.calls {
+		n += c
+	}
+	return n
+}
+
+func cellReq(bench, plan, machine string) Request {
+	return Request{Kind: KindCell, Benchmark: bench, Plan: plan, Machine: machine}
+}
+
+// tryPostJSON is the goroutine-safe POST helper (no *testing.T calls, so
+// it may run off the test goroutine).
+func tryPostJSON(url string, body any) (*http.Response, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return nil, nil, err
+	}
+	return resp, out.Bytes(), nil
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	resp, body2, err := tryPostJSON(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body2
+}
+
+func decodeSim(t *testing.T, body []byte) SimulateResponse {
+	t.Helper()
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("response not well-formed JSON: %v\n%s", err, body)
+	}
+	return sr
+}
+
+func decodeTo(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("response not well-formed JSON: %v\n%s", err, body)
+	}
+}
+
+// TestSimulateBadRequests is the table-driven 400 lane: malformed JSON,
+// unknown fields, empty and oversized batches all produce a well-formed
+// error body with code "invalid".
+func TestSimulateBadRequests(t *testing.T) {
+	runner := newFakeRunner(false)
+	_, ts := newTestServer(t, Config{runCell: runner.run, MaxCellsPerRequest: 2})
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed-json", `{"cells": [`},
+		{"not-json", `this is not json`},
+		{"unknown-field", `{"cellz": []}`},
+		{"empty-batch", `{"cells": []}`},
+		{"too-many-cells", `{"cells": [{"kind":"cell"},{"kind":"cell"},{"kind":"cell"}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("error body not JSON: %v", err)
+			}
+			if eb.Error == nil || eb.Error.Code != CodeInvalid {
+				t.Fatalf("error body = %+v, want code %q", eb.Error, CodeInvalid)
+			}
+		})
+	}
+	if runner.total() != 0 {
+		t.Fatalf("invalid requests reached the runner %d times", runner.total())
+	}
+}
+
+// TestSimulatePerCellValidation: a batch mixing valid and invalid cells
+// returns 200 with a well-formed partial body — results for the good
+// cells, typed errors for the bad ones, in request order.
+func TestSimulatePerCellValidation(t *testing.T) {
+	runner := newFakeRunner(false)
+	_, ts := newTestServer(t, Config{runCell: runner.run})
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{
+		cellReq("compress", "S1", "ooo"),
+		cellReq("no-such-benchmark", "S1", "ooo"),
+		cellReq("compress", "BOGUS", "ooo"),
+		cellReq("espresso", "N", "inorder"),
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSim(t, body)
+	if len(sr.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(sr.Results))
+	}
+	for _, i := range []int{0, 3} {
+		if sr.Results[i].Error != nil || sr.Results[i].Run == nil {
+			t.Errorf("result %d = %+v, want success", i, sr.Results[i])
+		}
+	}
+	for _, i := range []int{1, 2} {
+		if sr.Results[i].Error == nil || sr.Results[i].Error.Code != CodeInvalid {
+			t.Errorf("result %d = %+v, want invalid error", i, sr.Results[i])
+		}
+	}
+}
+
+// TestCacheHitVsRecompute: the second identical request is served from
+// the LRU (Cached=true, runner untouched); a different request computes.
+func TestCacheHitVsRecompute(t *testing.T) {
+	runner := newFakeRunner(false)
+	s, ts := newTestServer(t, Config{runCell: runner.run})
+
+	first := cellReq("compress", "S1", "ooo")
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{first}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSim(t, body)
+	if sr.Results[0].Cached || sr.Results[0].Run == nil {
+		t.Fatalf("first request: %+v, want computed result", sr.Results[0])
+	}
+
+	// Identical request, spelled differently (machine alias, default
+	// scale made explicit): must hit the same cache entry.
+	alias := first
+	alias.Machine = "out-of-order"
+	alias.Scale = 1
+	_, body = postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{alias}})
+	sr = decodeSim(t, body)
+	if !sr.Results[0].Cached {
+		t.Fatalf("second identical request not served from cache: %+v", sr.Results[0])
+	}
+	canon, err := Canonicalize(first, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runner.count(canon); got != 1 {
+		t.Fatalf("runner invoked %d times for identical requests, want 1", got)
+	}
+	if hits := s.met.Hits.Load(); hits != 1 {
+		t.Fatalf("serve_cache_hits = %d, want 1", hits)
+	}
+
+	// A different plan is a different fingerprint: recompute.
+	_, body = postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("compress", "S10", "ooo")}})
+	sr = decodeSim(t, body)
+	if sr.Results[0].Cached {
+		t.Fatalf("different request served from cache: %+v", sr.Results[0])
+	}
+	if runner.total() != 2 {
+		t.Fatalf("runner invoked %d times, want 2", runner.total())
+	}
+}
+
+// TestDuplicateRequestsCoalesce: identical requests racing each other
+// share one computation (single-flight) — the runner fires once, both
+// clients get the result, and the coalesced counter proves the join.
+func TestDuplicateRequestsCoalesce(t *testing.T) {
+	runner := newFakeRunner(true)
+	s, ts := newTestServer(t, Config{runCell: runner.run})
+
+	req := SimulateRequest{Cells: []Request{cellReq("compress", "U10", "inorder")}}
+	type reply struct {
+		body []byte
+		code int
+		err  error
+	}
+	replies := make(chan reply, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, body, err := tryPostJSON(ts.URL+"/v1/simulate", req)
+			if err != nil {
+				replies <- reply{err: err}
+				return
+			}
+			replies <- reply{body, resp.StatusCode, nil}
+		}()
+	}
+
+	// Exactly one computation starts; release it once both requests are
+	// in (the second either joined the flight or will hit the cache).
+	select {
+	case <-runner.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no computation started")
+	}
+	deadline := time.After(5 * time.Second)
+	for s.met.Coalesced.Load()+s.met.Hits.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second request neither coalesced nor cache-hit")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(runner.release)
+
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.code != http.StatusOK {
+			t.Fatalf("status = %d, want 200", r.code)
+		}
+		sr := decodeSim(t, r.body)
+		if sr.Results[0].Error != nil || sr.Results[0].Run == nil {
+			t.Fatalf("result = %+v, want success", sr.Results[0])
+		}
+	}
+	if runner.total() != 1 {
+		t.Fatalf("runner invoked %d times for racing identical requests, want 1", runner.total())
+	}
+}
+
+// TestQueueOverflow429: when the bounded queue is full, a new distinct
+// cell is rejected whole-request with 429 and a Retry-After header — the
+// server's backpressure contract.
+func TestQueueOverflow429(t *testing.T) {
+	runner := newFakeRunner(true)
+	defer close(runner.release)
+	s, ts := newTestServer(t, Config{runCell: runner.run, Workers: 1, QueueSize: 1, MaxBatch: 1})
+
+	// First cell: dequeued by the dispatcher, blocks inside the runner.
+	go tryPostJSON(ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("compress", "S1", "ooo")}})
+	select {
+	case <-runner.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first computation never started")
+	}
+
+	// Second cell: occupies the queue's single slot.
+	go tryPostJSON(ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("espresso", "S1", "ooo")}})
+	waitForQueued(t, s, 1)
+
+	// Third distinct cell: queue full → 429.
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("tomcatv", "S1", "ooo")}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429\n%s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil || eb.Error.Code != CodeOverload {
+		t.Fatalf("overflow body = %s, want code %q", body, CodeOverload)
+	}
+}
+
+// TestBudgetAbortErrorBody: a real simulation whose per-request budget
+// expires returns a well-formed error body with code "budget" and the
+// govern diagnostic snapshot.
+func TestBudgetAbortErrorBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req := cellReq("compress", "N", "ooo")
+	req.MaxInsts = 1000 // far below what compress needs
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{req}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (per-cell error)\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSim(t, body)
+	we := sr.Results[0].Error
+	if we == nil || we.Code != CodeBudget {
+		t.Fatalf("result = %+v, want budget error", sr.Results[0])
+	}
+	if we.Snapshot == "" {
+		t.Fatal("budget abort carried no diagnostic snapshot")
+	}
+
+	// Failed runs must not be cached: the same request computes again
+	// (and fails again) rather than serving the error from the LRU.
+	_, body = postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{req}})
+	sr = decodeSim(t, body)
+	if sr.Results[0].Cached {
+		t.Fatal("errored run was served from cache")
+	}
+}
+
+// TestClientCancellationCancelsFlight: when every request interested in a
+// flight goes away, the flight's context is cancelled so the simulation
+// aborts mid-batch instead of running to completion for nobody.
+func TestClientCancellationCancelsFlight(t *testing.T) {
+	runner := newFakeRunner(true) // blocks until ctx cancellation (never released)
+	s, ts := newTestServer(t, Config{runCell: runner.run})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	buf, _ := json.Marshal(SimulateRequest{Cells: []Request{cellReq("ear", "S1", "ooo")}})
+	httpReq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/simulate", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(httpReq)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	select {
+	case <-runner.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("computation never started")
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request unexpectedly succeeded")
+	}
+	// The flight must observe the cancellation and unwind (the runner
+	// returns on ctx.Done, complete() publishes a canceled outcome).
+	deadline := time.After(5 * time.Second)
+	for s.met.Inflight.Load() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("flight never unwound after its last waiter left")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if s.cache.len() != 0 {
+		t.Fatal("cancelled computation entered the cache")
+	}
+}
+
+// TestDrainRejectsNewWork: a draining server 503s simulation requests
+// and reports the state on /healthz.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{runCell: newFakeRunner(false).run})
+	s.Drain()
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("compress", "N", "ooo")}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503\n%s", resp.StatusCode, body)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hz map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "draining" {
+		t.Fatalf("healthz status = %v, want draining", hz["status"])
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics serves the shared registry with both
+// serving-layer and simulator metrics present.
+func TestMetricsEndpoint(t *testing.T) {
+	runner := newFakeRunner(false)
+	_, ts := newTestServer(t, Config{runCell: runner.run})
+	postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("compress", "N", "ooo")}})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{MetricRequests, MetricCells, MetricMisses, "sim_instrs"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("metric %q missing from /metrics", name)
+		}
+	}
+	if snap.Counters[MetricRequests] == 0 {
+		t.Error("serve_requests_total did not count")
+	}
+}
+
+// TestBatchedCellsRunInOneRound: one request's cells are all submitted
+// before any is awaited, so a multi-cell batch lands in the dispatcher's
+// round and runs under the pool concurrently (not serially per cell).
+func TestBatchedCellsRunInOneRound(t *testing.T) {
+	runner := newFakeRunner(true)
+	s, ts := newTestServer(t, Config{runCell: runner.run, Workers: 4, MaxBatch: 8})
+
+	done := make(chan []byte, 1)
+	go func() {
+		_, body, _ := tryPostJSON(ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{
+			cellReq("compress", "S1", "ooo"),
+			cellReq("espresso", "S1", "ooo"),
+			cellReq("tomcatv", "S1", "ooo"),
+		}})
+		done <- body
+	}()
+
+	// All three computations start before any completes — they are in
+	// flight together on the pool.
+	for i := 0; i < 3; i++ {
+		select {
+		case <-runner.started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 3 batched cells started concurrently", i)
+		}
+	}
+	close(runner.release)
+	sr := decodeSim(t, <-done)
+	if len(sr.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(sr.Results))
+	}
+	seen := map[string]bool{}
+	for i, r := range sr.Results {
+		if r.Error != nil || r.Run == nil {
+			t.Fatalf("result %d = %+v, want success", i, r)
+		}
+		if seen[r.Key] {
+			t.Fatalf("duplicate key %q across distinct cells", r.Key)
+		}
+		seen[r.Key] = true
+	}
+	if got := s.sim.Instrs.Load(); got != 0 {
+		t.Fatalf("fake runner leaked sim metrics: sim_instrs = %d", got)
+	}
+}
+
+// TestShutdownFailsQueuedFlights: Close while work is queued completes
+// every queued flight with a canceled outcome instead of leaking waiters.
+func TestShutdownFailsQueuedFlights(t *testing.T) {
+	runner := newFakeRunner(true)
+	s := New(Config{runCell: runner.run, Workers: 1, QueueSize: 4, MaxBatch: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	go tryPostJSON(ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("compress", "S1", "ooo")}})
+	<-runner.started // dispatcher busy; everything else will queue
+
+	queued := make(chan []byte, 1)
+	go func() {
+		_, body, _ := tryPostJSON(ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("espresso", "S1", "ooo")}})
+		queued <- body
+	}()
+	waitForQueued(t, s, 1)
+
+	go s.Close() // cancels the blocked runner (ctx) and fails the queue
+	sr := decodeSim(t, <-queued)
+	we := sr.Results[0].Error
+	if we == nil || we.Code != CodeCanceled {
+		t.Fatalf("queued flight outcome = %+v, want canceled", sr.Results[0])
+	}
+	if !errors.Is(errShutdown, govern.ErrCanceled) {
+		t.Fatal("errShutdown must wrap govern.ErrCanceled")
+	}
+}
+
+func waitForQueued(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for len(s.queue) < n {
+		select {
+		case <-deadline:
+			t.Fatalf("queue never reached depth %d", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
