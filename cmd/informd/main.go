@@ -45,6 +45,7 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 0, "max cells per dispatcher batch (0 = default 32)")
 		cacheSize    = flag.Int("cache", 0, "result cache entries (0 = default 4096)")
 		maxCells     = flag.Int("max-cells", 0, "max cells per /v1/simulate request (0 = default 64)")
+		maxExpCells  = flag.Int("max-exp-cells", 0, "max grid cells per /v1/experiment request (0 = default 1024)")
 		maxInstsCap  = flag.Uint64("maxinsts-cap", 0, "reject requests budgeted above this (0 = 1e9)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget before in-flight runs are aborted")
 	)
@@ -56,6 +57,7 @@ func main() {
 		MaxBatch:           *maxBatch,
 		CacheEntries:       *cacheSize,
 		MaxCellsPerRequest: *maxCells,
+		MaxExperimentCells: *maxExpCells,
 		MaxInstsCap:        *maxInstsCap,
 	})
 

@@ -29,6 +29,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -73,6 +74,12 @@ type Config struct {
 	// (0 = 64).
 	MaxCellsPerRequest int
 
+	// MaxExperimentCells bounds the benchmarks × machines × plans grid of
+	// one POST /v1/experiment (0 = 1024). Without it a small request body
+	// could enumerate a cross product large enough to exhaust memory
+	// before any simulation runs.
+	MaxExperimentCells int
+
 	// MaxInstsCap rejects requests whose budget exceeds it
 	// (0 = govern.DefaultBudget).
 	MaxInstsCap uint64
@@ -94,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCellsPerRequest == 0 {
 		c.MaxCellsPerRequest = 64
+	}
+	if c.MaxExperimentCells == 0 {
+		c.MaxExperimentCells = 1024
 	}
 	if c.MaxInstsCap == 0 {
 		c.MaxInstsCap = govern.DefaultBudget
@@ -229,7 +239,10 @@ func (s *Server) submit(reqCtx context.Context, c Request, block bool) (ticket, 
 		s.mu.Unlock()
 		return ticket{}, &WireError{Code: CodeCanceled, Message: "server draining"}
 	}
-	if f, ok := s.flights[key]; ok {
+	// Join an identical in-flight computation — but never one whose
+	// context is already dead (e.g. during shutdown): joining it would
+	// serve this request a cancellation it had nothing to do with.
+	if f, ok := s.flights[key]; ok && f.ctx.Err() == nil {
 		f.waiters++
 		s.mu.Unlock()
 		s.met.Coalesced.Inc()
@@ -265,12 +278,42 @@ func (s *Server) submit(reqCtx context.Context, c Request, block bool) (ticket, 
 		s.met.QueueDepth.Store(uint64(len(s.queue)))
 		return ticket{key: key, f: f}, nil
 	case <-reqCtx.Done():
-		s.complete(f, outcome{err: fmt.Errorf("%w: %w", govern.ErrCanceled, reqCtx.Err())})
+		s.abandonUnqueued(f)
 		return ticket{}, &WireError{Code: CodeCanceled, Message: "request canceled while queueing"}
 	case <-s.baseCtx.Done():
 		s.complete(f, outcome{err: errShutdown})
 		return ticket{}, &WireError{Code: CodeCanceled, Message: "server shutting down"}
 	}
+}
+
+// abandonUnqueued handles a creator giving up on a flight it registered
+// but never managed to enqueue. If identical requests joined the flight
+// in the meantime, they must not inherit this client's cancellation, so
+// enqueue duty moves to a background goroutine; otherwise the flight is
+// torn down like any last-waiter departure.
+func (s *Server) abandonUnqueued(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	joined := f.waiters > 0
+	if !joined && s.flights[f.key] == f {
+		delete(s.flights, f.key)
+		s.met.Inflight.Store(uint64(len(s.flights)))
+	}
+	s.mu.Unlock()
+	if !joined {
+		f.cancel()
+		return
+	}
+	go func() {
+		select {
+		case s.queue <- f:
+			s.met.QueueDepth.Store(uint64(len(s.queue)))
+		case <-f.ctx.Done():
+			// Every joiner left too; leave() already tore the flight down.
+		case <-s.baseCtx.Done():
+			s.complete(f, outcome{err: errShutdown})
+		}
+	}()
 }
 
 // await blocks until the ticket's result is available or the request
@@ -291,11 +334,18 @@ func (s *Server) await(reqCtx context.Context, t ticket) CellResult {
 	}
 }
 
-// leave drops one waiter; the last one out cancels the computation.
+// leave drops one waiter; the last one out cancels the computation and
+// removes the flight from the index, so a later identical request starts
+// a fresh computation instead of joining a doomed one and inheriting a
+// cancellation caused by some earlier client's disconnect.
 func (s *Server) leave(f *flight) {
 	s.mu.Lock()
 	f.waiters--
 	last := f.waiters <= 0
+	if last && s.flights[f.key] == f {
+		delete(s.flights, f.key)
+		s.met.Inflight.Store(uint64(len(s.flights)))
+	}
 	s.mu.Unlock()
 	if last {
 		f.cancel()
@@ -312,7 +362,11 @@ func (s *Server) complete(f *flight, out outcome) {
 		s.met.CellErrors.Inc()
 	}
 	s.mu.Lock()
-	delete(s.flights, f.key)
+	// Guarded delete: an abandoned flight may already have left the index
+	// (leave), and the key may since be owned by a fresh flight.
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
 	s.met.Inflight.Store(uint64(len(s.flights)))
 	f.out = out
 	s.mu.Unlock()
@@ -507,6 +561,25 @@ func (s *Server) observeLatency(start time.Time) {
 	s.met.LatencyMs.Observe(time.Since(start).Milliseconds())
 }
 
+// readJSON decodes a request body into v, distinguishing an oversized
+// body (413, so clients learn the actual problem) from malformed JSON
+// (400). On failure the error response has been written.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, &WireError{
+				Code: CodeInvalid, Message: fmt.Sprintf("request body above limit %d bytes", mbe.Limit)})
+			return false
+		}
+		writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.observeLatency(start)
@@ -516,11 +589,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
 	var req SimulateRequest
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: "bad request body: " + err.Error()})
+	if !readJSON(w, r, &req) {
 		return
 	}
 	if len(req.Cells) == 0 {
@@ -586,11 +656,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
 	var req ExperimentRequest
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: "bad request body: " + err.Error()})
+	if !readJSON(w, r, &req) {
 		return
 	}
 
@@ -614,20 +681,32 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 				Code: CodeInvalid, Message: "experiment needs a name or benchmarks+plans"})
 			return
 		}
+		seenBm := make(map[string]bool, len(req.Benchmarks))
 		for _, name := range req.Benchmarks {
 			bm, ok := workload.ByName(name)
 			if !ok {
 				writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: fmt.Sprintf("unknown benchmark %q", name)})
 				return
 			}
+			if seenBm[bm.Name] {
+				writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: fmt.Sprintf("duplicate benchmark %q", bm.Name)})
+				return
+			}
+			seenBm[bm.Name] = true
 			bms = append(bms, bm)
 		}
+		seenPlan := make(map[string]bool, len(req.Plans))
 		for _, label := range req.Plans {
 			spec, err := experiments.PlanByLabel(label)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: err.Error()})
 				return
 			}
+			if seenPlan[spec.Label] {
+				writeError(w, http.StatusBadRequest, &WireError{Code: CodeInvalid, Message: fmt.Sprintf("duplicate plan %q", spec.Label)})
+				return
+			}
+			seenPlan[spec.Label] = true
 			specs = append(specs, spec)
 		}
 		title = req.Title
@@ -660,6 +739,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	// Enumerate cells in the harness's benchmark → machine → plan order;
 	// the served tables must be byte-identical to the sequential CLI's.
 	machines := []core.Machine{core.OutOfOrder, core.InOrder}
+	if total := len(bms) * len(machines) * len(specs); total > s.cfg.MaxExperimentCells {
+		writeError(w, http.StatusBadRequest, &WireError{
+			Code: CodeInvalid, Message: fmt.Sprintf("experiment grid of %d cells above limit %d", total, s.cfg.MaxExperimentCells)})
+		return
+	}
 	machineNames := map[core.Machine]string{core.OutOfOrder: MachineOOO, core.InOrder: MachineInOrder}
 	type cellRef struct {
 		bm      string
@@ -710,6 +794,14 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	for i, t := range tickets {
 		cr := s.await(r.Context(), t)
 		if cr.Error != nil {
+			// The experiment fails as a whole: drop our waiter count on
+			// every ticket not yet awaited, so abandoned flights are
+			// cancelled instead of simulating for nobody.
+			for _, rest := range tickets[i+1:] {
+				if rest.f != nil {
+					s.leave(rest.f)
+				}
+			}
 			status := http.StatusInternalServerError
 			switch cr.Error.Code {
 			case CodeCanceled:

@@ -549,6 +549,191 @@ func TestShutdownFailsQueuedFlights(t *testing.T) {
 	}
 }
 
+// TestOversizedBodyIs413: a body above maxBodyBytes is reported as 413
+// (entity too large), not mislabelled as a 400 JSON syntax error.
+func TestOversizedBodyIs413(t *testing.T) {
+	runner := newFakeRunner(false)
+	_, ts := newTestServer(t, Config{runCell: runner.run})
+
+	big := `{"cells": [{"kind":"cell","benchmark":"` + strings.Repeat("x", maxBodyBytes) + `"}]}`
+	for _, path := range []string{"/v1/simulate", "/v1/experiment"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body: status = %d, want 413", path, resp.StatusCode)
+		}
+	}
+	if runner.total() != 0 {
+		t.Fatalf("oversized requests reached the runner %d times", runner.total())
+	}
+}
+
+// TestExperimentGridBounds: custom /v1/experiment grids are bounded —
+// a cross product above MaxExperimentCells and duplicated benchmark or
+// plan names are rejected with 400 before any work is queued.
+func TestExperimentGridBounds(t *testing.T) {
+	runner := newFakeRunner(false)
+	_, ts := newTestServer(t, Config{runCell: runner.run, MaxExperimentCells: 8})
+
+	cases := []struct {
+		name string
+		req  ExperimentRequest
+		want string
+	}{
+		{
+			// 3 benchmarks × 2 machines × 2 plans = 12 > 8.
+			"grid-too-large",
+			ExperimentRequest{Benchmarks: []string{"compress", "espresso", "tomcatv"}, Plans: []string{"N", "S1"}},
+			"above limit",
+		},
+		{
+			"duplicate-benchmark",
+			ExperimentRequest{Benchmarks: []string{"compress", "compress"}, Plans: []string{"N", "S1"}},
+			"duplicate benchmark",
+		},
+		{
+			// "S1/branch" canonicalizes to the "S1" label: a duplicate
+			// even though the spellings differ.
+			"duplicate-plan-alias",
+			ExperimentRequest{Benchmarks: []string{"compress"}, Plans: []string{"N", "S1", "S1/branch"}},
+			"duplicate plan",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/experiment", tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400\n%s", resp.StatusCode, body)
+			}
+			var eb errorBody
+			decodeTo(t, body, &eb)
+			if eb.Error == nil || eb.Error.Code != CodeInvalid || !strings.Contains(eb.Error.Message, tc.want) {
+				t.Fatalf("error = %+v, want code %q containing %q", eb.Error, CodeInvalid, tc.want)
+			}
+		})
+	}
+	if runner.total() != 0 {
+		t.Fatalf("rejected experiments reached the runner %d times", runner.total())
+	}
+}
+
+// TestStaleCancelledFlightNotJoined: once the last waiter of a queued
+// flight leaves, the flight leaves the index too — a later identical
+// request starts a fresh computation instead of joining the dead flight
+// and being served a cancellation caused by another client's disconnect.
+func TestStaleCancelledFlightNotJoined(t *testing.T) {
+	runner := newFakeRunner(true)
+	s, ts := newTestServer(t, Config{runCell: runner.run, Workers: 1, QueueSize: 4, MaxBatch: 1})
+
+	// Cell A: dequeued by the dispatcher, blocks inside the runner.
+	go tryPostJSON(ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("compress", "S1", "ooo")}})
+	select {
+	case <-runner.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first computation never started")
+	}
+
+	// Cell B: queued behind A; its only client disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	buf, _ := json.Marshal(SimulateRequest{Cells: []Request{cellReq("espresso", "S1", "ooo")}})
+	httpReq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/simulate", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(httpReq)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitForQueued(t, s, 1)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request unexpectedly succeeded")
+	}
+	// The abandoned flight must leave the index even though it is still
+	// sitting in the queue (the dispatcher is busy with A).
+	deadline := time.After(5 * time.Second)
+	for s.met.Inflight.Load() != 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("abandoned flight still indexed (inflight = %d)", s.met.Inflight.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// A fresh request for B must recompute, not inherit the cancellation.
+	done := make(chan []byte, 1)
+	go func() {
+		_, body, _ := tryPostJSON(ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cellReq("espresso", "S1", "ooo")}})
+		done <- body
+	}()
+	// Wait until the retry's flight is registered, then unblock the pool.
+	deadline = time.After(5 * time.Second)
+	for s.met.Inflight.Load() != 2 {
+		select {
+		case <-deadline:
+			t.Fatal("retry never registered a fresh flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(runner.release)
+	sr := decodeSim(t, <-done)
+	if sr.Results[0].Error != nil || sr.Results[0].Run == nil {
+		t.Fatalf("retry after stale flight = %+v, want success", sr.Results[0])
+	}
+	if got := runner.count(mustCanon(t, cellReq("espresso", "S1", "ooo"))); got != 1 {
+		t.Fatalf("cell B simulated %d times, want 1 (stale flight skipped, retry computed)", got)
+	}
+}
+
+// TestExperimentFailureReleasesRemainingFlights: when one experiment
+// cell fails, the handler leaves every not-yet-awaited flight so the
+// abandoned simulations are cancelled instead of running for nobody.
+func TestExperimentFailureReleasesRemainingFlights(t *testing.T) {
+	failCell := mustCanon(t, cellReq("compress", "N", "ooo"))
+	runner := newFakeRunner(true)
+	bad := canonicalString(failCell)
+	cfg := Config{Workers: 4, MaxBatch: 16, runCell: func(ctx context.Context, c Request) outcome {
+		if canonicalString(c) == bad {
+			return outcome{err: fmt.Errorf("synthetic cell failure")}
+		}
+		return runner.run(ctx, c)
+	}}
+	s, ts := newTestServer(t, cfg)
+
+	resp, body := postJSON(t, ts.URL+"/v1/experiment", ExperimentRequest{
+		Benchmarks: []string{"compress", "espresso"}, Plans: []string{"N", "S1"}})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500\n%s", resp.StatusCode, body)
+	}
+	// Every remaining flight was left by the handler: their governors are
+	// cancelled, the blocked runners return, and the index drains to zero
+	// — without the release channel ever opening.
+	deadline := time.After(5 * time.Second)
+	for s.met.Inflight.Load() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("abandoned flights never unwound (inflight = %d)", s.met.Inflight.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func mustCanon(t *testing.T, req Request) Request {
+	t.Helper()
+	canon, err := Canonicalize(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon
+}
+
 func waitForQueued(t *testing.T, s *Server, n int) {
 	t.Helper()
 	deadline := time.After(5 * time.Second)
