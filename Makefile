@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-serve fuzz verify clean bench bench-smoke obs-smoke serve-smoke
+.PHONY: build test test-short race race-serve fuzz verify clean bench bench-smoke obs-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,15 @@ obs-smoke:
 # request and shuts it down with SIGTERM.
 serve-smoke:
 	$(GO) test -run TestInformdSmoke -v .
+
+# chaos-smoke is the robustness lane (DESIGN.md §13): the serving layer
+# under injected filesystem faults (degrade to RAM-only, quarantine +
+# recompute), tenant admission control, the cache↔store interleaving
+# under the race detector, and the operator-level warm restart (build the
+# daemon, populate the store, SIGTERM, restart, prove sim_instrs delta 0).
+chaos-smoke:
+	$(GO) test -race -run 'TestStore|TestTenant|TestWeightedFair|TestOverloadRetryAfter|TestReadyz|TestCacheStoreRace|TestFSInjector' ./internal/serve/ ./internal/store/ ./internal/faults/
+	$(GO) test -run TestInformdWarmRestart -v .
 
 # verify is the full CI gate: build, vet, race-enabled tests, fuzz seeds.
 verify: build

@@ -13,14 +13,18 @@
 //	                      condcode, sampling, counters) or a custom
 //	                      benchmarks × plans grid; returns the CLI tables
 //	GET  /metrics         serve_* and sim_* metrics (internal/obs registry)
-//	GET  /healthz         liveness, code version, cache occupancy
+//	GET  /healthz         liveness, code version, cache/store state
+//	GET  /readyz          readiness (store recovered, dispatcher running)
 //
-// Identical requests are served from a fingerprint-keyed LRU cache;
-// distinct concurrent requests are batched onto one worker pool. When the
-// bounded queue fills, POST /v1/simulate responds 429 (backpressure) —
-// clients should retry after a short delay. SIGINT/SIGTERM drains
-// gracefully: new work is rejected with 503, in-flight simulations finish
-// (up to -drain-timeout, then their run governors abort them).
+// Identical requests are served from a fingerprint-keyed LRU cache, backed
+// by an optional durable on-disk store (-store-dir) so a restarted daemon
+// starts warm; distinct concurrent requests are batched onto one worker
+// pool. Requests may carry an API key (X-API-Key or Authorization: Bearer)
+// mapped to a tenant by -tenants-file for per-tenant rate limits and
+// weighted-fair scheduling. When the bounded queue fills, POST /v1/simulate
+// responds 429 (backpressure) with a computed Retry-After. SIGINT/SIGTERM
+// drains gracefully: new work is rejected with 503, in-flight simulations
+// finish (up to -drain-timeout, then their run governors abort them).
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 
 	"informing/internal/govern"
 	"informing/internal/serve"
+	"informing/internal/store"
 )
 
 func main() {
@@ -48,8 +53,32 @@ func main() {
 		maxExpCells  = flag.Int("max-exp-cells", 0, "max grid cells per /v1/experiment request (0 = default 1024)")
 		maxInstsCap  = flag.Uint64("maxinsts-cap", 0, "reject requests budgeted above this (0 = 1e9)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget before in-flight runs are aborted")
+		storeDir     = flag.String("store-dir", "", "durable result store directory (empty = RAM-only)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "durable store size bound in bytes (0 = default 256 MiB)")
+		tenantsFile  = flag.String("tenants-file", "", "JSON tenant keyfile for per-tenant admission control (empty = anonymous only, unlimited)")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *storeDir, Version: serve.CodeVersion, MaxBytes: *storeMax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "informd: store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("informd: store open at %s (%d entries, %d bytes)\n", *storeDir, st.Len(), st.Bytes())
+	}
+
+	var tenants *serve.TenantSet
+	if *tenantsFile != "" {
+		var err error
+		tenants, err = serve.LoadTenantsFile(*tenantsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "informd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:            *jobs,
@@ -59,6 +88,8 @@ func main() {
 		MaxCellsPerRequest: *maxCells,
 		MaxExperimentCells: *maxExpCells,
 		MaxInstsCap:        *maxInstsCap,
+		Store:              st,
+		Tenants:            tenants,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

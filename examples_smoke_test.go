@@ -139,3 +139,142 @@ func TestInformdSmoke(t *testing.T) {
 		}
 	}
 }
+
+// informdProc is one running daemon generation in the restart smoke test.
+type informdProc struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+func startInformd(t *testing.T, bin string, args ...string) *informdProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() }) // no-op after a clean Wait
+	time.AfterFunc(2*time.Minute, func() { cmd.Process.Kill() })
+
+	reader := bufio.NewReader(stdout)
+	var line string
+	for {
+		line, err = reader.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading listen line: %v (stderr: %s)", err, stderr.String())
+		}
+		if strings.Contains(line, "listening on http://") {
+			break
+		}
+	}
+	go io.Copy(io.Discard, reader) //nolint:errcheck // drain so the child never blocks on stdout
+	_, rest, _ := strings.Cut(line, "http://")
+	addr, _, ok := strings.Cut(rest, " ")
+	if !ok {
+		t.Fatalf("malformed listening line %q", line)
+	}
+	return &informdProc{cmd: cmd, base: "http://" + addr, stderr: &stderr}
+}
+
+// stop SIGTERMs the daemon and demands a clean drain and exit 0.
+func (p *informdProc) stop(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("informd exited uncleanly: %v (stderr: %s)", err, p.stderr.String())
+	}
+}
+
+// simInstrs reads the sim_instrs counter from GET /metrics.
+func (p *informdProc) simInstrs(t *testing.T) uint64 {
+	t.Helper()
+	resp, err := http.Get(p.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters["sim_instrs"]
+}
+
+// TestInformdWarmRestart is the operator-level restart contract: a daemon
+// started with -store-dir, killed with SIGTERM and started again serves
+// the previous generation's grid entirely from the durable store — every
+// cell cached, sim_instrs delta exactly zero.
+func TestInformdWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon twice")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "informd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/informd").CombinedOutput(); err != nil {
+		t.Fatalf("build informd: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(tmp, "results")
+
+	// A small real grid: cheap enough for a smoke lane, wide enough to
+	// cover both kinds of stored payload shape (cell runs).
+	body := `{"cells":[
+		{"kind":"cell","benchmark":"compress","plan":"N","machine":"ooo","maxinsts":2000000},
+		{"kind":"cell","benchmark":"compress","plan":"S1","machine":"ooo","maxinsts":2000000},
+		{"kind":"cell","benchmark":"compress","plan":"N","machine":"inorder","maxinsts":2000000}]}`
+	type simResp struct {
+		Results []struct {
+			Key    string           `json:"key"`
+			Cached bool             `json:"cached"`
+			Run    *json.RawMessage `json:"run"`
+			Error  *json.RawMessage `json:"error"`
+		} `json:"results"`
+	}
+	post := func(p *informdProc) simResp {
+		t.Helper()
+		resp, err := http.Post(p.base+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr simResp
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || resp.StatusCode != 200 {
+			t.Fatalf("simulate: status %d, decode err %v", resp.StatusCode, err)
+		}
+		for i, r := range sr.Results {
+			if r.Error != nil || r.Run == nil {
+				t.Fatalf("cell %d failed: %s", i, *r.Error)
+			}
+		}
+		return sr
+	}
+
+	gen1 := startInformd(t, bin, "-store-dir", storeDir)
+	first := post(gen1)
+	gen1.stop(t)
+
+	gen2 := startInformd(t, bin, "-store-dir", storeDir)
+	before := gen2.simInstrs(t)
+	second := post(gen2)
+	for i, r := range second.Results {
+		if !r.Cached {
+			t.Errorf("cell %d not served from the store after restart", i)
+		}
+		if r.Key != first.Results[i].Key || !bytes.Equal(*r.Run, *first.Results[i].Run) {
+			t.Errorf("cell %d payload changed across restart", i)
+		}
+	}
+	if delta := gen2.simInstrs(t) - before; delta != 0 {
+		t.Errorf("restarted daemon simulated %d instructions, want exactly 0", delta)
+	}
+	gen2.stop(t)
+}

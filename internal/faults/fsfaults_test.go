@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFSInjectorDeterminism: two injectors built from the same plan and
+// driven through the same operation sequence make identical decisions.
+func TestFSInjectorDeterminism(t *testing.T) {
+	plan := FSPlan{Seed: 1234, Rules: []FSRule{
+		{Kind: FSTorn, Prob: 0.3},
+		{Kind: FSError, Ops: FSRead, Prob: 0.2},
+		{Kind: FSSlow, Prob: 0.5, Delay: time.Nanosecond},
+	}}
+	runSequence := func() FSStats {
+		fs := NewFS(plan)
+		fs.SetSleep(func(time.Duration) {})
+		dir := t.TempDir()
+		for i := 0; i < 200; i++ {
+			p := filepath.Join(dir, "f")
+			_ = fs.WriteFile(p, []byte("0123456789abcdef"), 0o644)
+			_, _ = fs.ReadFile(p)
+		}
+		return fs.Stats()
+	}
+	a, b := runSequence(), runSequence()
+	if a != b {
+		t.Fatalf("same plan, different decisions:\n a: %+v\n b: %+v", a, b)
+	}
+	if a.Torn == 0 || a.Errored == 0 || a.Slowed == 0 {
+		t.Fatalf("probabilistic rules never fired over 400 ops: %+v", a)
+	}
+}
+
+// TestFSInjectorNoSpace: ENOSPC rules fail the write with an error that
+// wraps both ErrInjected and syscall.ENOSPC, leaving a partial prefix.
+func TestFSInjectorNoSpace(t *testing.T) {
+	fs := NewFS(FSPlan{Rules: []FSRule{{Kind: FSNoSpace}}})
+	p := filepath.Join(t.TempDir(), "f")
+	err := fs.WriteFile(p, []byte("0123456789"), 0o644)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want injected ENOSPC", err)
+	}
+	b, rerr := os.ReadFile(p)
+	if rerr != nil || len(b) != 5 {
+		t.Fatalf("partial prefix = %d bytes (err %v), want 5", len(b), rerr)
+	}
+	if err := fs.Rename(p, p+"2"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rename under ENOSPC = %v", err)
+	}
+}
+
+// TestFSInjectorTornWrite: torn writes persist a prefix and report
+// success — indistinguishable from a good write until verification.
+func TestFSInjectorTornWrite(t *testing.T) {
+	fs := NewFS(FSPlan{Rules: []FSRule{{Kind: FSTorn}}})
+	p := filepath.Join(t.TempDir(), "f")
+	if err := fs.WriteFile(p, []byte("0123456789"), 0o644); err != nil {
+		t.Fatalf("torn write errored: %v", err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil || string(b) != "01234" {
+		t.Fatalf("on disk: %q (err %v), want the first half", b, err)
+	}
+}
+
+// TestFSInjectorBitFlip: exactly one bit differs between what was written
+// and what lands on disk.
+func TestFSInjectorBitFlip(t *testing.T) {
+	fs := NewFS(FSPlan{Seed: 5, Rules: []FSRule{{Kind: FSFlip, Ops: FSWrite}}})
+	p := filepath.Join(t.TempDir(), "f")
+	data := []byte("0123456789")
+	if err := fs.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			if (data[i]^got[i])&(1<<bit) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+}
+
+// TestFSInjectorSiteSelection: PathContains, SkipFirst and MaxFires
+// select sites the same way the cache-fault rules do.
+func TestFSInjectorSiteSelection(t *testing.T) {
+	fs := NewFS(FSPlan{Rules: []FSRule{
+		{Kind: FSError, Ops: FSWrite, PathContains: ".res", SkipFirst: 2, MaxFires: 1},
+	}})
+	dir := t.TempDir()
+	res := filepath.Join(dir, "entry.res")
+	other := filepath.Join(dir, "entry.log")
+	for i := 0; i < 10; i++ {
+		if err := fs.WriteFile(other, []byte("x"), 0o644); err != nil {
+			t.Fatalf("non-matching path faulted: %v", err)
+		}
+	}
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := fs.WriteFile(res, []byte("x"), 0o644); err != nil {
+			if i < 2 {
+				t.Fatalf("SkipFirst ignored: op %d faulted", i)
+			}
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("%d faults fired, want exactly 1 (MaxFires)", errs)
+	}
+}

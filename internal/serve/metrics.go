@@ -18,6 +18,21 @@ const (
 	MetricQueueDepth = "serve_queue_depth" // gauge: flights waiting for the pool
 	MetricLatencyMs  = "serve_request_latency_ms"
 	MetricBatchSize  = "serve_batch_size"
+
+	// Durable-store metrics (PR 6). serve_store_degraded counts
+	// degradation events: it moves 0 → 1 when a store I/O failure demotes
+	// the daemon to RAM-only operation for the rest of its life.
+	MetricStoreHits     = "serve_store_hits"
+	MetricStoreMisses   = "serve_store_misses"
+	MetricStoreWrites   = "serve_store_writes"
+	MetricStoreErrors   = "serve_store_errors"
+	MetricStoreDegraded = "serve_store_degraded"
+
+	// Admission-control metrics. Per-tenant variants of Requests, Cells,
+	// Hits and RateLimited are registered as name{tenant="..."} (see
+	// TenantMetricName).
+	MetricRateLimited    = "serve_rate_limited_total"
+	MetricBatchLatencyMs = "serve_batch_latency_ms" // one observation per dispatcher round
 )
 
 // latencyMsBounds spans a cached hit (sub-millisecond) to a full
@@ -42,6 +57,15 @@ type metrics struct {
 	QueueDepth *obs.Counter
 	LatencyMs  *obs.Histogram
 	BatchSize  *obs.Histogram
+
+	StoreHits     *obs.Counter
+	StoreMisses   *obs.Counter
+	StoreWrites   *obs.Counter
+	StoreErrors   *obs.Counter
+	StoreDegraded *obs.Counter
+
+	RateLimited    *obs.Counter
+	BatchLatencyMs *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -57,5 +81,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 		QueueDepth: reg.Counter(MetricQueueDepth),
 		LatencyMs:  reg.Histogram(MetricLatencyMs, latencyMsBounds),
 		BatchSize:  reg.Histogram(MetricBatchSize, batchBounds),
+
+		StoreHits:     reg.Counter(MetricStoreHits),
+		StoreMisses:   reg.Counter(MetricStoreMisses),
+		StoreWrites:   reg.Counter(MetricStoreWrites),
+		StoreErrors:   reg.Counter(MetricStoreErrors),
+		StoreDegraded: reg.Counter(MetricStoreDegraded),
+
+		RateLimited:    reg.Counter(MetricRateLimited),
+		BatchLatencyMs: reg.Histogram(MetricBatchLatencyMs, latencyMsBounds),
 	}
 }

@@ -201,8 +201,10 @@ const (
 	CodeBudget   = "budget"   // govern instruction/reference budget exhausted
 	CodeCanceled = "canceled" // request context cancelled or server shutdown
 	CodeLivelock = "livelock" // govern watchdog abort
-	CodeOverload = "overload" // queue full (whole-request 429)
-	CodeInternal = "internal" // anything else
+	CodeOverload     = "overload"     // queue full (whole-request 429)
+	CodeRateLimited  = "rate-limited" // tenant above its admission rate (429)
+	CodeUnauthorized = "unauthorized" // unknown API key, or anonymous tier disabled (401)
+	CodeInternal     = "internal"     // anything else
 )
 
 // WireError is the JSON error body attached to a failed cell (and, for

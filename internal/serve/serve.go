@@ -8,22 +8,30 @@
 //     keyed by a deterministic fingerprint of the canonical request plus
 //     the simulator code version (Fingerprint);
 //   - repeats are served from a bounded in-memory LRU without touching
-//     the simulator;
+//     the simulator; on an LRU miss, a durable on-disk store
+//     (internal/store) is consulted read-through and populated
+//     write-behind, so a restarted daemon starts warm — and any store
+//     malfunction demotes the daemon to RAM-only operation rather than
+//     ever serving an unverified result;
 //   - identical requests racing each other coalesce onto one in-flight
 //     computation (single-flight), whose run governor is cancelled only
 //     when every interested request has gone away;
-//   - distinct requests are queued (bounded — the queue overflowing is
-//     the server's backpressure signal, surfaced as HTTP 429) and batched
-//     by a dispatcher onto the shared internal/sched worker pool;
+//   - requests carry a tenant (API key; keyless = anonymous tier), pass
+//     per-tenant token-bucket admission, and distinct requests are queued
+//     (bounded — the queue overflowing is the server's backpressure
+//     signal, surfaced as HTTP 429 with an honest computed Retry-After)
+//     in per-tenant FIFOs drained weighted-fair by a dispatcher batching
+//     onto the shared internal/sched worker pool;
 //   - per-request budgets and cancellation ride the existing govern
 //     layer: a cell's MaxInsts becomes its governor budget and the flight
 //     context is threaded into the engines, so a cancelled batch aborts
 //     at the next governor poll with a diagnostic snapshot.
 //
-// Observability reuses internal/obs: one registry holds both the serving
-// metrics (serve_*) and the simulator metrics (sim_*), served on GET
-// /metrics — the differential tests use exactly this to prove a cache hit
-// re-simulates nothing (sim_instrs delta zero).
+// Observability reuses internal/obs: one registry holds the serving
+// metrics (serve_*, including per-tenant labelled variants), the store
+// metrics and the simulator metrics (sim_*), served on GET /metrics — the
+// differential tests use exactly this to prove a cache hit re-simulates
+// nothing (sim_instrs delta zero).
 package serve
 
 import (
@@ -31,8 +39,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"informing/internal/asm"
@@ -44,6 +56,7 @@ import (
 	"informing/internal/obs"
 	"informing/internal/sched"
 	"informing/internal/stats"
+	"informing/internal/store"
 	"informing/internal/workload"
 )
 
@@ -84,6 +97,19 @@ type Config struct {
 	// (0 = govern.DefaultBudget).
 	MaxInstsCap uint64
 
+	// Store, when non-nil, is the opened durable result store consulted
+	// read-through under the LRU and populated write-behind. The store
+	// must have been opened with Version == CodeVersion. nil = RAM-only.
+	Store *store.Store
+
+	// Tenants is the admission-control index (nil = anonymous-only,
+	// unlimited — the pre-tenant behaviour).
+	Tenants *TenantSet
+
+	// Logf receives operational notices (store degradation, recovery).
+	// nil = the standard library logger.
+	Logf func(format string, args ...any)
+
 	// runCell, when non-nil, replaces the real simulation runner — test
 	// seam for exercising the concurrency machinery without simulating.
 	runCell func(ctx context.Context, c Request) outcome
@@ -108,6 +134,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInstsCap == 0 {
 		c.MaxInstsCap = govern.DefaultBudget
 	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -123,9 +152,12 @@ type outcome struct {
 // for the same fingerprint while it ran. Its context is a child of the
 // server context, cancelled early when the last interested request leaves
 // — that cancellation reaches the simulation through its run governor.
+// The tenant is the flight creator's: joiners of other tenants share the
+// result but the queue slot is billed to whoever caused the work.
 type flight struct {
 	key string
 	req Request
+	tn  *tenant
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -139,16 +171,23 @@ type flight struct {
 // Server is the simulation service. Create with New, expose via Handler,
 // stop with Drain (graceful) and Close.
 type Server struct {
-	cfg   Config
-	sim   *obs.Sim
-	met   *metrics
-	cache *lruCache
-	mux   *http.ServeMux
+	cfg     Config
+	sim     *obs.Sim
+	met     *metrics
+	cache   *lruCache
+	store   *store.Store
+	tenants *TenantSet
+	mux     *http.ServeMux
 
 	baseCtx context.Context
 	stop    context.CancelFunc
-	queue   chan *flight
+	queue   *fairQueue
 	wg      sync.WaitGroup
+	readyCh chan struct{} // closed when the first dispatcher loop runs
+
+	// storeDegraded latches true on the first store I/O failure; from
+	// then on the daemon is RAM-only (healthz reports it).
+	storeDegraded atomic.Bool
 
 	mu       sync.Mutex
 	flights  map[string]*flight
@@ -163,9 +202,18 @@ func New(cfg Config) *Server {
 		sim:     sim,
 		met:     newMetrics(sim.Reg),
 		flights: map[string]*flight{},
+		readyCh: make(chan struct{}),
 	}
+	s.store = s.cfg.Store
+	s.tenants = s.cfg.Tenants
+	if s.tenants == nil {
+		// Back-compat default: one anonymous tier, unlimited rate,
+		// weight 1.
+		s.tenants, _ = NewTenantSet(TenantsFile{})
+	}
+	s.tenants.bind(sim.Reg)
 	s.cache = newLRU(s.cfg.CacheEntries)
-	s.queue = make(chan *flight, s.cfg.QueueSize)
+	s.queue = newFairQueue(s.cfg.QueueSize, s.met.QueueDepth)
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 
 	s.mux = http.NewServeMux()
@@ -173,6 +221,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -194,8 +243,8 @@ func (s *Server) Sim() *obs.Sim { return s.sim }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain puts the server into draining mode: new simulation requests are
-// rejected with 503 while in-flight work completes. /healthz reports the
-// state so load balancers can rotate the instance out.
+// rejected with 503 while in-flight work completes. /healthz and /readyz
+// report the state so load balancers can rotate the instance out.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
@@ -214,6 +263,73 @@ func (s *Server) Close() {
 // errShutdown is the outcome error of flights interrupted by Close.
 var errShutdown = fmt.Errorf("%w: server shutting down", govern.ErrCanceled)
 
+// ---- durable store plumbing ----
+
+// storeUsable reports whether the durable store should be consulted.
+func (s *Server) storeUsable() bool {
+	return s.store != nil && !s.storeDegraded.Load()
+}
+
+// degradeStore latches the daemon into RAM-only operation after a store
+// I/O failure. Verification failures (corruption) never reach here — the
+// store handles those internally as quarantine+miss; only a filesystem
+// that is actually failing demotes the daemon.
+func (s *Server) degradeStore(op string, err error) {
+	s.met.StoreErrors.Inc()
+	if s.storeDegraded.CompareAndSwap(false, true) {
+		s.met.StoreDegraded.Inc()
+		s.cfg.Logf("serve: store %s failed; degrading to RAM-only operation: %v", op, err)
+	}
+}
+
+// storeGet is the read-through path under an LRU miss. Any failure mode
+// ends in (outcome{}, false) — the caller computes; corrupt payloads were
+// already quarantined by the store, undecodable ones are dropped here.
+func (s *Server) storeGet(key string) (outcome, bool) {
+	if !s.storeUsable() {
+		return outcome{}, false
+	}
+	b, ok, err := s.store.Get(key)
+	if err != nil {
+		s.degradeStore("read", err)
+		return outcome{}, false
+	}
+	if !ok {
+		s.met.StoreMisses.Inc()
+		return outcome{}, false
+	}
+	out, err := decodeOutcome(b)
+	if err != nil {
+		s.cfg.Logf("serve: dropping undecodable store entry %s: %v", key, err)
+		s.met.StoreErrors.Inc()
+		_ = s.store.Delete(key)
+		return outcome{}, false
+	}
+	s.met.StoreHits.Inc()
+	return out, true
+}
+
+// storePut is the write-behind path after a successful computation. It
+// runs on the worker goroutine before waiters wake, so once a client has
+// its response the result is durable (the warm-restart contract).
+func (s *Server) storePut(key string, out outcome) {
+	if !s.storeUsable() {
+		return
+	}
+	b, err := encodeOutcome(out)
+	if err != nil {
+		s.met.StoreErrors.Inc()
+		return
+	}
+	if err := s.store.Put(key, b); err != nil {
+		s.degradeStore("write", err)
+		return
+	}
+	s.met.StoreWrites.Inc()
+}
+
+// ---- submission / single-flight ----
+
 // ticket is the submit result for one cell: either an immediate cached
 // outcome or a flight to await.
 type ticket struct {
@@ -222,15 +338,24 @@ type ticket struct {
 	f      *flight
 }
 
-// submit resolves one canonical cell: cache hit, join of an identical
-// in-flight computation, or a fresh flight pushed onto the queue. With
-// block=false a full queue fails fast (the 429 path); with block=true the
-// caller waits for a slot (the experiment path, where the client's open
-// request is the backpressure).
-func (s *Server) submit(reqCtx context.Context, c Request, block bool) (ticket, *WireError) {
+// submit resolves one canonical cell: RAM-cache hit, durable-store hit
+// (read-through), join of an identical in-flight computation, or a fresh
+// flight pushed onto the fair queue under tn. With block=false a full
+// queue fails fast (the 429 path); with block=true the caller waits for a
+// slot (the experiment path, where the client's open request is the
+// backpressure).
+func (s *Server) submit(reqCtx context.Context, c Request, tn *tenant, block bool) (ticket, *WireError) {
 	key := Fingerprint(c)
 	if out, ok := s.cache.get(key); ok {
 		s.met.Hits.Inc()
+		tn.hits.Inc()
+		return ticket{key: key, cached: &out}, nil
+	}
+	if out, ok := s.storeGet(key); ok {
+		// Warm the LRU so repeats skip the disk.
+		s.cache.add(key, out)
+		s.met.Hits.Inc()
+		tn.hits.Inc()
 		return ticket{key: key, cached: &out}, nil
 	}
 
@@ -249,7 +374,7 @@ func (s *Server) submit(reqCtx context.Context, c Request, block bool) (ticket, 
 		return ticket{key: key, f: f}, nil
 	}
 	fctx, fcancel := context.WithCancel(s.baseCtx)
-	f := &flight{key: key, req: c, ctx: fctx, cancel: fcancel, done: make(chan struct{}), waiters: 1}
+	f := &flight{key: key, req: c, tn: tn, ctx: fctx, cancel: fcancel, done: make(chan struct{}), waiters: 1}
 	s.flights[key] = f
 	s.met.Inflight.Store(uint64(len(s.flights)))
 	s.met.Misses.Inc()
@@ -257,32 +382,41 @@ func (s *Server) submit(reqCtx context.Context, c Request, block bool) (ticket, 
 	if !block {
 		// Enqueue under mu: either the flight is queued before anyone can
 		// observe it, or it is removed before anyone could have joined.
-		select {
-		case s.queue <- f:
-			s.met.QueueDepth.Store(uint64(len(s.queue)))
+		ok, closed := s.queue.tryPush(f)
+		if ok {
 			s.mu.Unlock()
 			return ticket{key: key, f: f}, nil
-		default:
-			delete(s.flights, key)
-			s.met.Inflight.Store(uint64(len(s.flights)))
-			s.mu.Unlock()
-			fcancel()
-			s.met.Rejected.Inc()
-			return ticket{}, &WireError{Code: CodeOverload, Message: "simulation queue full"}
 		}
+		delete(s.flights, key)
+		s.met.Inflight.Store(uint64(len(s.flights)))
+		s.mu.Unlock()
+		fcancel()
+		if closed {
+			return ticket{}, &WireError{Code: CodeCanceled, Message: "server shutting down"}
+		}
+		s.met.Rejected.Inc()
+		return ticket{}, &WireError{Code: CodeOverload, Message: "simulation queue full"}
 	}
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- f:
-		s.met.QueueDepth.Store(uint64(len(s.queue)))
-		return ticket{key: key, f: f}, nil
-	case <-reqCtx.Done():
-		s.abandonUnqueued(f)
-		return ticket{}, &WireError{Code: CodeCanceled, Message: "request canceled while queueing"}
-	case <-s.baseCtx.Done():
-		s.complete(f, outcome{err: errShutdown})
-		return ticket{}, &WireError{Code: CodeCanceled, Message: "server shutting down"}
+	for {
+		ok, closed := s.queue.tryPush(f)
+		if ok {
+			return ticket{key: key, f: f}, nil
+		}
+		if closed {
+			s.complete(f, outcome{err: errShutdown})
+			return ticket{}, &WireError{Code: CodeCanceled, Message: "server shutting down"}
+		}
+		select {
+		case <-s.queue.space:
+		case <-reqCtx.Done():
+			s.abandonUnqueued(f)
+			return ticket{}, &WireError{Code: CodeCanceled, Message: "request canceled while queueing"}
+		case <-s.baseCtx.Done():
+			s.complete(f, outcome{err: errShutdown})
+			return ticket{}, &WireError{Code: CodeCanceled, Message: "server shutting down"}
+		}
 	}
 }
 
@@ -305,13 +439,24 @@ func (s *Server) abandonUnqueued(f *flight) {
 		return
 	}
 	go func() {
-		select {
-		case s.queue <- f:
-			s.met.QueueDepth.Store(uint64(len(s.queue)))
-		case <-f.ctx.Done():
-			// Every joiner left too; leave() already tore the flight down.
-		case <-s.baseCtx.Done():
-			s.complete(f, outcome{err: errShutdown})
+		for {
+			ok, closed := s.queue.tryPush(f)
+			if ok {
+				return
+			}
+			if closed {
+				s.complete(f, outcome{err: errShutdown})
+				return
+			}
+			select {
+			case <-s.queue.space:
+			case <-f.ctx.Done():
+				// Every joiner left too; leave() already tore the flight down.
+				return
+			case <-s.baseCtx.Done():
+				s.complete(f, outcome{err: errShutdown})
+				return
+			}
 		}
 	}()
 }
@@ -352,12 +497,15 @@ func (s *Server) leave(f *flight) {
 	}
 }
 
-// complete publishes a flight's outcome: successful results enter the
-// cache, the flight leaves the index (so later identical requests hit the
-// cache instead), and every waiter wakes.
+// complete publishes a flight's outcome: successful results enter the RAM
+// cache and the durable store (write-behind, before waiters wake — once a
+// client holds a response, the result survives a restart), the flight
+// leaves the index (so later identical requests hit the cache instead),
+// and every waiter wakes.
 func (s *Server) complete(f *flight, out outcome) {
 	if out.err == nil {
 		s.cache.add(f.key, out)
+		s.storePut(f.key, out)
 	} else {
 		s.met.CellErrors.Inc()
 	}
@@ -374,34 +522,36 @@ func (s *Server) complete(f *flight, out outcome) {
 	f.cancel()
 }
 
-// dispatch is the single batching loop: it blocks for the first queued
-// flight, drains whatever else is already waiting (up to MaxBatch) so
-// concurrent requests land in one batch, and runs the batch on the shared
-// sched pool. While a batch runs nothing reads the queue — the bounded
-// queue filling up is the backpressure signal.
+// dispatch is the single batching loop: it takes the next queued flight
+// (weighted-fair across tenants), drains whatever else is already waiting
+// (up to MaxBatch) so concurrent requests land in one batch, and runs the
+// batch on the shared sched pool. While a batch runs nothing reads the
+// queue — the bounded queue filling up is the backpressure signal.
 func (s *Server) dispatch() {
 	defer s.wg.Done()
+	close(s.readyCh) // the first dispatcher loop is running: /readyz turns ready
 	for {
-		var first *flight
-		select {
-		case first = <-s.queue:
-		case <-s.baseCtx.Done():
-			s.failPending()
-			return
+		first := s.queue.pop()
+		if first == nil {
+			select {
+			case <-s.queue.ready:
+				continue
+			case <-s.baseCtx.Done():
+				s.failPending()
+				return
+			}
 		}
 		batch := []*flight{first}
 		for len(batch) < s.cfg.MaxBatch {
-			select {
-			case f := <-s.queue:
-				batch = append(batch, f)
-			default:
-				goto collected
+			f := s.queue.pop()
+			if f == nil {
+				break
 			}
+			batch = append(batch, f)
 		}
-	collected:
-		s.met.QueueDepth.Store(uint64(len(s.queue)))
 		s.met.BatchSize.Observe(int64(len(batch)))
 
+		start := time.Now()
 		jobs := make([]sched.Job[struct{}], len(batch))
 		for i, f := range batch {
 			f := f
@@ -413,6 +563,7 @@ func (s *Server) dispatch() {
 		// Jobs report their errors through the flight, never to the pool,
 		// so the batch always runs to completion.
 		_, _ = sched.Map(s.baseCtx, s.cfg.Workers, jobs)
+		s.met.BatchLatencyMs.Observe(time.Since(start).Milliseconds())
 
 		if s.baseCtx.Err() != nil {
 			s.failPending()
@@ -421,15 +572,12 @@ func (s *Server) dispatch() {
 	}
 }
 
-// failPending completes everything still queued with the shutdown error.
+// failPending closes the queue and completes everything still in it with
+// the shutdown error. After this, blocked enqueuers observe the closed
+// queue and fail their own flights — nothing is ever parked forever.
 func (s *Server) failPending() {
-	for {
-		select {
-		case f := <-s.queue:
-			s.complete(f, outcome{err: errShutdown})
-		default:
-			return
-		}
+	for _, f := range s.queue.closeAndDrain() {
+		s.complete(f, outcome{err: errShutdown})
 	}
 }
 
@@ -551,10 +699,29 @@ type errorBody struct {
 }
 
 func writeError(w http.ResponseWriter, status int, we *WireError) {
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	writeJSON(w, status, errorBody{Error: we})
+}
+
+// writeErrorRetry is writeError plus an honest Retry-After header — every
+// 429 goes through here with a retry the server actually computed, never
+// a hardcoded guess.
+func writeErrorRetry(w http.ResponseWriter, status int, we *WireError, retryAfterSecs int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs))
+	writeJSON(w, status, errorBody{Error: we})
+}
+
+// overloadRetryAfter computes the Retry-After of a queue-overflow 429
+// from the live queue depth and the recent mean dispatcher-round latency:
+// the backlog is depth/MaxBatch rounds deep, each round historically
+// takes BatchLatencyMs. Clamped to [1, 30]; before any round has
+// completed the estimate assumes one second per round.
+func (s *Server) overloadRetryAfter() int {
+	rounds := s.queue.depth()/s.cfg.MaxBatch + 1
+	meanMs := s.met.BatchLatencyMs.Mean()
+	if meanMs <= 0 {
+		meanMs = 1000
+	}
+	return clampRetryAfter(int(math.Ceil(float64(rounds) * meanMs / 1000)))
 }
 
 func (s *Server) observeLatency(start time.Time) {
@@ -580,6 +747,33 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// resolveTenant authenticates the request (before any body validation:
+// an unauthenticated client learns nothing beyond 401). On failure the
+// response has been written.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
+	tn, we := s.tenants.resolve(r)
+	if we != nil {
+		writeError(w, http.StatusUnauthorized, we)
+		return nil, false
+	}
+	tn.reqs.Inc()
+	return tn, true
+}
+
+// admitTenant rate-admits n cells for an already-resolved tenant — after
+// validation, so an invalid request never drains the bucket. On failure
+// the response has been written.
+func (s *Server) admitTenant(w http.ResponseWriter, tn *tenant, n int) bool {
+	tn.cells.Add(uint64(n))
+	if retry, we := s.tenants.admit(tn, n); we != nil {
+		s.met.RateLimited.Inc()
+		tn.limited.Inc()
+		writeErrorRetry(w, http.StatusTooManyRequests, we, retry)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.observeLatency(start)
@@ -589,6 +783,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	var req SimulateRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -600,6 +798,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if len(req.Cells) > s.cfg.MaxCellsPerRequest {
 		writeError(w, http.StatusBadRequest, &WireError{
 			Code: CodeInvalid, Message: fmt.Sprintf("%d cells above per-request limit %d", len(req.Cells), s.cfg.MaxCellsPerRequest)})
+		return
+	}
+	if !s.admitTenant(w, tn, len(req.Cells)) {
 		return
 	}
 	s.met.Cells.Add(uint64(len(req.Cells)))
@@ -615,7 +816,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.met.CellErrors.Inc()
 			continue
 		}
-		t, we := s.submit(r.Context(), canon, false)
+		t, we := s.submit(r.Context(), canon, tn, false)
 		if we != nil {
 			// Queue overflow rejects the whole request: drop the waiters
 			// we already registered and tell the client to back off.
@@ -624,11 +825,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 					s.leave(prev.f)
 				}
 			}
-			status := http.StatusTooManyRequests
 			if we.Code == CodeCanceled {
-				status = http.StatusServiceUnavailable
+				writeError(w, http.StatusServiceUnavailable, we)
+				return
 			}
-			writeError(w, status, we)
+			writeErrorRetry(w, http.StatusTooManyRequests, we, s.overloadRetryAfter())
 			return
 		}
 		t2 := t
@@ -656,6 +857,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tn, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	var req ExperimentRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -759,6 +964,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if !s.admitTenant(w, tn, len(cells)) {
+		return
+	}
+
 	resp := ExperimentResponse{Name: req.Name, Cells: len(cells)}
 	tickets := make([]ticket, len(cells))
 	for i, c := range cells {
@@ -772,7 +981,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		// Blocking submit: an experiment larger than the queue trickles in
 		// as the pool drains; the open request is the backpressure.
-		t, we := s.submit(r.Context(), canon, true)
+		t, we := s.submit(r.Context(), canon, tn, true)
 		if we != nil {
 			for _, prev := range tickets[:i] {
 				if prev.f != nil {
@@ -840,6 +1049,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// storeStatus summarises the durable store for /healthz.
+func (s *Server) storeStatus() map[string]any {
+	switch {
+	case s.store == nil:
+		return map[string]any{"state": "disabled"}
+	case s.storeDegraded.Load():
+		return map[string]any{"state": "degraded"}
+	default:
+		return map[string]any{
+			"state":   "ok",
+			"entries": s.store.Len(),
+			"bytes":   s.store.Bytes(),
+		}
+	}
+}
+
+// handleHealthz is liveness: it answers 200 whenever the process can
+// serve HTTP at all, and reports operational detail (draining, store
+// degradation, cache occupancy). Routing decisions belong on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if s.isDraining() {
@@ -849,5 +1077,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":        status,
 		"code_version":  CodeVersion,
 		"cache_entries": s.cache.len(),
+		"store":         s.storeStatus(),
 	})
+}
+
+// handleReadyz is readiness: 200 only once the store has been opened and
+// recovered (a *Server is only constructible with an opened store) and
+// the first dispatcher loop is running, and never while draining — so a
+// rotation never routes traffic to a cold or recovering daemon.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.readyCh:
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }

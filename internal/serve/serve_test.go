@@ -737,7 +737,7 @@ func mustCanon(t *testing.T, req Request) Request {
 func waitForQueued(t *testing.T, s *Server, n int) {
 	t.Helper()
 	deadline := time.After(5 * time.Second)
-	for len(s.queue) < n {
+	for s.queue.depth() < n {
 		select {
 		case <-deadline:
 			t.Fatalf("queue never reached depth %d", n)

@@ -1,0 +1,43 @@
+package serve
+
+// The durable store holds opaque payloads; this file is the codec between
+// a completed outcome and those bytes. JSON is safe here because every
+// field of stats.Run and multi.Result is integral — the round trip is
+// exact, so a store-served response is byte-identical to the computed one
+// (the warm-restart differential pins this).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"informing/internal/multi"
+	"informing/internal/stats"
+)
+
+type storedOutcome struct {
+	Run   *stats.Run    `json:"run,omitempty"`
+	Multi *multi.Result `json:"multi,omitempty"`
+}
+
+// encodeOutcome serialises a successful outcome for the store. Errored
+// outcomes are never stored (same policy as the RAM cache).
+func encodeOutcome(out outcome) ([]byte, error) {
+	if out.err != nil {
+		return nil, fmt.Errorf("serve: errored outcomes are not stored")
+	}
+	return json.Marshal(storedOutcome{Run: out.run, Multi: out.multiRes})
+}
+
+// decodeOutcome parses a store payload back into an outcome. The payload
+// already passed the store's checksum, so a decode failure means a codec
+// or version bug — the caller drops the entry and recomputes.
+func decodeOutcome(b []byte) (outcome, error) {
+	var so storedOutcome
+	if err := json.Unmarshal(b, &so); err != nil {
+		return outcome{}, fmt.Errorf("serve: stored outcome: %w", err)
+	}
+	if (so.Run == nil) == (so.Multi == nil) {
+		return outcome{}, fmt.Errorf("serve: stored outcome needs exactly one of run/multi")
+	}
+	return outcome{run: so.Run, multiRes: so.Multi}, nil
+}
