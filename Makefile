@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-serve fuzz verify clean bench bench-smoke obs-smoke serve-smoke chaos-smoke
+.PHONY: build test test-short race race-serve fuzz verify clean bench bench-gate bench-smoke obs-smoke serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ fuzz:
 bench:
 	$(GO) run ./cmd/hotpathbench -label optimized -repeat 5 \
 		-baseline BENCH_hotpath_baseline.json -out BENCH_hotpath.json
+
+# bench-gate is the CI perf regression check: re-measure and fail if a
+# watched cell (ooo_cell) regressed more than 10% against the committed
+# BENCH_hotpath.json.
+bench-gate:
+	$(GO) run ./cmd/hotpathbench -label gate -repeat 3 -out /tmp/bench_gate.json
+	$(GO) run ./cmd/benchdiff -committed BENCH_hotpath.json -fresh /tmp/bench_gate.json
 
 # bench-smoke checks the parallel runner end to end: the -j sweep must be
 # byte-identical to the sequential path. (No `time` prefix: make runs

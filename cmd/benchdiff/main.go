@@ -1,0 +1,106 @@
+// Command benchdiff compares a freshly measured hotpathbench report
+// against the committed one and fails (exit 1) when a watched
+// measurement regressed beyond the allowed threshold. It is the CI perf
+// gate for the block-compiled kernel (DESIGN.md §14): the committed
+// BENCH_hotpath.json is the floor, and a ns/inst increase of more than
+// -threshold on any watched measurement breaks the build.
+//
+//	go run ./cmd/hotpathbench -repeat 3 -out /tmp/bench.json
+//	go run ./cmd/benchdiff -committed BENCH_hotpath.json -fresh /tmp/bench.json
+//
+// By default only ooo_cell is gated — it is the measurement the block
+// kernel accelerates and the least noisy full-cell number. Additional
+// measurements can be watched with -measurements (comma-separated);
+// they must exist in both reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// result mirrors the hotpathbench Result fields benchdiff reads.
+type result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// report mirrors the hotpathbench Report envelope.
+type report struct {
+	Label   string            `json:"label"`
+	Results map[string]result `json:"results"`
+}
+
+func load(path string) (report, error) {
+	var rep report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no results", path)
+	}
+	return rep, nil
+}
+
+func main() {
+	var (
+		committed    = flag.String("committed", "BENCH_hotpath.json", "committed reference report")
+		fresh        = flag.String("fresh", "", "freshly measured report (required)")
+		measurements = flag.String("measurements", "ooo_cell", "comma-separated measurements to gate")
+		threshold    = flag.Float64("threshold", 0.10, "maximum allowed ns/op regression fraction")
+	)
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fresh is required")
+		os.Exit(2)
+	}
+
+	ref, err := load(*committed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range strings.Split(*measurements, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		refR, ok := ref.Results[name]
+		if !ok || refR.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s missing from committed report %s\n", name, *committed)
+			failed = true
+			continue
+		}
+		curR, ok := cur.Results[name]
+		if !ok || curR.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s missing from fresh report %s\n", name, *fresh)
+			failed = true
+			continue
+		}
+		delta := curR.NsPerOp/refR.NsPerOp - 1
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-20s committed %9.2f ns/op  fresh %9.2f ns/op  %+6.1f%%  %s\n",
+			name, refR.NsPerOp, curR.NsPerOp, delta*100, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% (or missing measurement)\n", *threshold*100)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"informing/internal/asm"
+	"informing/internal/interp"
+	"informing/internal/isa"
+)
+
+// Cross-engine differential fuzz (DESIGN.md §14). The block-compiled
+// front end must be observationally identical to per-instruction
+// stepping: same stats.Run, same final architectural state, for every
+// machine model and informing scheme. Seeded random programs cover block
+// shapes the curated workloads do not — odd-length blocks, branches into
+// block interiors, informing redirects mid-block, back-to-back
+// terminators, serializing counter reads.
+
+// fuzzProgram builds a seeded random terminating program: a bounded
+// counting loop whose body mixes ALU ops, plain and informing memory
+// references, forward conditional branches, BMISS probes and counter
+// reads, plus a miss handler armed for the trap schemes.
+func fuzzProgram(seed int64) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := asm.NewBuilder()
+	buf := b.Alloc("buf", 1<<14)
+
+	b.MtmharLabel("handler") // armed; only ModeTrap acts on it
+	for i := 1; i <= 8; i++ {
+		b.LoadImm(isa.R(i), int64(r.Uint32()>>8)+1)
+	}
+	b.LoadImm(isa.R(10), int64(30+r.Intn(90))) // loop counter
+	b.LoadImm(isa.R(11), int64(buf))
+
+	alu := []isa.Op{isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Rem, isa.And,
+		isa.Or, isa.Xor, isa.Sll, isa.Srl, isa.Slt, isa.Sltu}
+	reg := func() isa.Reg { return isa.R(1 + r.Intn(8)) }
+	off := func() int64 { return int64(r.Intn(1<<13) &^ 7) }
+
+	b.Label("loop")
+	for j, body := 0, 8+r.Intn(24); j < body; j++ {
+		switch r.Intn(12) {
+		case 0, 1, 2, 3:
+			b.Emit(isa.Inst{Op: alu[r.Intn(len(alu))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+		case 4, 5:
+			b.Ld(reg(), isa.R(11), off(), r.Intn(2) == 0)
+		case 6:
+			b.St(reg(), isa.R(11), off(), r.Intn(2) == 0)
+		case 7:
+			b.Fld(isa.R(1+r.Intn(8)), isa.R(11), off(), false)
+		case 8:
+			b.Prefetch(isa.R(11), off())
+		case 9: // forward conditional branch over a short run
+			skip := b.Unique("skip")
+			b.Blt(reg(), reg(), skip)
+			for k, n := 0, 1+r.Intn(3); k < n; k++ {
+				b.Emit(isa.Inst{Op: alu[r.Intn(len(alu))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+			}
+			b.Label(skip)
+		case 10: // BMISS probe of the preceding reference
+			bm := b.Unique("bm")
+			b.Ld(reg(), isa.R(11), off(), true)
+			b.Bmiss(isa.R(15), bm)
+			b.Add(isa.R(16), isa.R(16), isa.R(1))
+			b.Label(bm)
+		case 11: // serializing miss-counter read
+			b.Mfcnt(isa.R(17))
+		}
+	}
+	b.Addi(isa.R(10), isa.R(10), -1)
+	b.Bne(isa.R(10), isa.R0, "loop")
+	b.Halt()
+
+	b.Label("handler")
+	b.Add(isa.R(20), isa.R(20), isa.R(2))
+	b.Xor(isa.R(21), isa.R(21), isa.R(20))
+	b.Rfmh()
+	return b.MustFinish()
+}
+
+// TestBlockKernelDifferential: for every machine model × informing
+// scheme × seed, a run with the block kernel and a run with the
+// per-instruction front end must agree exactly — full stats.Run and the
+// final architectural fingerprint.
+func TestBlockKernelDifferential(t *testing.T) {
+	mkCfg := []func(Scheme) Config{R10000, Alpha21164}
+	schemes := []Scheme{Off, CondCode, TrapBranch, TrapException}
+	for _, mk := range mkCfg {
+		for _, scheme := range schemes {
+			for seed := int64(1); seed <= 6; seed++ {
+				cfg := mk(scheme)
+				name := fmt.Sprintf("%s/%s/seed%d", cfg.Machine, scheme, seed)
+				t.Run(name, func(t *testing.T) {
+					prog := fuzzProgram(seed)
+					base := mk(scheme).WithMaxInsts(5_000_000)
+					runOn, mOn, err := base.WithBlockKernel(true).RunDetailed(prog)
+					if err != nil {
+						t.Fatalf("block kernel run: %v", err)
+					}
+					runOff, mOff, err := base.WithBlockKernel(false).RunDetailed(prog)
+					if err != nil {
+						t.Fatalf("per-instruction run: %v", err)
+					}
+					if !reflect.DeepEqual(runOn, runOff) {
+						t.Errorf("stats.Run diverged:\n block: %+v\n perinst: %+v", runOn, runOff)
+					}
+					if fOn, fOff := machineFingerprint(mOn), machineFingerprint(mOff); fOn != fOff {
+						t.Errorf("architectural fingerprint diverged: block %#x vs per-inst %#x", fOn, fOff)
+					}
+					if mOn.Seq != mOff.Seq {
+						t.Errorf("dynamic instruction count diverged: %d vs %d", mOn.Seq, mOff.Seq)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBlockKernelSMCPropagates: a store into the text segment surfaces
+// interp.ErrTextWrite through both timing cores, on both front ends, so
+// the block table can never execute stale predecode.
+func TestBlockKernelSMCPropagates(t *testing.T) {
+	b := asm.NewBuilder()
+	b.LoadImm(isa.R(1), int64(isa.DefaultTextBase))
+	b.LoadImm(isa.R(2), 0xbad)
+	for i := 0; i < 5; i++ {
+		b.Add(isa.R(3), isa.R(1), isa.R(2))
+	}
+	b.St(isa.R(2), isa.R(1), 0, false)
+	b.Halt()
+	prog := b.MustFinish()
+
+	for _, mk := range []func(Scheme) Config{R10000, Alpha21164} {
+		for _, kernel := range []bool{true, false} {
+			cfg := mk(Off).WithMaxInsts(1000).WithBlockKernel(kernel)
+			_, err := cfg.Run(prog)
+			if !errors.Is(err, interp.ErrTextWrite) {
+				t.Errorf("%s kernel=%v: err = %v, want interp.ErrTextWrite", cfg.Machine, kernel, err)
+			}
+		}
+	}
+}

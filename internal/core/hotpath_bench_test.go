@@ -165,9 +165,12 @@ func TestTimingHotLoopAllocationFree(t *testing.T) {
 	cells := []struct {
 		name    string
 		machine Machine
+		kernel  bool
 	}{
-		{"ooo", OutOfOrder},
-		{"inorder", InOrder},
+		{"ooo", OutOfOrder, true},
+		{"inorder", InOrder, true},
+		{"ooo-perinst", OutOfOrder, false},
+		{"inorder-perinst", InOrder, false},
 	}
 	for _, c := range cells {
 		t.Run(c.name, func(t *testing.T) {
@@ -186,6 +189,7 @@ func TestTimingHotLoopAllocationFree(t *testing.T) {
 				} else {
 					cfg = R10000(TrapBranch)
 				}
+				cfg = cfg.WithBlockKernel(c.kernel)
 				runtime.GC()
 				var m0, m1 runtime.MemStats
 				runtime.ReadMemStats(&m0)

@@ -86,7 +86,7 @@ func machineFingerprint(m *interp.Machine) uint64 {
 	return h
 }
 
-func runGoldenCell(t *testing.T, c goldenCell) (stats.Run, uint64) {
+func runGoldenCell(t *testing.T, c goldenCell, blockKernel bool) (stats.Run, uint64) {
 	t.Helper()
 	bm, ok := workload.ByName(c.bench)
 	if !ok {
@@ -102,7 +102,7 @@ func runGoldenCell(t *testing.T, c goldenCell) (stats.Run, uint64) {
 	} else {
 		cfg = R10000(c.scheme)
 	}
-	run, m, err := cfg.WithMaxInsts(100_000_000).RunDetailed(prog)
+	run, m, err := cfg.WithMaxInsts(100_000_000).WithBlockKernel(blockKernel).RunDetailed(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,8 @@ func runGoldenCell(t *testing.T, c goldenCell) (stats.Run, uint64) {
 	return run, machineFingerprint(m)
 }
 
-// TestHotpathGolden replays every cell and demands byte-identical
+// TestHotpathGolden replays every cell — on the block-compiled kernel and
+// on the per-instruction front end — and demands byte-identical
 // statistics and architectural state versus the recorded reference.
 func TestHotpathGolden(t *testing.T) {
 	if testing.Short() {
@@ -121,23 +122,32 @@ func TestHotpathGolden(t *testing.T) {
 	printMode := os.Getenv("HOTPATH_GOLDEN_PRINT") != ""
 	for _, c := range goldenCells() {
 		c := c
-		t.Run(c.key(), func(t *testing.T) {
-			run, fp := runGoldenCell(t, c)
-			if printMode {
-				fmt.Printf("\t%q: {%#v, %#x},\n", c.key(), run, fp)
-				return
+		for _, kernel := range []bool{true, false} {
+			kernel := kernel
+			name := c.key() + "/block"
+			if !kernel {
+				name = c.key() + "/perinst"
 			}
-			want, ok := hotpathGolden[c.key()]
-			if !ok {
-				t.Fatalf("no golden entry for %s (regenerate with HOTPATH_GOLDEN_PRINT=1)", c.key())
-			}
-			if run != want.run {
-				t.Errorf("stats.Run diverged from pre-optimization reference:\n got: %+v\nwant: %+v", run, want.run)
-			}
-			if fp != want.fingerprint {
-				t.Errorf("final architectural state diverged: fingerprint %#x, want %#x", fp, want.fingerprint)
-			}
-		})
+			t.Run(name, func(t *testing.T) {
+				run, fp := runGoldenCell(t, c, kernel)
+				if printMode {
+					if kernel {
+						fmt.Printf("\t%q: {%#v, %#x},\n", c.key(), run, fp)
+					}
+					return
+				}
+				want, ok := hotpathGolden[c.key()]
+				if !ok {
+					t.Fatalf("no golden entry for %s (regenerate with HOTPATH_GOLDEN_PRINT=1)", c.key())
+				}
+				if run != want.run {
+					t.Errorf("stats.Run diverged from pre-optimization reference:\n got: %+v\nwant: %+v", run, want.run)
+				}
+				if fp != want.fingerprint {
+					t.Errorf("final architectural state diverged: fingerprint %#x, want %#x", fp, want.fingerprint)
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"informing/internal/asm"
+	"informing/internal/isa"
+)
+
+// Record-stream differential for the block kernel: StepBlockInto must
+// produce the byte-identical Rec sequence a StepInto loop produces, for
+// every informing mode and any buffer size, including the MHARArmed
+// snapshot the out-of-order core's shadow logic consumes.
+
+// diffProgram is a seeded random terminating program; informing loads and
+// a trap handler give ModeTrap runs real mid-block redirects.
+func diffProgram(seed int64) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := asm.NewBuilder()
+	buf := b.Alloc("buf", 1<<12)
+	b.MtmharLabel("handler")
+	for i := 1; i <= 6; i++ {
+		b.LoadImm(isa.R(i), int64(r.Uint32()>>10)+1)
+	}
+	b.LoadImm(isa.R(10), int64(20+r.Intn(40)))
+	b.LoadImm(isa.R(11), int64(buf))
+	alu := []isa.Op{isa.Add, isa.Sub, isa.Mul, isa.Xor, isa.Srl, isa.Slt}
+	reg := func() isa.Reg { return isa.R(1 + r.Intn(6)) }
+	b.Label("loop")
+	for j, n := 0, 6+r.Intn(14); j < n; j++ {
+		switch r.Intn(8) {
+		case 0, 1, 2:
+			b.Emit(isa.Inst{Op: alu[r.Intn(len(alu))], Rd: reg(), Rs1: reg(), Rs2: reg()})
+		case 3, 4:
+			b.Ld(reg(), isa.R(11), int64(r.Intn(1<<11)&^7), r.Intn(2) == 0)
+		case 5:
+			b.St(reg(), isa.R(11), int64(r.Intn(1<<11)&^7), r.Intn(2) == 0)
+		case 6:
+			skip := b.Unique("skip")
+			b.Bge(reg(), reg(), skip)
+			b.Add(isa.R(7), isa.R(7), isa.R(1))
+			b.Label(skip)
+		case 7:
+			bm := b.Unique("bm")
+			b.Ld(reg(), isa.R(11), int64(r.Intn(1<<11)&^7), true)
+			b.Bmiss(isa.R(15), bm)
+			b.Add(isa.R(16), isa.R(16), isa.R(2))
+			b.Label(bm)
+		}
+	}
+	b.Addi(isa.R(10), isa.R(10), -1)
+	b.Bne(isa.R(10), isa.R0, "loop")
+	b.Halt()
+	b.Label("handler")
+	b.Add(isa.R(20), isa.R(20), isa.R(3))
+	b.Rfmh()
+	return b.MustFinish()
+}
+
+// fakeProbe returns a deterministic stateful probe: every 5th reference
+// misses to L2, every 17th to memory. Each machine gets its own instance;
+// since both execute the same reference stream, the probes agree.
+func fakeProbe() Probe {
+	n := 0
+	return func(addr uint64, write bool) int {
+		n++
+		switch {
+		case n%17 == 0:
+			return LevelMem
+		case n%5 == 0:
+			return LevelL2
+		default:
+			return LevelL1
+		}
+	}
+}
+
+func TestStepBlockIntoMatchesStepInto(t *testing.T) {
+	modes := []Mode{ModeOff, ModeCondCode, ModeTrap}
+	bufSizes := []int{1, 3, 7, 64}
+	for _, mode := range modes {
+		for seed := int64(1); seed <= 8; seed++ {
+			prog := diffProgram(seed)
+
+			// Reference stream: the per-instruction path.
+			ref := New(prog, mode, fakeProbe())
+			var want []Rec
+			for !ref.Halted {
+				var rec Rec
+				if err := ref.StepInto(&rec); err != nil {
+					t.Fatalf("mode %v seed %d: StepInto: %v", mode, seed, err)
+				}
+				want = append(want, rec)
+				if len(want) > 2_000_000 {
+					t.Fatalf("mode %v seed %d: reference run not terminating", mode, seed)
+				}
+			}
+
+			for _, bs := range bufSizes {
+				t.Run(fmt.Sprintf("mode%d/seed%d/buf%d", mode, seed, bs), func(t *testing.T) {
+					m := New(prog, mode, fakeProbe())
+					buf := make([]Rec, bs)
+					var got int
+					for !m.Halted {
+						n, err := m.StepBlockInto(buf)
+						if err != nil {
+							t.Fatalf("StepBlockInto: %v", err)
+						}
+						for i := 0; i < n; i++ {
+							if got >= len(want) {
+								t.Fatalf("block path produced more than the %d reference records", len(want))
+							}
+							if buf[i] != want[got] {
+								t.Fatalf("record %d diverged:\n block: %+v\n  ref: %+v", got, buf[i], want[got])
+							}
+							got++
+						}
+					}
+					if got != len(want) {
+						t.Fatalf("block path produced %d records, reference %d", got, len(want))
+					}
+					if m.PC != ref.PC || m.Seq != ref.Seq || m.MHAR != ref.MHAR ||
+						m.MHRR != ref.MHRR || m.MissCounter != ref.MissCounter ||
+						m.Traps != ref.Traps || m.Mem.Fingerprint() != ref.Mem.Fingerprint() {
+						t.Fatal("final architectural state diverged")
+					}
+					if m.BlockCount() == 0 {
+						t.Fatal("block table discovered no blocks — the kernel did not engage")
+					}
+				})
+			}
+		}
+	}
+}

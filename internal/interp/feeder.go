@@ -1,0 +1,115 @@
+package interp
+
+// BlockFeeder adapts block-replayed execution (StepBlockInto) to the
+// one-record-at-a-time consumption pattern of the timing cores. The cores
+// historically called StepInto once per fetched instruction; with the
+// block kernel (DESIGN.md §14) the functional machine runs ahead,
+// executing whole basic blocks into an internal buffer, and the core
+// drains records from the buffer at its own fetch cadence. The consumed
+// record stream — including error and budget surfacing order — is
+// identical to the per-instruction path:
+//
+//   - the instruction budget caps how far the machine may run ahead, so
+//     a budget abort observes exactly Seq == limit, as before;
+//   - a step error (bad PC, text-segment store, unimplemented op) is
+//     deferred until the records executed before it have been consumed,
+//     which is precisely when the per-instruction path would have
+//     surfaced it;
+//   - FeedHalted is reported only once the buffer is drained, matching
+//     the per-instruction path where m.Halted becomes observable when the
+//     HALT instruction is fetched.
+//
+// The per-instruction fallback (perInst, used when the kernel is disabled
+// or when the core interleaves its own probe traffic with execution, as
+// the out-of-order core's speculative-injection mode does) fills one
+// record per Peek via StepInto, making the fill/consume interleaving
+// exactly the historical one.
+
+// FeedStatus reports what Peek found.
+type FeedStatus uint8
+
+const (
+	// FeedRec: a record is available.
+	FeedRec FeedStatus = iota
+	// FeedHalted: the machine halted and every record has been consumed.
+	FeedHalted
+	// FeedBudget: the instruction budget is exhausted before a halt.
+	FeedBudget
+	// FeedErr: a step error is pending; retrieve it with Err.
+	FeedErr
+)
+
+// blockFeedLen is the execute-ahead window in instructions. Large enough
+// to amortise block dispatch, small enough that the buffer (~100 B per
+// record) stays cache-resident.
+const blockFeedLen = 64
+
+// BlockFeeder buffers block-replayed records for a timing core. Create
+// one per run with NewBlockFeeder.
+type BlockFeeder struct {
+	m       *Machine
+	limit   uint64 // machine never executes past Seq == limit
+	perInst bool
+	err     error
+	head, n int
+	buf     [blockFeedLen]Rec
+}
+
+// NewBlockFeeder returns a feeder over m that will execute at most limit
+// instructions. perInst disables execute-ahead: each Peek fills at most
+// one record via StepInto.
+func NewBlockFeeder(m *Machine, limit uint64, perInst bool) *BlockFeeder {
+	return &BlockFeeder{m: m, limit: limit, perInst: perInst}
+}
+
+// Peek returns the next unconsumed record, filling the buffer from the
+// machine if it is empty. The returned pointer is valid until the next
+// fill (i.e. at least until Advance has consumed the buffer); cores copy
+// the record into their own pipeline state.
+func (f *BlockFeeder) Peek() (*Rec, FeedStatus) {
+	if f.head < f.n {
+		return &f.buf[f.head], FeedRec
+	}
+	if f.err != nil {
+		return nil, FeedErr
+	}
+	if f.m.Halted {
+		return nil, FeedHalted
+	}
+	if f.m.Seq >= f.limit {
+		return nil, FeedBudget
+	}
+	f.head = 0
+	if f.perInst {
+		if err := f.m.StepInto(&f.buf[0]); err != nil {
+			f.n, f.err = 0, err
+			return nil, FeedErr
+		}
+		f.n = 1
+		return &f.buf[0], FeedRec
+	}
+	max := uint64(blockFeedLen)
+	if room := f.limit - f.m.Seq; room < max {
+		max = room
+	}
+	f.n, f.err = f.m.StepBlockInto(f.buf[:max])
+	if f.n == 0 {
+		// !Halted and room > 0 guarantee at least one step unless the
+		// very first instruction errored.
+		return nil, FeedErr
+	}
+	return &f.buf[0], FeedRec
+}
+
+// Advance consumes the record last returned by Peek.
+func (f *BlockFeeder) Advance() { f.head++ }
+
+// Err returns the deferred step error (valid once Peek reports FeedErr).
+func (f *BlockFeeder) Err() error { return f.err }
+
+// Drained reports whether every record of a halted machine has been
+// consumed — the cores' termination condition (previously m.Halted, which
+// with execute-ahead can be true while records are still buffered).
+func (f *BlockFeeder) Drained() bool {
+	return f.head >= f.n && f.err == nil && f.m.Halted
+}

@@ -1,0 +1,92 @@
+package isa
+
+// Basic-block table (DESIGN.md §14). A block is a maximal straight-line
+// region of the text segment: it starts at any static index execution ever
+// reaches and extends until the first instruction that can redirect
+// control flow (any branch-class instruction, including RFMH) or stop the
+// machine (HALT). The block-compiled execution kernel (interp.StepBlockInto)
+// replays whole blocks with a single dispatch: the program-counter
+// validation, predecode lookup and terminator scan are performed once per
+// block at discovery time instead of once per dynamic instruction.
+//
+// Discovery is lazy and memoized: the first visit to a start index scans
+// forward to the terminator and records the block; every later visit is a
+// single table load. Blocks may overlap (a branch into the middle of an
+// already-discovered block simply starts a new block at that index) — the
+// table is indexed by start index, so overlapping entries are independent
+// and all of them describe the same underlying statics.
+//
+// A block's Flags field is the union of its members' StaticFlags, letting
+// replay loops skip per-instruction classification when, e.g., a block
+// contains no memory operations or no informing operations at all.
+
+// Block is one discovered straight-line region. Len counts instructions
+// including the terminator; Len is at least 1 for a discovered block, and
+// 0 marks an undiscovered table slot.
+type Block struct {
+	Len   int32       // instructions in the block, terminator included
+	Flags StaticFlags // union of the members' flags
+}
+
+// blockEnds reports whether the instruction at static index k terminates a
+// straight-line region: control may not fall through a branch (SfBranch
+// covers conditional branches, jumps, BMISS and RFMH) or a HALT.
+func blockEnds(in *Inst, st *Static) bool {
+	return st.Branch() || in.Op == Halt
+}
+
+// BlockTable memoizes block discovery over one predecoded text segment.
+type BlockTable struct {
+	text   []Inst
+	static []Static
+	blocks []Block // indexed by block start static index; Len 0 = unknown
+}
+
+// NewBlockTable returns an empty table over a text segment and its
+// predecode (see PredecodeText). The two slices must be the same length
+// and must not be mutated while the table is live; the self-modifying-code
+// seam in interp guarantees this by rejecting text-segment stores.
+func NewBlockTable(text []Inst, static []Static) *BlockTable {
+	return &BlockTable{text: text, static: static, blocks: make([]Block, len(text))}
+}
+
+// At returns the block starting at static index k, discovering it on first
+// visit. k must be a valid static index (the caller validates the PC once
+// per block; that is the point of the table).
+func (t *BlockTable) At(k int) Block {
+	b := t.blocks[k]
+	if b.Len != 0 {
+		return b
+	}
+	return t.discover(k)
+}
+
+// discover scans forward from k to the terminator and memoizes the result.
+// A block that runs off the end of the text segment without a terminator
+// simply ends at the last instruction; the next fetch's PC validation
+// reports the fall-off as interp.ErrPC exactly as per-instruction
+// execution would.
+func (t *BlockTable) discover(k int) Block {
+	var b Block
+	for j := k; j < len(t.text); j++ {
+		b.Len++
+		b.Flags |= t.static[j].Flags
+		if blockEnds(&t.text[j], &t.static[j]) {
+			break
+		}
+	}
+	t.blocks[k] = b
+	return b
+}
+
+// Blocks reports how many distinct block start indices have been
+// discovered so far (test/introspection helper).
+func (t *BlockTable) Blocks() int {
+	n := 0
+	for i := range t.blocks {
+		if t.blocks[i].Len != 0 {
+			n++
+		}
+	}
+	return n
+}

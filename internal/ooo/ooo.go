@@ -98,9 +98,19 @@ type Config struct {
 	// informing load per N committed memory references, exercising the
 	// §3.3 invalidation path (the scheduler itself never runs wrong-path
 	// instructions; see DESIGN.md §6). The injected load targets the
-	// reference's address plus SpecInjectStride.
+	// reference's address plus SpecInjectStride. Injection interleaves
+	// core-driven probe traffic with the functional machine's own, so it
+	// forces the per-instruction front end (no block execute-ahead).
 	SpecInjectEvery  int
 	SpecInjectStride uint64
+
+	// DisableBlockKernel turns off the block-compiled execution kernel
+	// (DESIGN.md §14): the functional front end steps one instruction per
+	// fetch instead of replaying basic blocks ahead of the core. Results
+	// are bit-identical either way (the golden grid and the differential
+	// fuzz suite pin this); the switch exists for A/B benchmarking and as
+	// a diagnostic lane.
+	DisableBlockKernel bool
 
 	// MaxInsts bounds the dynamic instruction count (0 =
 	// govern.DefaultBudget). Exhausting it returns an error wrapping
@@ -190,6 +200,11 @@ type robEntry struct {
 	shadow  bool // currently consumes branch shadow state
 	isMiss  bool // memory op that missed in L1
 	memAddr uint64
+
+	// Doubly-linked list of unissued entries in dispatch (age) order, so
+	// the issue stage scans only candidates instead of walking the whole
+	// reorder buffer past already-issued entries. -1 terminates.
+	nextUn, prevUn int32
 }
 
 type fetchStallKind uint8
@@ -268,8 +283,50 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		lat[op] = int64(cfg.Lat.Latency(isa.Op(op)))
 	}
 
+	// Shadow-state occupancy is maintained incrementally instead of
+	// rescanning the reorder buffer every fetch stage. A shadow entry is
+	// live from dispatch until its resolve time passes: tag check for
+	// memory operations, completion for branches. At issue the resolve
+	// time becomes known and is at most max(lat) ∪ L1HitLat cycles ahead,
+	// so the pending decrements fit a small power-of-two time wheel
+	// advanced as the cycle counter increments. Resolve precedes
+	// graduation (res ≤ compC < gradC), so reorder-buffer slot reuse can
+	// never double-count: every decrement lands before its entry leaves.
+	maxRes := int64(cfg.Timing.L1HitLat)
+	for _, l := range lat {
+		if l > maxRes {
+			maxRes = l
+		}
+	}
+	wheelLen := int64(1)
+	for wheelLen <= maxRes+1 {
+		wheelLen <<= 1
+	}
+	wheelMask := wheelLen - 1
+	shadowWheel := make([]int32, wheelLen)
+	shadowLive := 0
+
 	rob := make([]robEntry, cfg.ROBSize)
 	head, tail, count := 0, 0, 0
+
+	// Unissued-entry list (age order): the issue stage walks this instead
+	// of the whole reorder buffer. Entries join at dispatch and leave when
+	// they issue; graduation only ever removes issued entries, so the list
+	// needs no maintenance there.
+	unHead, unTail := int32(-1), int32(-1)
+	unlink := func(at int32) {
+		e := &rob[at]
+		if e.prevUn >= 0 {
+			rob[e.prevUn].nextUn = e.nextUn
+		} else {
+			unHead = e.nextUn
+		}
+		if e.nextUn >= 0 {
+			rob[e.nextUn].prevUn = e.prevUn
+		} else {
+			unTail = e.prevUn
+		}
+	}
 
 	var regProd [isa.NumRegs]producer
 	var ccProd producer
@@ -345,7 +402,11 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		return govern.WithSnapshot(cause, snap)
 	}
 
-	var rec interp.Rec // reused across StepInto calls (Rec is copy-heavy)
+	// The functional front end runs ahead of the core through the block
+	// feeder (see interp.BlockFeeder). Speculative injection interleaves
+	// core-driven probe traffic with execution, so it forces the
+	// per-instruction fill path, as does the explicit kernel switch.
+	fe := interp.NewBlockFeeder(m, limit, cfg.DisableBlockKernel || cfg.SpecInjectEvery > 0)
 
 	ready := func(p producer) bool {
 		if !p.set {
@@ -366,32 +427,6 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			return true
 		}
 		return e.issued && e.tagC <= cycle
-	}
-
-	shadowCount := func() int {
-		n := 0
-		for i, c := head, count; c > 0; c-- {
-			e := &rob[i]
-			if i++; i == cfg.ROBSize {
-				i = 0
-			}
-			if !e.shadow {
-				continue
-			}
-			// A shadow entry is live until its direction/tag resolves.
-			if !e.issued {
-				n++
-				continue
-			}
-			res := e.compC
-			if e.st.Mem() {
-				res = e.tagC
-			}
-			if res > cycle {
-				n++
-			}
-		}
-		return n
 	}
 
 	stallResolved := func() bool {
@@ -467,16 +502,16 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		obsInstrs += uint64(gradN)
 
 		// ---- issue ----------------------------------------------------
+		// Candidates come from the unissued list (age order from the
+		// reorder-buffer head); issued entries are never revisited.
 		issuedN := 0
 		stallCharged := false // one issue-stall charge per cycle (oldest blocked)
 		var fuUsed [isa.NumFUClasses]int
-		for i, c := head, count; c > 0 && issuedN < cfg.IssueWidth; c-- {
-			e := &rob[i]
-			at := i
-			if i++; i == cfg.ROBSize {
-				i = 0
-			}
-			if e.issued || e.fetchC+cfg.FrontDepth > cycle {
+		for at := unHead; at >= 0 && issuedN < cfg.IssueWidth; {
+			e := &rob[at]
+			next := e.nextUn
+			if e.fetchC+cfg.FrontDepth > cycle {
+				at = next
 				continue
 			}
 			if fuUsed[e.fu] >= cfg.Units[e.fu] {
@@ -484,12 +519,13 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					stallCharged = true
 					obsStalls[e.rec.Inst.Op]++
 				}
+				at = next
 				continue
 			}
 			ok := true
 			// Counter reads serialize the pipeline (§1): MFCNT issues
 			// only from the head of the reorder buffer.
-			if e.rec.Inst.Op == isa.Mfcnt && at != head {
+			if e.rec.Inst.Op == isa.Mfcnt && int(at) != head {
 				ok = false
 			}
 			for s := 0; s < e.nsrc; s++ {
@@ -506,6 +542,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					stallCharged = true
 					obsStalls[e.rec.Inst.Op]++
 				}
+				at = next
 				continue
 			}
 			if e.st.Mem() {
@@ -521,6 +558,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 						stallCharged = true
 						obsStalls[e.rec.Inst.Op]++
 					}
+					at = next
 					continue
 				}
 				e.tagC = cycle + int64(cfg.Timing.L1HitLat)
@@ -535,36 +573,53 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			}
 			e.issueC = cycle
 			e.issued = true
+			unlink(at)
+			if e.shadow {
+				// The resolve time is now known; schedule the live-count
+				// decrement (or apply it, if already resolved this cycle).
+				res := e.compC
+				if e.st.Mem() {
+					res = e.tagC
+				}
+				if res <= cycle {
+					shadowLive--
+				} else {
+					shadowWheel[res&wheelMask]++
+				}
+			}
 			fuUsed[e.fu]++
 			issuedN++
+			at = next
 		}
 
 		// ---- fetch/dispatch -------------------------------------------
 		if cycle >= fetchBlocked && stallResolved() {
 			stallKind = stallNone
 			fetched := 0
-			// Shadow-state occupancy is computed once per fetch stage and
-			// then maintained incrementally: the cycle does not advance
-			// mid-stage and dispatch never mutates older entries, so no
-			// shadow can resolve while fetching — the count only grows, by
-			// exactly the shadow entries dispatched below.
-			shadows := shadowCount()
-			for fetched < cfg.IssueWidth && count < cfg.ROBSize && !m.Halted {
-				// Shadow-state limit gates fetch past unresolved
-				// speculation.
-				if shadows >= cfg.ShadowStates {
+			for fetched < cfg.IssueWidth && count < cfg.ROBSize {
+				rec, stf := fe.Peek()
+				if stf == interp.FeedHalted {
 					break
 				}
-				if m.Seq >= limit {
+				// Shadow-state limit gates fetch past unresolved
+				// speculation. shadowLive is maintained incrementally:
+				// the cycle does not advance mid-stage, so no shadow can
+				// resolve while fetching — the count only grows, by
+				// exactly the shadow entries dispatched below.
+				if shadowLive >= cfg.ShadowStates {
+					break
+				}
+				if stf == interp.FeedBudget {
 					return out, m, abort(fmt.Errorf("ooo: %w: %w (%d instructions)",
 						govern.ErrBudget, interp.ErrLimit, limit))
 				}
-				wasInHandler := inHandler
-				if err := m.StepInto(&rec); err != nil {
+				if stf == interp.FeedErr {
 					flushObs()
-					return out, m, err
+					return out, m, fe.Err()
 				}
-				in := rec.Inst
+				wasInHandler := inHandler
+				fe.Advance()
+				op := rec.Inst.Op
 				fetchAt := cycle
 				if icache != nil {
 					if line := icache.Line(rec.PC); line != lastILine {
@@ -583,12 +638,26 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				st := &statics[rec.SIdx]
 				idx := tail
 				e := &rob[idx]
-				*e = robEntry{rec: rec, st: st, fu: st.FU, fetchC: fetchAt}
+				e.rec = *rec
+				e.st = st
+				e.fu = st.FU
+				e.fetchC = fetchAt
+				e.nsrc = 0
+				e.issued, e.grad, e.shadow, e.isMiss = false, false, false, false
+				// Append to the unissued list (dispatch order == age order).
+				idx32 := int32(idx)
+				e.prevUn, e.nextUn = unTail, -1
+				if unTail >= 0 {
+					rob[unTail].nextUn = idx32
+				} else {
+					unHead = idx32
+				}
+				unTail = idx32
 				for s := 0; s < int(st.NSrc); s++ {
 					e.srcs[e.nsrc] = regProd[st.Src[s]]
 					e.nsrc++
 				}
-				if in.Op == isa.Bmiss {
+				if op == isa.Bmiss {
 					e.srcs[2] = ccProd
 				}
 				if st.HasDest {
@@ -597,7 +666,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 				if st.Mem() {
 					e.memAddr = rec.EA
 					e.isMiss = rec.Level > interp.LevelL1
-					if in.Op != isa.Prefetch {
+					if op != isa.Prefetch {
 						ccProd = producer{idx: idx, seq: rec.Seq, set: true}
 					}
 					out.MemRefs++
@@ -626,11 +695,11 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					out.HandlerInsts++
 					if sim != nil {
 						handlerLen++
-						if in.Op == isa.Rfmh {
+						if op == isa.Rfmh {
 							sim.HandlerOcc.Observe(handlerLen)
 						}
 					}
-					if in.Op == isa.Rfmh {
+					if op == isa.Rfmh {
 						inHandler = false
 					}
 				}
@@ -644,7 +713,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					}
 				}
 				switch {
-				case in.Op == isa.Bmiss:
+				case op == isa.Bmiss:
 					// Statically predicted not-taken.
 					e.shadow = true
 					if rec.Taken {
@@ -660,7 +729,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 					} else if rec.Taken {
 						blockUntil(fetchAt + 1 + cfg.TakenBubble)
 					}
-				case in.Op == isa.Mfcnt:
+				case op == isa.Mfcnt:
 					// The serializing counter read also stops fetch
 					// until it graduates.
 					stallKind, stallIdx, stallSeq = stallGrad, idx, rec.Seq
@@ -677,15 +746,17 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 						stallKind, stallIdx, stallSeq = stallGrad, idx, rec.Seq
 					}
 				case st.InformingMem() && cfg.Mode == interp.ModeTrap && cfg.Trap == TrapAsBranch &&
-					in.Op != isa.Prefetch && m.MHAR != 0:
+					op != isa.Prefetch && rec.MHARArmed:
 					// A non-trapping informing reference still occupies
 					// shadow state until its tag check resolves.
 					// (SfInforming is only ever set on memory operations,
-					// so the explicit IsMem conjunct is subsumed.)
+					// so the explicit IsMem conjunct is subsumed. The
+					// record's MHARArmed snapshot replaces a live m.MHAR
+					// read: the machine may have run ahead of the core.)
 					e.shadow = true
 				}
 				if e.shadow {
-					shadows++
+					shadowLive++
 				}
 
 				// §3.3 exercise: inject a squashed speculative
@@ -713,7 +784,7 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 		}
 
 		// ---- termination / progress guard ------------------------------
-		if m.Halted && count == 0 {
+		if count == 0 && fe.Drained() {
 			break
 		}
 		if gradN > 0 || issuedN > 0 {
@@ -726,6 +797,12 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 			return out, m, abort(fmt.Errorf("ooo: %w", err))
 		}
 		cycle++
+		// Shadows whose resolve time is this new cycle stop occupying
+		// shadow state before the coming fetch stage evaluates the gate.
+		if w := shadowWheel[cycle&wheelMask]; w != 0 {
+			shadowLive -= int(w)
+			shadowWheel[cycle&wheelMask] = 0
+		}
 		obsCycles++
 		if sim != nil && cycle&(obsFlushEvery-1) == 0 {
 			flushObs()

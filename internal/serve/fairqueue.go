@@ -31,10 +31,34 @@ type tenantFIFO struct {
 
 func (f *tenantFIFO) empty() bool { return f.head == len(f.items) }
 
+// fifoCompactMin is the consumed-prefix length below which pop skips
+// compaction: small queues never pay the copy, and a queue that empties is
+// reset wholesale anyway.
+const fifoCompactMin = 32
+
 func (f *tenantFIFO) pop() *flight {
 	fl := f.items[f.head]
 	f.items[f.head] = nil // release for GC
 	f.head++
+	switch {
+	case f.head == len(f.items):
+		// Fully drained: drop the backing array instead of keeping it at
+		// its high-water size. (The queue also deletes a drained FIFO from
+		// the tenant map, but closeAndDrain and any future reuse go
+		// through here too, and a tenant that is re-added a moment later
+		// must not resurrect a flood-sized array.)
+		f.items, f.head = nil, 0
+	case f.head >= fifoCompactMin && f.head >= len(f.items)/2:
+		// A continuously-busy tenant never drains, so without compaction
+		// its slice grows by every flight it ever queued: append sees a
+		// full backing array and reallocates, while the consumed prefix
+		// keeps the old capacity live. Copying the tail into a right-sized
+		// allocation caps memory at O(live flights) and costs amortized
+		// O(1) per pop (each element moves at most once per doubling).
+		live := make([]*flight, len(f.items)-f.head)
+		copy(live, f.items[f.head:])
+		f.items, f.head = live, 0
+	}
 	return fl
 }
 

@@ -232,7 +232,17 @@ func (s *Store) recover() error {
 		return nil
 	}
 	// Oldest first, so PushFront leaves the most recent at the LRU front.
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	// Equal mtimes are common in practice (coarse filesystem timestamp
+	// granularity, entries batch-written within one tick), and sort.Slice
+	// is unstable, so ordering — and therefore which entry a recovery-time
+	// eviction removes — would otherwise vary run to run. The key tie-break
+	// makes recovery order, and the eviction victims, deterministic.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].key < entries[j].key
+	})
 	for _, e := range entries {
 		s.m[e.key] = s.ll.PushFront(&entry{key: e.key, size: e.size})
 		s.bytes += e.size

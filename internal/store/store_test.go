@@ -380,3 +380,82 @@ func TestStoreRejectsBadOptions(t *testing.T) {
 		t.Errorf("Put with invalid key: %v", err)
 	}
 }
+
+// TestStoreRecoveryEqualMtimesDeterministic: filesystem timestamps are
+// coarse, so a batch of entries routinely shares one mtime. sort.Slice is
+// unstable, so without the key tie-break the recovered LRU order — and
+// therefore which entries a recovery-time eviction removes — differed
+// from run to run. The tie-break pins both: order is mtime-then-key, and
+// the eviction victims under a shrunken budget are always the
+// lexicographically smallest keys of the equal-mtime batch.
+func TestStoreRecoveryEqualMtimesDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	const n = 9
+	for i := 0; i < n; i++ {
+		mustPut(t, s, key(i), []byte("p"))
+	}
+	perEntry := s.Bytes() / n
+	stamp := time.Now().Add(-time.Hour).Truncate(time.Second)
+	for i := 0; i < n; i++ {
+		if err := os.Chtimes(filepath.Join(dir, key(i)+entrySuffix), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recovered order must be identical on every reopen: ascending-key
+	// push order leaves the largest key at the LRU front.
+	var first []string
+	for round := 0; round < 5; round++ {
+		s2 := openTest(t, dir, nil)
+		keys := s2.Keys()
+		if len(keys) != n {
+			t.Fatalf("round %d: recovered %d entries, want %d", round, len(keys), n)
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] < keys[i] {
+				t.Fatalf("round %d: recovered order not key-descending at %d: %v", round, i, keys)
+			}
+		}
+		if first == nil {
+			first = keys
+			continue
+		}
+		for i := range keys {
+			if keys[i] != first[i] {
+				t.Fatalf("round %d: recovery order changed: %v vs %v", round, keys, first)
+			}
+		}
+	}
+
+	// A shrunken budget at reopen must always evict the same victims: the
+	// smallest keys of the equal-mtime batch sit at the LRU back. Each
+	// round seeds an identical fresh directory so rounds are independent.
+	const keep = 3
+	for round := 0; round < 5; round++ {
+		rdir := t.TempDir()
+		rs := openTest(t, rdir, nil)
+		for i := 0; i < n; i++ {
+			mustPut(t, rs, key(i), []byte("p"))
+		}
+		for i := 0; i < n; i++ {
+			if err := os.Chtimes(filepath.Join(rdir, key(i)+entrySuffix), stamp, stamp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s3 := openTest(t, rdir, func(o *Options) { o.MaxBytes = keep * perEntry })
+		if s3.Len() != keep {
+			t.Fatalf("round %d: kept %d entries, want %d", round, s3.Len(), keep)
+		}
+		for i := 0; i < n-keep; i++ {
+			if _, ok, _ := s3.Get(key(i)); ok {
+				t.Fatalf("round %d: expected victim %s survived recovery eviction", round, key(i))
+			}
+		}
+		for i := n - keep; i < n; i++ {
+			if _, ok, _ := s3.Get(key(i)); !ok {
+				t.Fatalf("round %d: expected survivor %s was evicted", round, key(i))
+			}
+		}
+	}
+}
