@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-serve fuzz verify clean bench bench-gate bench-smoke obs-smoke serve-smoke chaos-smoke
+.PHONY: build test test-short race race-serve fuzz verify clean bench bench-gate bench-smoke obs-smoke serve-smoke chaos-smoke cluster-smoke bench-cluster
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,10 @@ race:
 	$(GO) test -race ./...
 
 # race-serve shakes the serving layer's concurrency machinery
-# (single-flight, bounded queue, dispatcher batching, LRU) and the pool
-# and metrics under it with the race detector.
+# (single-flight, bounded queue, dispatcher batching, LRU), the cluster
+# transport under it, and the pool and metrics with the race detector.
 race-serve:
-	$(GO) test -race ./internal/serve/ ./internal/sched/ ./internal/obs/
+	$(GO) test -race ./internal/serve/ ./internal/cluster/ ./internal/sched/ ./internal/obs/
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
@@ -83,6 +83,23 @@ serve-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestStore|TestTenant|TestWeightedFair|TestOverloadRetryAfter|TestReadyz|TestCacheStoreRace|TestFSInjector' ./internal/serve/ ./internal/store/ ./internal/faults/
 	$(GO) test -run TestInformdWarmRestart -v .
+
+# cluster-smoke is the distributed-informd acceptance lane (DESIGN.md
+# §15): three in-process nodes serve the 18-cell golden grid scattered/
+# gathered byte-identically to the sequential reference; the repeated
+# grid against a non-owner node resolves all-cached with a cluster-wide
+# sim_instrs delta of exactly 0; a peer dying mid-workload degrades to
+# local compute with identical results. The routing/forwarding machinery
+# also runs under the race detector.
+cluster-smoke:
+	$(GO) test -race -short -run 'TestOwnership|TestForward|TestNewValidates|TestNon200|TestCluster|TestReadyzSubsystem' ./internal/cluster/ ./internal/serve/
+	$(GO) test -run 'TestClusterGoldenGrid|TestClusterExperimentScatterGather' -v ./internal/serve/
+
+# bench-cluster regenerates the committed cluster-scaling report
+# (EXPERIMENTS.md "Cluster scaling"): 1-node vs 3-node in-process
+# throughput on a duplicate-free workload, cold and warm.
+bench-cluster:
+	$(GO) run ./cmd/clusterbench -nodes 1,3 -cells 60 -out BENCH_cluster.json
 
 # verify is the full CI gate: build, vet, race-enabled tests, fuzz seeds.
 verify: build

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func rep(cells map[string]float64) report {
+	r := report{Results: map[string]result{}}
+	for name, ns := range cells {
+		r.Results[name] = result{NsPerOp: ns}
+	}
+	return r
+}
+
+func TestWatchListAllIsSortedIntersection(t *testing.T) {
+	ref := rep(map[string]float64{"ooo_cell": 100, "interp_run": 20, "old_only": 5})
+	cur := rep(map[string]float64{"ooo_cell": 100, "interp_run": 20, "new_only": 5})
+	got := watchList("all", ref, cur)
+	want := []string{"interp_run", "ooo_cell"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("watchList(all) = %v, want %v", got, want)
+	}
+}
+
+func TestWatchListExplicitPassesThrough(t *testing.T) {
+	got := watchList(" ooo_cell, missing ", report{}, report{})
+	want := []string{"ooo_cell", "missing"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("watchList = %v, want %v", got, want)
+	}
+}
+
+func TestGatePerCellThresholds(t *testing.T) {
+	ref := rep(map[string]float64{"ooo_cell": 100, "interp_run": 20})
+	// ooo_cell +15% breaks its 10% bound; interp_run +15% sits inside its
+	// widened 25% noise bound.
+	cur := rep(map[string]float64{"ooo_cell": 115, "interp_run": 23})
+	var out, errOut bytes.Buffer
+	if !gate(ref, cur, []string{"ooo_cell", "interp_run"}, 0.10, &out, &errOut) {
+		t.Fatalf("gate passed a 15%% ooo_cell regression:\n%s", out.String())
+	}
+	s := out.String()
+	if !bytes.Contains(out.Bytes(), []byte("REGRESSION")) {
+		t.Errorf("output lacks a REGRESSION line:\n%s", s)
+	}
+
+	// The same +15% on interp_run alone passes.
+	out.Reset()
+	if gate(ref, cur, []string{"interp_run"}, 0.10, &out, &errOut) {
+		t.Fatalf("gate failed interp_run +15%% despite its 25%% noise bound:\n%s", out.String())
+	}
+}
+
+func TestGateImprovementPasses(t *testing.T) {
+	ref := rep(map[string]float64{"ooo_cell": 100})
+	cur := rep(map[string]float64{"ooo_cell": 80})
+	var out, errOut bytes.Buffer
+	if gate(ref, cur, []string{"ooo_cell"}, 0.10, &out, &errOut) {
+		t.Fatalf("gate failed an improvement:\n%s", out.String())
+	}
+}
+
+func TestGateMissingMeasurementFails(t *testing.T) {
+	ref := rep(map[string]float64{"ooo_cell": 100})
+	cur := rep(map[string]float64{"ooo_cell": 100})
+	var out, errOut bytes.Buffer
+	if !gate(ref, cur, []string{"ooo_cell", "ghost"}, 0.10, &out, &errOut) {
+		t.Fatal("gate passed with an explicitly watched measurement missing")
+	}
+	if !bytes.Contains(errOut.Bytes(), []byte("ghost missing")) {
+		t.Errorf("diagnostics lack the missing name:\n%s", errOut.String())
+	}
+}
+
+func TestThresholdForNeverNarrowsBelowFlag(t *testing.T) {
+	// A generous -threshold must not be narrowed by the noise table.
+	if th := thresholdFor("interp_run", 0.50); th != 0.50 {
+		t.Errorf("thresholdFor(interp_run, 0.50) = %v, want 0.50", th)
+	}
+	if th := thresholdFor("interp_run", 0.10); th != 0.25 {
+		t.Errorf("thresholdFor(interp_run, 0.10) = %v, want 0.25", th)
+	}
+	if th := thresholdFor("ooo_cell", 0.10); th != 0.10 {
+		t.Errorf("thresholdFor(ooo_cell, 0.10) = %v, want 0.10", th)
+	}
+}

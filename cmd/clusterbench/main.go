@@ -1,0 +1,228 @@
+// Command clusterbench measures informd cluster serving throughput: it
+// boots N in-process nodes (real HTTP listeners, rendezvous routing,
+// forwarding — the same path `informd -peers` runs, minus the network
+// between machines), pushes a duplicate-free cell workload through one
+// ingress node, and reports cells/sec cold (every cell simulated
+// somewhere) and warm (the identical batch repeated against a DIFFERENT
+// node, so every cell resolves through the cluster-wide cache).
+//
+//	go run ./cmd/clusterbench -nodes 1,3 -cells 60 -out BENCH_cluster.json
+//
+// Read the numbers with the machine in mind: on a single-core host the
+// in-process "cluster" shares that core, so cold throughput cannot
+// exceed the 1-node figure — the cold delta IS the forwarding overhead,
+// and scaling beyond it needs real cores behind each node
+// (EXPERIMENTS.md "Cluster scaling").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"informing/internal/cluster"
+	"informing/internal/serve"
+)
+
+// node is one in-process informd: a Server behind a real listener whose
+// handler is bound after every peer URL is known.
+type node struct {
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+func bootCluster(size int) ([]*node, error) {
+	nodes := make([]*node, size)
+	urls := make([]string, size)
+	for i := range nodes {
+		n := &node{}
+		n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n.srv.Handler().ServeHTTP(w, r)
+		}))
+		nodes[i] = n
+		urls[i] = n.ts.URL
+	}
+	for i, n := range nodes {
+		cfg := serve.Config{Logf: func(string, ...any) {}}
+		if size > 1 {
+			cl, err := cluster.New(cluster.Config{
+				Self:    urls[i],
+				Peers:   urls,
+				Version: serve.CodeVersion,
+				Logf:    func(string, ...any) {},
+			})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Cluster = cl
+		}
+		n.srv = serve.New(cfg)
+	}
+	return nodes, nil
+}
+
+func (n *node) close() {
+	n.ts.Close()
+	n.srv.Close()
+}
+
+// workload builds count duplicate-free cells: one real benchmark cell
+// per distinct MaxInsts budget, every budget above the cell's natural
+// instruction count so each cell simulates the same full workload while
+// fingerprinting uniquely. Duplicate-free is the honest scaling case —
+// duplicates would let the cache absorb work and flatter the cluster.
+func workload(count int) []serve.Request {
+	cells := make([]serve.Request, count)
+	for i := range cells {
+		cells[i] = serve.Request{
+			Kind:      serve.KindCell,
+			Benchmark: "compress",
+			Plan:      "N",
+			Machine:   serve.MachineOOO,
+			MaxInsts:  2_000_000 + uint64(i),
+		}
+	}
+	return cells
+}
+
+func postBatch(url string, cells []serve.Request) (time.Duration, error) {
+	body, err := json.Marshal(serve.SimulateRequest{Cells: cells})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := http.Post(url+"/v1/simulate", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var sr serve.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	for i, cr := range sr.Results {
+		if cr.Error != nil {
+			return 0, fmt.Errorf("cell %d: %s", i, cr.Error.Message)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// configResult is one cluster size's measurements.
+type configResult struct {
+	Nodes           int     `json:"nodes"`
+	ColdSecs        float64 `json:"cold_secs"`
+	ColdCellsPerSec float64 `json:"cold_cells_per_sec"`
+	WarmSecs        float64 `json:"warm_secs"`
+	WarmCellsPerSec float64 `json:"warm_cells_per_sec"`
+	Forwarded       uint64  `json:"forwarded_cells"`
+}
+
+type reportFile struct {
+	Label      string                  `json:"label"`
+	Go         string                  `json:"go"`
+	GoMaxProcs int                     `json:"gomaxprocs"`
+	Cells      int                     `json:"cells"`
+	Note       string                  `json:"note"`
+	Configs    map[string]configResult `json:"configs"`
+}
+
+func run(sizes []int, count int) (reportFile, error) {
+	rep := reportFile{
+		Label:      "cluster-scaling",
+		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Cells:      count,
+		Note: "in-process nodes share this host's cores: cold throughput is bounded by " +
+			"the 1-node figure and the delta is forwarding overhead; real scaling needs " +
+			"one machine per node",
+		Configs: map[string]configResult{},
+	}
+	cells := workload(count)
+	for _, size := range sizes {
+		nodes, err := bootCluster(size)
+		if err != nil {
+			return rep, err
+		}
+		cold, err := postBatch(nodes[0].ts.URL, cells)
+		if err != nil {
+			return rep, fmt.Errorf("%d-node cold batch: %w", size, err)
+		}
+		warmIngress := nodes[0]
+		if size > 1 {
+			warmIngress = nodes[1] // repeat against a non-owner/non-ingress node
+		}
+		warm, err := postBatch(warmIngress.ts.URL, cells)
+		if err != nil {
+			return rep, fmt.Errorf("%d-node warm batch: %w", size, err)
+		}
+		var forwarded uint64
+		for _, n := range nodes {
+			forwarded += n.srv.Sim().Reg.Counter(serve.MetricForwarded).Load()
+		}
+		rep.Configs[fmt.Sprintf("%d-node", size)] = configResult{
+			Nodes:           size,
+			ColdSecs:        cold.Seconds(),
+			ColdCellsPerSec: float64(count) / cold.Seconds(),
+			WarmSecs:        warm.Seconds(),
+			WarmCellsPerSec: float64(count) / warm.Seconds(),
+			Forwarded:       forwarded,
+		}
+		for _, n := range nodes {
+			n.close()
+		}
+	}
+	return rep, nil
+}
+
+func main() {
+	var (
+		nodesSpec = flag.String("nodes", "1,3", "comma-separated cluster sizes to measure")
+		count     = flag.Int("cells", 60, "duplicate-free cells per batch")
+		out       = flag.String("out", "", "write the JSON report here (empty = stdout only)")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*nodesSpec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "clusterbench: bad -nodes entry %q\n", s)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	rep, err := run(sizes, *count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, size := range sizes {
+		c := rep.Configs[fmt.Sprintf("%d-node", size)]
+		fmt.Printf("%d-node: cold %6.1f cells/s (%.2fs)  warm %8.1f cells/s (%.3fs)  forwarded %d\n",
+			size, c.ColdCellsPerSec, c.ColdSecs, c.WarmCellsPerSec, c.WarmSecs, c.Forwarded)
+	}
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("clusterbench: wrote %s\n", *out)
+	}
+}

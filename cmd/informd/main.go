@@ -25,6 +25,11 @@
 // responds 429 (backpressure) with a computed Retry-After. SIGINT/SIGTERM
 // drains gracefully: new work is rejected with 503, in-flight simulations
 // finish (up to -drain-timeout, then their run governors abort them).
+//
+// With -self and -peers the daemon joins a static cluster: request
+// fingerprints are rendezvous-hashed to an owner node and non-owned
+// requests are forwarded there, making the cache and single-flight
+// cluster-wide (README "Operating an informd cluster", DESIGN.md §15).
 package main
 
 import (
@@ -35,8 +40,10 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"informing/internal/cluster"
 	"informing/internal/govern"
 	"informing/internal/serve"
 	"informing/internal/store"
@@ -56,6 +63,10 @@ func main() {
 		storeDir     = flag.String("store-dir", "", "durable result store directory (empty = RAM-only)")
 		storeMax     = flag.Int64("store-max-bytes", 0, "durable store size bound in bytes (0 = default 256 MiB)")
 		tenantsFile  = flag.String("tenants-file", "", "JSON tenant keyfile for per-tenant admission control (empty = anonymous only, unlimited)")
+		selfURL      = flag.String("self", "", "this node's base URL as peers reach it (cluster mode; must appear in -peers)")
+		peersList    = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included (empty = single node)")
+		fwdTimeout   = flag.Duration("forward-timeout", 0, "bound on one forwarded peer request, handshake included (0 = default 120s)")
+		peerConns    = flag.Int("peer-conns", 0, "max pooled connections per peer (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -80,6 +91,26 @@ func main() {
 		}
 	}
 
+	var cl *cluster.Cluster
+	if *peersList != "" {
+		if *selfURL == "" {
+			fmt.Fprintln(os.Stderr, "informd: -peers requires -self (this node's URL as peers reach it)")
+			os.Exit(1)
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:            *selfURL,
+			Peers:           strings.Split(*peersList, ","),
+			Version:         serve.CodeVersion,
+			MaxConnsPerPeer: *peerConns,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "informd: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("informd: cluster member %s of %d nodes\n", cl.Self(), len(cl.Peers()))
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:            *jobs,
 		QueueSize:          *queueSize,
@@ -88,6 +119,8 @@ func main() {
 		MaxCellsPerRequest: *maxCells,
 		MaxExperimentCells: *maxExpCells,
 		MaxInstsCap:        *maxInstsCap,
+		Cluster:            cl,
+		ForwardTimeout:     *fwdTimeout,
 		Store:              st,
 		Tenants:            tenants,
 	})

@@ -1,0 +1,368 @@
+// Package cluster is informd's coordinator-free cluster substrate: a
+// static peer list, rendezvous (HRW) hashing from request fingerprints to
+// owner nodes, and a forwarding HTTP client with per-peer health tracking
+// and a code-version handshake.
+//
+// The design is deliberately stateless between nodes: there is no
+// membership protocol, no gossip and no leader. Every node is configured
+// with the same peer set (-peers) and its own identity (-self), computes
+// the same fingerprint→owner mapping (rendezvous.go), and forwards
+// non-owned requests to their owner over plain HTTP. A peer that cannot
+// be reached is marked down for a cooldown and the caller degrades to
+// computing locally — results are deterministic, so serving a non-owned
+// fingerprint locally is always correct, merely a duplicated computation.
+// A peer running a different simulator build (CodeVersion mismatch,
+// discovered by the /healthz handshake) is refused the same way: results
+// from a different build must never enter this node's responses.
+//
+// Everything is testable in-process: peers are URLs, so httptest servers
+// are full-fidelity cluster nodes.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"informing/internal/obs"
+)
+
+// Cluster metric names. Per-peer gauges are registered as
+// cluster_peer_up{peer="<url>"} (1 = reachable and version-verified,
+// 0 = down, unverified or incompatible).
+const (
+	MetricForwards          = "cluster_forwards_total"
+	MetricForwardErrors     = "cluster_forward_errors"
+	MetricHandshakes        = "cluster_handshakes_total"
+	MetricHandshakeFailures = "cluster_handshake_failures"
+	MetricPeerUp            = "cluster_peer_up"
+)
+
+// PeerUpMetricName returns the per-peer gauge name for url.
+func PeerUpMetricName(url string) string {
+	return fmt.Sprintf("%s{peer=%q}", MetricPeerUp, url)
+}
+
+// Sentinel errors Forward returns without having sent the request.
+var (
+	// ErrPeerDown: the peer failed recently and its retry cooldown has
+	// not elapsed; the caller should compute locally.
+	ErrPeerDown = errors.New("cluster: peer down")
+	// ErrVersionMismatch: the peer answered the handshake with a
+	// different CodeVersion; its results are not valid for this build.
+	ErrVersionMismatch = errors.New("cluster: peer code version mismatch")
+)
+
+// Config parameterises a Cluster.
+type Config struct {
+	// Self is this node's own base URL and must appear in Peers.
+	Self string
+
+	// Peers is the full static peer list (base URLs, including Self).
+	// Order is irrelevant: ownership is rendezvous-hashed over the set.
+	Peers []string
+
+	// Version is the simulator code version this node serves
+	// (serve.CodeVersion). The handshake refuses peers reporting a
+	// different version from GET /healthz.
+	Version string
+
+	// MaxConnsPerPeer bounds concurrent connections to one peer
+	// (0 = 8). Scatters larger than the bound queue on the pool.
+	MaxConnsPerPeer int
+
+	// RetryCooldown is how long a failed peer is skipped before the next
+	// forward attempt re-probes it (0 = 2s).
+	RetryCooldown time.Duration
+
+	// Logf receives peer state transitions (nil = silent). Transitions
+	// are logged once per edge, not per failed request.
+	Logf func(format string, args ...any)
+
+	// now is the health clock; tests override it.
+	now func() time.Time
+}
+
+// peerState tracks one remote peer's availability.
+type peerState struct {
+	url string
+
+	mu           sync.Mutex
+	verified     bool      // /healthz handshake passed since the last failure
+	incompatible bool      // last handshake reported a different CodeVersion
+	downUntil    time.Time // zero = available
+
+	up *obs.Counter // gauge: 1 when verified and reachable
+}
+
+// Cluster is the immutable peer topology plus mutable per-peer health.
+// Safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	self   string
+	peers  []string // sorted, deduplicated, includes self
+	remote map[string]*peerState
+	client *http.Client
+
+	forwards          *obs.Counter
+	forwardErrors     *obs.Counter
+	handshakes        *obs.Counter
+	handshakeFailures *obs.Counter
+}
+
+// New validates and builds a Cluster. Peer URLs are normalised only by
+// trimming trailing slashes — the peer list is configuration, and two
+// spellings of one node are a configuration error surfaced here (as a
+// duplicate) rather than a split ownership space discovered in production.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Version == "" {
+		return nil, fmt.Errorf("cluster: config needs a code version")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: config needs at least one peer")
+	}
+	if cfg.MaxConnsPerPeer <= 0 {
+		cfg.MaxConnsPerPeer = 8
+	}
+	if cfg.RetryCooldown <= 0 {
+		cfg.RetryCooldown = 2 * time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	self := strings.TrimSuffix(cfg.Self, "/")
+	seen := map[string]bool{}
+	var peers []string
+	for _, p := range cfg.Peers {
+		p = strings.TrimSuffix(p, "/")
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer URL")
+		}
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return nil, fmt.Errorf("cluster: peer %q is not an http(s) URL", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("cluster: self %q not in peer list %v", self, peers)
+	}
+	sort.Strings(peers)
+
+	c := &Cluster{
+		cfg:    cfg,
+		self:   self,
+		peers:  peers,
+		remote: map[string]*peerState{},
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxConnsPerHost:     cfg.MaxConnsPerPeer,
+				MaxIdleConnsPerHost: cfg.MaxConnsPerPeer,
+			},
+		},
+		forwards:          &obs.Counter{},
+		forwardErrors:     &obs.Counter{},
+		handshakes:        &obs.Counter{},
+		handshakeFailures: &obs.Counter{},
+	}
+	for _, p := range peers {
+		if p != self {
+			c.remote[p] = &peerState{url: p, up: &obs.Counter{}}
+		}
+	}
+	return c, nil
+}
+
+// Bind re-homes the cluster metrics (forward counters, per-peer up
+// gauges) into reg. Call once, before serving.
+func (c *Cluster) Bind(reg *obs.Registry) {
+	c.forwards = reg.Counter(MetricForwards)
+	c.forwardErrors = reg.Counter(MetricForwardErrors)
+	c.handshakes = reg.Counter(MetricHandshakes)
+	c.handshakeFailures = reg.Counter(MetricHandshakeFailures)
+	for _, ps := range c.remote {
+		ps.up = reg.Counter(PeerUpMetricName(ps.url))
+	}
+}
+
+// Self returns this node's normalised URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the sorted peer list (including self).
+func (c *Cluster) Peers() []string {
+	out := make([]string, len(c.peers))
+	copy(out, c.peers)
+	return out
+}
+
+// Version returns the code version the cluster was configured with.
+func (c *Cluster) Version() string { return c.cfg.Version }
+
+// Enabled reports whether there is anyone to forward to.
+func (c *Cluster) Enabled() bool { return len(c.peers) > 1 }
+
+// Owner returns the rendezvous owner of key among all peers (possibly
+// self).
+func (c *Cluster) Owner(key string) string { return OwnerOf(c.peers, key) }
+
+// PeerStatus is one remote peer's health snapshot.
+type PeerStatus struct {
+	State string `json:"state"` // "up", "down", "unverified", "incompatible"
+}
+
+// Status snapshots every remote peer's health for operators (/readyz).
+func (c *Cluster) Status() map[string]PeerStatus {
+	now := c.cfg.now()
+	out := make(map[string]PeerStatus, len(c.remote))
+	for url, ps := range c.remote {
+		ps.mu.Lock()
+		st := "up"
+		switch {
+		case ps.incompatible:
+			st = "incompatible"
+		case ps.downUntil.After(now):
+			st = "down"
+		case !ps.verified:
+			st = "unverified"
+		}
+		ps.mu.Unlock()
+		out[url] = PeerStatus{State: st}
+	}
+	return out
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// markDown records a failure edge: the peer is skipped until the cooldown
+// elapses and must re-handshake when it comes back.
+func (ps *peerState) markDown(c *Cluster, reason string) {
+	ps.mu.Lock()
+	wasUp := ps.verified
+	ps.verified = false
+	ps.downUntil = c.cfg.now().Add(c.cfg.RetryCooldown)
+	ps.mu.Unlock()
+	ps.up.Store(0)
+	if wasUp {
+		c.logf("cluster: peer %s down: %s", ps.url, reason)
+	}
+}
+
+// healthzProbe is the part of an informd /healthz body the handshake
+// reads.
+type healthzProbe struct {
+	CodeVersion string `json:"code_version"`
+}
+
+// handshake verifies the peer serves the same CodeVersion. Called with
+// ps.mu held (the first forward after a failure pays the round trip;
+// concurrent forwards briefly serialise behind it, then see verified).
+func (c *Cluster) handshake(ctx context.Context, ps *peerState) error {
+	c.handshakes.Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.handshakeFailures.Inc()
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		c.handshakeFailures.Inc()
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.handshakeFailures.Inc()
+		return fmt.Errorf("cluster: peer %s healthz status %d", ps.url, resp.StatusCode)
+	}
+	var hz healthzProbe
+	if err := json.Unmarshal(body, &hz); err != nil {
+		c.handshakeFailures.Inc()
+		return fmt.Errorf("cluster: peer %s healthz: %w", ps.url, err)
+	}
+	if hz.CodeVersion != c.cfg.Version {
+		c.handshakeFailures.Inc()
+		ps.incompatible = true
+		c.logf("cluster: peer %s serves code version %q, want %q; refusing its results",
+			ps.url, hz.CodeVersion, c.cfg.Version)
+		return fmt.Errorf("%w: peer %s serves %q, want %q",
+			ErrVersionMismatch, ps.url, hz.CodeVersion, c.cfg.Version)
+	}
+	ps.incompatible = false
+	return nil
+}
+
+// Forward POSTs body to peer+path and returns the response status and
+// body. It owns peer health: a peer inside its failure cooldown fails
+// fast with ErrPeerDown; a fresh (or recovering) peer is version-checked
+// against /healthz first; any transport failure marks the peer down.
+// Non-2xx statuses are returned to the caller, not treated as peer
+// failures — the peer is alive and said something meaningful.
+func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte, header http.Header) (int, []byte, error) {
+	ps := c.remote[peer]
+	if ps == nil {
+		return 0, nil, fmt.Errorf("cluster: %q is not a remote peer", peer)
+	}
+	c.forwards.Inc()
+
+	ps.mu.Lock()
+	if ps.downUntil.After(c.cfg.now()) {
+		ps.mu.Unlock()
+		c.forwardErrors.Inc()
+		return 0, nil, fmt.Errorf("%w: %s (retry cooldown)", ErrPeerDown, peer)
+	}
+	if !ps.verified {
+		if err := c.handshake(ctx, ps); err != nil {
+			ps.mu.Unlock()
+			ps.markDown(c, err.Error())
+			c.forwardErrors.Inc()
+			return 0, nil, err
+		}
+		ps.verified = true
+		c.logf("cluster: peer %s up (code version verified)", peer)
+	}
+	ps.mu.Unlock()
+	ps.up.Store(1)
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		c.forwardErrors.Inc()
+		return 0, nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		ps.markDown(c, err.Error())
+		c.forwardErrors.Inc()
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		ps.markDown(c, err.Error())
+		c.forwardErrors.Inc()
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}

@@ -1,0 +1,59 @@
+package cluster
+
+// Rendezvous (highest-random-weight, HRW) hashing maps a request
+// fingerprint to its owner node without any coordinator or shared state:
+// every node scores every (peer, key) pair with the same deterministic
+// hash and picks the highest-scoring peer. Two properties make it the
+// right fit for informd's fingerprint space:
+//
+//   - ownership depends only on the *set* of peers, never on list order,
+//     so every node computes the same owner from the same peer set no
+//     matter how its -peers flag was spelled (pinned by the reorder
+//     invariance test);
+//   - removing a peer remaps only the keys that peer owned (each
+//     surviving peer's scores are untouched), so a node outage never
+//     reshuffles the whole cache — the minimal-disruption property
+//     consistent hashing is used for, without the ring bookkeeping.
+//
+// The score function is specified exactly, so owners can be computed
+// outside this package (testdata/ownership.json pins keys computed
+// independently from this definition):
+//
+//	score(peer, key) = big-endian uint64 of the first 8 bytes of
+//	                   SHA-256(peer || 0x00 || key)
+//
+// The owner of key is the peer with the highest score; score ties (a
+// 2^-64 event, but the spec must be total) go to the lexicographically
+// smallest peer URL.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// score returns the HRW score of one (peer, key) pair.
+func score(peer, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// OwnerOf returns the rendezvous owner of key among peers. It panics on
+// an empty peer list — a cluster always contains at least self.
+func OwnerOf(peers []string, key string) string {
+	if len(peers) == 0 {
+		panic("cluster: OwnerOf with no peers")
+	}
+	best := peers[0]
+	bestScore := score(best, key)
+	for _, p := range peers[1:] {
+		s := score(p, key)
+		if s > bestScore || (s == bestScore && p < best) {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}

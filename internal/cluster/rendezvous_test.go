@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+type ownershipFile struct {
+	Peers []string `json:"peers"`
+	Pins  []struct {
+		Key   string `json:"key"`
+		Owner string `json:"owner"`
+	} `json:"pins"`
+}
+
+func loadOwnership(t *testing.T) ownershipFile {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/ownership.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f ownershipFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Peers) == 0 || len(f.Pins) == 0 {
+		t.Fatal("testdata/ownership.json has no peers or pins")
+	}
+	return f
+}
+
+// TestOwnershipPinned: fingerprint→owner assignment can never silently
+// shift across refactors. The pinned owners were computed outside the Go
+// process from the documented score definition, so this test also proves
+// the definition in rendezvous.go is the one actually implemented.
+func TestOwnershipPinned(t *testing.T) {
+	f := loadOwnership(t)
+	for _, pin := range f.Pins {
+		if got := OwnerOf(f.Peers, pin.Key); got != pin.Owner {
+			t.Errorf("OwnerOf(%q) = %q, want pinned %q — the ownership function changed; this remaps every cluster's cache",
+				pin.Key, got, pin.Owner)
+		}
+	}
+}
+
+// TestOwnershipPeerOrderInvariant: the owner depends only on the peer
+// set. Every permutation of the peer list (and the -peers flag order on
+// every node) must agree on every key's owner.
+func TestOwnershipPeerOrderInvariant(t *testing.T) {
+	f := loadOwnership(t)
+	perms := permutations(f.Peers)
+	for _, pin := range f.Pins {
+		want := OwnerOf(f.Peers, pin.Key)
+		for _, perm := range perms {
+			if got := OwnerOf(perm, pin.Key); got != want {
+				t.Fatalf("OwnerOf(%q) under order %v = %q, want %q", pin.Key, perm, got, want)
+			}
+		}
+	}
+}
+
+func permutations(in []string) [][]string {
+	if len(in) <= 1 {
+		return [][]string{append([]string(nil), in...)}
+	}
+	var out [][]string
+	for i := range in {
+		rest := make([]string, 0, len(in)-1)
+		rest = append(rest, in[:i]...)
+		rest = append(rest, in[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]string{in[i]}, p...))
+		}
+	}
+	return out
+}
+
+// TestOwnershipMinimalDisruption: removing one peer remaps only the keys
+// that peer owned — the HRW property the cluster's cache locality relies
+// on when a node leaves the configured set.
+func TestOwnershipMinimalDisruption(t *testing.T) {
+	f := loadOwnership(t)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("%032x", rng.Uint64())
+		before := OwnerOf(f.Peers, key)
+		for drop := range f.Peers {
+			survivors := make([]string, 0, len(f.Peers)-1)
+			survivors = append(survivors, f.Peers[:drop]...)
+			survivors = append(survivors, f.Peers[drop+1:]...)
+			after := OwnerOf(survivors, key)
+			if before != f.Peers[drop] && after != before {
+				t.Fatalf("key %s: removing non-owner %s moved owner %s -> %s",
+					key, f.Peers[drop], before, after)
+			}
+		}
+	}
+}
+
+// TestOwnershipBalance: over many uniformly distributed keys each of the
+// three peers owns roughly a third (HRW over a cryptographic hash is
+// near-uniform; the bounds are loose enough to never flake).
+func TestOwnershipBalance(t *testing.T) {
+	f := loadOwnership(t)
+	const n = 4096
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[OwnerOf(f.Peers, fmt.Sprintf("synthetic-%d", i))]++
+	}
+	for _, p := range f.Peers {
+		frac := float64(counts[p]) / n
+		if frac < 0.25 || frac > 0.42 {
+			t.Errorf("peer %s owns %.1f%% of %d keys, want roughly a third", p, frac*100, n)
+		}
+	}
+}
+
+// TestOwnerOfSinglePeer: a one-node "cluster" owns everything.
+func TestOwnerOfSinglePeer(t *testing.T) {
+	if got := OwnerOf([]string{"http://only:1"}, "anything"); got != "http://only:1" {
+		t.Fatalf("single-peer owner = %q", got)
+	}
+}

@@ -33,6 +33,14 @@ const (
 	// TenantMetricName).
 	MetricRateLimited    = "serve_rate_limited_total"
 	MetricBatchLatencyMs = "serve_batch_latency_ms" // one observation per dispatcher round
+
+	// Cluster-forwarding metrics (DESIGN.md §15). Transport-level peer
+	// counters (cluster_forwards_total, cluster_peer_up{peer=...}) live
+	// in internal/cluster and share this registry via Cluster.Bind.
+	MetricForwarded        = "serve_forwarded_total"   // cells routed to their owner peer
+	MetricForwardCoalesced = "serve_forward_coalesced" // waiters joining an in-flight forward
+	MetricForwardFallbacks = "serve_forward_fallbacks" // forwards degraded to local compute
+	MetricForwardedServed  = "serve_forwarded_served"  // cells this node served for peers
 )
 
 // latencyMsBounds spans a cached hit (sub-millisecond) to a full
@@ -66,6 +74,11 @@ type metrics struct {
 
 	RateLimited    *obs.Counter
 	BatchLatencyMs *obs.Histogram
+
+	Forwarded        *obs.Counter
+	ForwardCoalesced *obs.Counter
+	ForwardFallbacks *obs.Counter
+	ForwardedServed  *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -90,5 +103,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 
 		RateLimited:    reg.Counter(MetricRateLimited),
 		BatchLatencyMs: reg.Histogram(MetricBatchLatencyMs, latencyMsBounds),
+
+		Forwarded:        reg.Counter(MetricForwarded),
+		ForwardCoalesced: reg.Counter(MetricForwardCoalesced),
+		ForwardFallbacks: reg.Counter(MetricForwardFallbacks),
+		ForwardedServed:  reg.Counter(MetricForwardedServed),
 	}
 }

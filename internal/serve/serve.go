@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"informing/internal/asm"
+	"informing/internal/cluster"
 	"informing/internal/coherence"
 	"informing/internal/core"
 	"informing/internal/experiments"
@@ -97,6 +98,20 @@ type Config struct {
 	// (0 = govern.DefaultBudget).
 	MaxInstsCap uint64
 
+	// Cluster, when non-nil and enabled (more than one peer), turns this
+	// node into a cluster member: canonical request fingerprints are
+	// rendezvous-hashed to an owner node and non-owned requests are
+	// forwarded to their owner (serve/forward.go). The cluster must have
+	// been built with Version == CodeVersion; New panics on a mismatch —
+	// that is a boot-time configuration error, and serving with it would
+	// mix results from different simulator builds.
+	Cluster *cluster.Cluster
+
+	// ForwardTimeout bounds one forwarded request to a peer, handshake
+	// included (0 = 120s — a default-budget cell can legitimately
+	// simulate for tens of seconds).
+	ForwardTimeout time.Duration
+
 	// Store, when non-nil, is the opened durable result store consulted
 	// read-through under the LRU and populated write-behind. The store
 	// must have been opened with Version == CodeVersion. nil = RAM-only.
@@ -133,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInstsCap == 0 {
 		c.MaxInstsCap = govern.DefaultBudget
+	}
+	if c.ForwardTimeout == 0 {
+		c.ForwardTimeout = 120 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -177,6 +195,7 @@ type Server struct {
 	cache   *lruCache
 	store   *store.Store
 	tenants *TenantSet
+	cluster *cluster.Cluster // nil = single node
 	mux     *http.ServeMux
 
 	baseCtx context.Context
@@ -191,6 +210,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	flights  map[string]*flight
+	remotes  map[string]*remoteFlight // in-flight forwards, coalesced by key
 	draining bool
 }
 
@@ -202,10 +222,20 @@ func New(cfg Config) *Server {
 		sim:     sim,
 		met:     newMetrics(sim.Reg),
 		flights: map[string]*flight{},
+		remotes: map[string]*remoteFlight{},
 		readyCh: make(chan struct{}),
 	}
 	s.store = s.cfg.Store
 	s.tenants = s.cfg.Tenants
+	if c := s.cfg.Cluster; c != nil && c.Enabled() {
+		if c.Version() != CodeVersion {
+			// Boot-time misconfiguration: this node would route by one
+			// version and serve another. Fail fast, loudly.
+			panic(fmt.Sprintf("serve: cluster built for code version %q, server is %q", c.Version(), CodeVersion))
+		}
+		s.cluster = c
+		s.cluster.Bind(sim.Reg)
+	}
 	if s.tenants == nil {
 		// Back-compat default: one anonymous tier, unlimited rate,
 		// weight 1.
@@ -330,21 +360,26 @@ func (s *Server) storePut(key string, out outcome) {
 
 // ---- submission / single-flight ----
 
-// ticket is the submit result for one cell: either an immediate cached
-// outcome or a flight to await.
+// ticket is the submit result for one cell: an immediate cached outcome,
+// a local flight to await, or a remote (forwarded) flight to await.
 type ticket struct {
 	key    string
 	cached *outcome
 	f      *flight
+	remote *remoteFlight
 }
 
 // submit resolves one canonical cell: RAM-cache hit, durable-store hit
-// (read-through), join of an identical in-flight computation, or a fresh
-// flight pushed onto the fair queue under tn. With block=false a full
-// queue fails fast (the 429 path); with block=true the caller waits for a
-// slot (the experiment path, where the client's open request is the
-// backpressure).
-func (s *Server) submit(reqCtx context.Context, c Request, tn *tenant, block bool) (ticket, *WireError) {
+// (read-through), a forward to the cell's rendezvous owner node (cluster
+// mode, when the key is not self-owned — serve/forward.go), join of an
+// identical in-flight computation, or a fresh flight pushed onto the fair
+// queue under tn. With block=false a full queue fails fast (the 429
+// path); with block=true the caller waits for a slot (the experiment
+// path, where the client's open request is the backpressure). forwarded
+// marks a request that already took one peer hop: it is always computed
+// locally (the loop guard — peer lists that disagree must converge on a
+// node that does the work, never bounce a request around the ring).
+func (s *Server) submit(reqCtx context.Context, c Request, tn *tenant, block, forwarded bool) (ticket, *WireError) {
 	key := Fingerprint(c)
 	if out, ok := s.cache.get(key); ok {
 		s.met.Hits.Inc()
@@ -358,7 +393,20 @@ func (s *Server) submit(reqCtx context.Context, c Request, tn *tenant, block boo
 		tn.hits.Inc()
 		return ticket{key: key, cached: &out}, nil
 	}
+	if !forwarded && s.cluster != nil {
+		if owner := s.cluster.Owner(key); owner != s.cluster.Self() {
+			if rf := s.submitRemote(key, c, tn, owner); rf != nil {
+				return ticket{key: key, remote: rf}, nil
+			}
+			// Draining: fall through — the local path answers it.
+		}
+	}
+	return s.submitLocal(reqCtx, key, c, tn, block)
+}
 
+// submitLocal is the owner-side (and single-node) path: join or create a
+// local single-flight computation for key.
+func (s *Server) submitLocal(reqCtx context.Context, key string, c Request, tn *tenant, block bool) (ticket, *WireError) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -468,6 +516,18 @@ func (s *Server) abandonUnqueued(f *flight) {
 func (s *Server) await(reqCtx context.Context, t ticket) CellResult {
 	if t.cached != nil {
 		return cellResult(t.key, *t.cached, true)
+	}
+	if t.remote != nil {
+		// Remote flights have no per-waiter accounting: the forward is
+		// already bounded by ForwardTimeout and its result warms the
+		// ingress cache even if this waiter leaves.
+		select {
+		case <-t.remote.done:
+			return cellResult(t.key, t.remote.out, t.remote.cached)
+		case <-reqCtx.Done():
+			return CellResult{Key: t.key, Error: &WireError{
+				Code: CodeCanceled, Message: "request canceled: " + reqCtx.Err().Error()}}
+		}
 	}
 	select {
 	case <-t.f.done:
@@ -747,10 +807,36 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// isForwarded reports whether the request already took one cluster hop.
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(HeaderForwarded) != ""
+}
+
 // resolveTenant authenticates the request (before any body validation:
 // an unauthenticated client learns nothing beyond 401). On failure the
 // response has been written.
+//
+// A forwarded request (X-Informd-Forwarded, only ever set by a cluster
+// peer — cluster listeners belong on an internal network, see README) is
+// handled differently: the header value is the forwarding node's
+// CodeVersion (rejected with 409 on mismatch, the per-request half of the
+// cluster handshake), and the tenant was already resolved AND admitted at
+// the ingress node — it is carried by name (X-Informd-Tenant) so the
+// owner attributes metrics and fair-queue weight to the right tenant
+// without charging its token bucket a second time.
 func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
+	if v := r.Header.Get(HeaderForwarded); v != "" {
+		if v != CodeVersion {
+			writeError(w, http.StatusConflict, &WireError{
+				Code:    CodeInvalid,
+				Message: fmt.Sprintf("forwarding peer runs code version %q, this node runs %q", v, CodeVersion),
+			})
+			return nil, false
+		}
+		tn := s.tenants.resolveForwarded(r.Header.Get(HeaderForwardedTenant))
+		tn.reqs.Inc()
+		return tn, true
+	}
 	tn, we := s.tenants.resolve(r)
 	if we != nil {
 		writeError(w, http.StatusUnauthorized, we)
@@ -761,10 +847,16 @@ func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant,
 }
 
 // admitTenant rate-admits n cells for an already-resolved tenant — after
-// validation, so an invalid request never drains the bucket. On failure
-// the response has been written.
-func (s *Server) admitTenant(w http.ResponseWriter, tn *tenant, n int) bool {
+// validation, so an invalid request never drains the bucket. Forwarded
+// requests are never re-admitted: the ingress node already charged the
+// tenant's bucket, and charging both hops would bill every cluster-routed
+// cell twice (the cell counter still moves — it counts cells served by
+// this node). On failure the response has been written.
+func (s *Server) admitTenant(w http.ResponseWriter, tn *tenant, n int, forwarded bool) bool {
 	tn.cells.Add(uint64(n))
+	if forwarded {
+		return true
+	}
 	if retry, we := s.tenants.admit(tn, n); we != nil {
 		s.met.RateLimited.Inc()
 		tn.limited.Inc()
@@ -787,6 +879,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	forwarded := isForwarded(r)
 	var req SimulateRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -800,10 +893,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Code: CodeInvalid, Message: fmt.Sprintf("%d cells above per-request limit %d", len(req.Cells), s.cfg.MaxCellsPerRequest)})
 		return
 	}
-	if !s.admitTenant(w, tn, len(req.Cells)) {
+	if !s.admitTenant(w, tn, len(req.Cells), forwarded) {
 		return
 	}
 	s.met.Cells.Add(uint64(len(req.Cells)))
+	if forwarded {
+		s.met.ForwardedServed.Add(uint64(len(req.Cells)))
+	}
 
 	// Submit every valid cell before awaiting any, so the whole batch
 	// lands in the dispatcher's current round and runs concurrently.
@@ -816,7 +912,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.met.CellErrors.Inc()
 			continue
 		}
-		t, we := s.submit(r.Context(), canon, tn, false)
+		t, we := s.submit(r.Context(), canon, tn, false, forwarded)
 		if we != nil {
 			// Queue overflow rejects the whole request: drop the waiters
 			// we already registered and tell the client to back off.
@@ -861,6 +957,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	forwarded := isForwarded(r)
 	var req ExperimentRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -964,7 +1061,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if !s.admitTenant(w, tn, len(cells)) {
+	if !s.admitTenant(w, tn, len(cells), forwarded) {
 		return
 	}
 
@@ -980,8 +1077,13 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Blocking submit: an experiment larger than the queue trickles in
-		// as the pool drains; the open request is the backpressure.
-		t, we := s.submit(r.Context(), canon, tn, true)
+		// as the pool drains; the open request is the backpressure. In
+		// cluster mode this loop IS the scatter: non-owned cells return
+		// remote tickets immediately (the forwards run concurrently,
+		// bounded by the per-peer connection pool) while self-owned cells
+		// flow through the local queue — and the in-order await below is
+		// the gather, reusing sched's deterministic-merge contract.
+		t, we := s.submit(r.Context(), canon, tn, true, forwarded)
 		if we != nil {
 			for _, prev := range tickets[:i] {
 				if prev.f != nil {
@@ -1081,20 +1183,68 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// clusterStatus summarises cluster membership and peer health for
+// /readyz. Peers being down never makes the node unready — non-owned
+// fingerprints degrade to local compute, which is correct, just
+// duplicated work — but the detail tells an operator *why* forwards are
+// not happening.
+func (s *Server) clusterStatus() map[string]any {
+	if s.cluster == nil {
+		return map[string]any{"ready": true, "mode": "single-node"}
+	}
+	peers := s.cluster.Status()
+	up := 0
+	for _, st := range peers {
+		if st.State == "up" {
+			up++
+		}
+	}
+	return map[string]any{
+		"ready":       true,
+		"mode":        "cluster",
+		"self":        s.cluster.Self(),
+		"peers_total": len(peers),
+		"peers_up":    up,
+		"peers":       peers,
+	}
+}
+
 // handleReadyz is readiness: 200 only once the store has been opened and
 // recovered (a *Server is only constructible with an opened store) and
 // the first dispatcher loop is running, and never while draining — so a
 // rotation never routes traffic to a cold or recovering daemon.
+//
+// The body carries per-subsystem detail so an operator can tell WHY a
+// node is not ready (dispatcher not started? draining?) and what state
+// the degradable subsystems are in (store demoted to RAM-only? peers
+// unreachable?). Only the dispatcher and draining gates decide the
+// status code: store degradation and peer outages degrade service
+// quality, never correctness, so they must not rotate the node out.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	started := false
 	select {
 	case <-s.readyCh:
+		started = true
 	default:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
-		return
 	}
-	if s.isDraining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
-		return
+	draining := s.isDraining()
+
+	status, httpStatus := "ready", http.StatusOK
+	switch {
+	case !started:
+		status, httpStatus = "starting", http.StatusServiceUnavailable
+	case draining:
+		status, httpStatus = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+
+	storeSub := s.storeStatus()
+	storeSub["ready"] = true // degraded = RAM-only, still serving correct answers
+	writeJSON(w, httpStatus, map[string]any{
+		"status": status,
+		"subsystems": map[string]any{
+			"dispatcher": map[string]any{"ready": started && !draining, "running": started, "draining": draining},
+			"store":      storeSub,
+			"cluster":    s.clusterStatus(),
+		},
+	})
 }

@@ -116,9 +116,11 @@ func TenantMetricName(base, tenantName string) string {
 // usable; build with NewTenantSet or LoadTenantsFile. A nil *TenantSet is
 // valid in Config and means "anonymous only, unlimited" (back-compat).
 type TenantSet struct {
-	byKey map[string]*tenant
-	anon  *tenant // nil = keyless requests rejected
-	all   []*tenant
+	byKey  map[string]*tenant
+	byName map[string]*tenant
+	anon   *tenant // nil = keyless requests rejected
+	fwd    *tenant // attribution of forwarded hops whose tenant is unknown here
+	all    []*tenant
 
 	// now is the clock the buckets read; tests override it.
 	now func() time.Time
@@ -139,10 +141,16 @@ func tenantFromSpec(spec TenantSpec, name string) *tenant {
 	return t
 }
 
+// ForwardedTenant is the attribution tenant of cluster-forwarded
+// requests whose ingress tenant name is not in this node's keyfile
+// (cluster nodes with divergent keyfiles). It has no token bucket —
+// admission already happened at the ingress node.
+const ForwardedTenant = "forwarded"
+
 // NewTenantSet validates and indexes a keyfile's contents.
 func NewTenantSet(file TenantsFile) (*TenantSet, error) {
-	ts := &TenantSet{byKey: map[string]*tenant{}, now: time.Now}
-	seenName := map[string]bool{AnonymousTenant: true}
+	ts := &TenantSet{byKey: map[string]*tenant{}, byName: map[string]*tenant{}, now: time.Now}
+	seenName := map[string]bool{AnonymousTenant: true, ForwardedTenant: true}
 	for i, spec := range file.Tenants {
 		if spec.Name == "" {
 			return nil, fmt.Errorf("tenant %d: no name", i)
@@ -151,7 +159,7 @@ func NewTenantSet(file TenantsFile) (*TenantSet, error) {
 			return nil, fmt.Errorf("tenant %q: no key", spec.Name)
 		}
 		if seenName[spec.Name] {
-			return nil, fmt.Errorf("duplicate tenant name %q", spec.Name)
+			return nil, fmt.Errorf("duplicate or reserved tenant name %q", spec.Name)
 		}
 		if _, dup := ts.byKey[spec.Key]; dup {
 			return nil, fmt.Errorf("tenant %q: key already in use", spec.Name)
@@ -159,6 +167,7 @@ func NewTenantSet(file TenantsFile) (*TenantSet, error) {
 		seenName[spec.Name] = true
 		t := tenantFromSpec(spec, spec.Name)
 		ts.byKey[spec.Key] = t
+		ts.byName[spec.Name] = t
 		ts.all = append(ts.all, t)
 	}
 	if !file.DenyAnonymous {
@@ -169,6 +178,8 @@ func NewTenantSet(file TenantsFile) (*TenantSet, error) {
 		ts.anon = tenantFromSpec(spec, AnonymousTenant)
 		ts.all = append(ts.all, ts.anon)
 	}
+	ts.fwd = tenantFromSpec(TenantSpec{}, ForwardedTenant)
+	ts.all = append(ts.all, ts.fwd)
 	return ts, nil
 }
 
@@ -220,6 +231,24 @@ func (ts *TenantSet) resolve(r *http.Request) (*tenant, *WireError) {
 		return nil, &WireError{Code: CodeUnauthorized, Message: "unknown API key"}
 	}
 	return t, nil
+}
+
+// resolveForwarded maps a cluster-forwarded request's carried tenant
+// name to a local tenant for attribution (metrics, fair-queue weight).
+// The bucket is NOT consulted here or later — the ingress node already
+// admitted the work; charging again would double-bill every
+// cluster-routed cell. An unknown name (divergent keyfiles across the
+// cluster) attributes to the anonymous tier when it exists, else to the
+// reserved "forwarded" tenant — never a rejection: the ingress node
+// vouched for the request.
+func (ts *TenantSet) resolveForwarded(name string) *tenant {
+	if t, ok := ts.byName[name]; ok {
+		return t
+	}
+	if ts.anon != nil {
+		return ts.anon
+	}
+	return ts.fwd
 }
 
 // admit charges n cells against the tenant's token bucket. On denial it
