@@ -56,6 +56,7 @@ func bootCluster(size int) ([]*node, error) {
 				Self:    urls[i],
 				Peers:   urls,
 				Version: serve.CodeVersion,
+				Secret:  "clusterbench-in-process",
 				Logf:    func(string, ...any) {},
 			})
 			if err != nil {

@@ -30,6 +30,11 @@
 // fingerprints are rendezvous-hashed to an owner node and non-owned
 // requests are forwarded there, making the cache and single-flight
 // cluster-wide (README "Operating an informd cluster", DESIGN.md §15).
+// Cluster mode requires a shared secret (-cluster-secret or the
+// INFORMD_CLUSTER_SECRET env var): forwarded peer hops skip API-key
+// auth and tenant admission — both already performed at the ingress
+// node — so every hop must prove it comes from a cluster member, and a
+// node refuses forged forwarded headers (403) without it.
 package main
 
 import (
@@ -65,6 +70,7 @@ func main() {
 		tenantsFile  = flag.String("tenants-file", "", "JSON tenant keyfile for per-tenant admission control (empty = anonymous only, unlimited)")
 		selfURL      = flag.String("self", "", "this node's base URL as peers reach it (cluster mode; must appear in -peers)")
 		peersList    = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included (empty = single node)")
+		clusterKey   = flag.String("cluster-secret", "", "shared secret authenticating forwarded peer hops (cluster mode; prefer the INFORMD_CLUSTER_SECRET env var to keep it out of process listings)")
 		fwdTimeout   = flag.Duration("forward-timeout", 0, "bound on one forwarded peer request, handshake included (0 = default 120s)")
 		peerConns    = flag.Int("peer-conns", 0, "max pooled connections per peer (0 = default 8)")
 	)
@@ -97,11 +103,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "informd: -peers requires -self (this node's URL as peers reach it)")
 			os.Exit(1)
 		}
+		secret := *clusterKey
+		if secret == "" {
+			secret = os.Getenv("INFORMD_CLUSTER_SECRET")
+		}
+		peers := strings.Split(*peersList, ",")
+		if len(peers) > 1 && secret == "" {
+			fmt.Fprintln(os.Stderr, "informd: cluster mode requires a shared secret (-cluster-secret or INFORMD_CLUSTER_SECRET): forwarded peer hops bypass API-key auth and must be authenticated")
+			os.Exit(1)
+		}
 		var err error
 		cl, err = cluster.New(cluster.Config{
 			Self:            *selfURL,
-			Peers:           strings.Split(*peersList, ","),
+			Peers:           peers,
 			Version:         serve.CodeVersion,
+			Secret:          secret,
 			MaxConnsPerPeer: *peerConns,
 		})
 		if err != nil {

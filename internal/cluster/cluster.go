@@ -75,6 +75,15 @@ type Config struct {
 	// different version from GET /healthz.
 	Version string
 
+	// Secret is the shared cluster token authenticating forwarded peer
+	// hops. The forwarding side attaches it to every peer request
+	// (serve.HeaderClusterAuth) and the receiving side refuses the
+	// forwarded branch — which bypasses API-key auth and tenant
+	// admission, both already performed at the ingress node — unless the
+	// token matches. Required whenever the peer list has more than one
+	// node: without it any client could forge the forwarded header.
+	Secret string
+
 	// MaxConnsPerPeer bounds concurrent connections to one peer
 	// (0 = 8). Scatters larger than the bound queue on the pool.
 	MaxConnsPerPeer int
@@ -82,6 +91,13 @@ type Config struct {
 	// RetryCooldown is how long a failed peer is skipped before the next
 	// forward attempt re-probes it (0 = 2s).
 	RetryCooldown time.Duration
+
+	// HandshakeTimeout bounds the /healthz version probe of a fresh or
+	// recovering peer (0 = 3s). Deliberately far shorter than a forward:
+	// a healthy peer answers /healthz in milliseconds, and the probing
+	// caller degrades to local compute on expiry instead of stalling a
+	// scatter behind a blackholed peer.
+	HandshakeTimeout time.Duration
 
 	// Logf receives peer state transitions (nil = silent). Transitions
 	// are logged once per edge, not per failed request.
@@ -91,14 +107,22 @@ type Config struct {
 	now func() time.Time
 }
 
-// peerState tracks one remote peer's availability.
+// peerState tracks one remote peer's availability. The mutex guards
+// state words only — never network I/O — so Status() and concurrent
+// forwards observe it without queueing behind a slow peer: the /healthz
+// probe of a fresh peer runs outside the lock, and concurrent forwards
+// wait on the probe channel (bounded by the probe's own short timeout)
+// rather than on the mutex. The up gauge is stored inside the same
+// critical sections that move verified, so gauge transitions are
+// ordered with state transitions.
 type peerState struct {
 	url string
 
 	mu           sync.Mutex
-	verified     bool      // /healthz handshake passed since the last failure
-	incompatible bool      // last handshake reported a different CodeVersion
-	downUntil    time.Time // zero = available
+	verified     bool          // /healthz handshake passed since the last failure
+	probe        chan struct{} // non-nil while a handshake is in flight; closed when it resolves
+	incompatible bool          // last handshake reported a different CodeVersion
+	downUntil    time.Time     // zero = available
 
 	up *obs.Counter // gauge: 1 when verified and reachable
 }
@@ -135,6 +159,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RetryCooldown <= 0 {
 		cfg.RetryCooldown = 2 * time.Second
 	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 3 * time.Second
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -157,6 +184,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if !seen[self] {
 		return nil, fmt.Errorf("cluster: self %q not in peer list %v", self, peers)
+	}
+	if len(peers) > 1 && cfg.Secret == "" {
+		return nil, fmt.Errorf("cluster: config needs a shared secret (forwarded peer hops bypass per-request auth and must be authenticated)")
 	}
 	sort.Strings(peers)
 
@@ -209,6 +239,9 @@ func (c *Cluster) Peers() []string {
 // Version returns the code version the cluster was configured with.
 func (c *Cluster) Version() string { return c.cfg.Version }
 
+// Secret returns the shared cluster token forwarded hops carry.
+func (c *Cluster) Secret() string { return c.cfg.Secret }
+
 // Enabled reports whether there is anyone to forward to.
 func (c *Cluster) Enabled() bool { return len(c.peers) > 1 }
 
@@ -249,14 +282,23 @@ func (c *Cluster) logf(format string, args ...any) {
 }
 
 // markDown records a failure edge: the peer is skipped until the cooldown
-// elapses and must re-handshake when it comes back.
-func (ps *peerState) markDown(c *Cluster, reason string) {
+// elapses and must re-handshake when it comes back. incompatible is true
+// when the failure was a CodeVersion mismatch (Status reports the peer
+// as such instead of merely down).
+func (ps *peerState) markDown(c *Cluster, reason string, incompatible bool) {
 	ps.mu.Lock()
 	wasUp := ps.verified
 	ps.verified = false
+	ps.incompatible = incompatible
 	ps.downUntil = c.cfg.now().Add(c.cfg.RetryCooldown)
-	ps.mu.Unlock()
+	if ps.probe != nil {
+		// Release every forward waiting on the probe; they re-check state
+		// and fail fast with ErrPeerDown.
+		close(ps.probe)
+		ps.probe = nil
+	}
 	ps.up.Store(0)
+	ps.mu.Unlock()
 	if wasUp {
 		c.logf("cluster: peer %s down: %s", ps.url, reason)
 	}
@@ -268,11 +310,15 @@ type healthzProbe struct {
 	CodeVersion string `json:"code_version"`
 }
 
-// handshake verifies the peer serves the same CodeVersion. Called with
-// ps.mu held (the first forward after a failure pays the round trip;
-// concurrent forwards briefly serialise behind it, then see verified).
+// handshake verifies the peer serves the same CodeVersion. Called
+// WITHOUT ps.mu held — it performs network I/O, bounded by its own
+// HandshakeTimeout rather than the caller's forward budget — and does
+// not touch peer state: the caller translates the verdict into a state
+// transition under the lock.
 func (c *Cluster) handshake(ctx context.Context, ps *peerState) error {
 	c.handshakes.Inc()
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.HandshakeTimeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.url+"/healthz", nil)
 	if err != nil {
 		return err
@@ -299,20 +345,71 @@ func (c *Cluster) handshake(ctx context.Context, ps *peerState) error {
 	}
 	if hz.CodeVersion != c.cfg.Version {
 		c.handshakeFailures.Inc()
-		ps.incompatible = true
 		c.logf("cluster: peer %s serves code version %q, want %q; refusing its results",
 			ps.url, hz.CodeVersion, c.cfg.Version)
 		return fmt.Errorf("%w: peer %s serves %q, want %q",
 			ErrVersionMismatch, ps.url, hz.CodeVersion, c.cfg.Version)
 	}
-	ps.incompatible = false
 	return nil
+}
+
+// ensureVerified makes sure the peer has a passing version handshake
+// before a forward touches it: a peer inside its failure cooldown fails
+// fast with ErrPeerDown; a fresh (or recovering) peer is probed by
+// exactly one caller while concurrent forwards wait on the probe channel
+// — never on the mutex, and bounded by the probe's HandshakeTimeout plus
+// their own ctx — then re-check the outcome.
+func (c *Cluster) ensureVerified(ctx context.Context, ps *peerState) error {
+	for {
+		ps.mu.Lock()
+		if ps.downUntil.After(c.cfg.now()) {
+			ps.mu.Unlock()
+			return fmt.Errorf("%w: %s (retry cooldown)", ErrPeerDown, ps.url)
+		}
+		if ps.verified {
+			ps.mu.Unlock()
+			return nil
+		}
+		if ps.probe == nil {
+			// Become the prober: pay the /healthz round trip outside the
+			// lock, then publish the verdict.
+			probe := make(chan struct{})
+			ps.probe = probe
+			ps.mu.Unlock()
+			if err := c.handshake(ctx, ps); err != nil {
+				// markDown closes the probe channel, releasing the waiters
+				// into their own down-cooldown fast path.
+				ps.markDown(c, err.Error(), errors.Is(err, ErrVersionMismatch))
+				return err
+			}
+			ps.mu.Lock()
+			ps.verified = true
+			ps.incompatible = false
+			if ps.probe == probe {
+				close(probe)
+				ps.probe = nil
+			}
+			ps.up.Store(1)
+			ps.mu.Unlock()
+			c.logf("cluster: peer %s up (code version verified)", ps.url)
+			return nil
+		}
+		probe := ps.probe
+		ps.mu.Unlock()
+		select {
+		case <-probe:
+			// Probe resolved either way; loop to re-read the state.
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // Forward POSTs body to peer+path and returns the response status and
 // body. It owns peer health: a peer inside its failure cooldown fails
 // fast with ErrPeerDown; a fresh (or recovering) peer is version-checked
-// against /healthz first; any transport failure marks the peer down.
+// against /healthz first (one probe, shared by concurrent forwards); any
+// transport failure marks the peer down.
 // Non-2xx statuses are returned to the caller, not treated as peer
 // failures — the peer is alive and said something meaningful.
 func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte, header http.Header) (int, []byte, error) {
@@ -322,24 +419,10 @@ func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte, h
 	}
 	c.forwards.Inc()
 
-	ps.mu.Lock()
-	if ps.downUntil.After(c.cfg.now()) {
-		ps.mu.Unlock()
+	if err := c.ensureVerified(ctx, ps); err != nil {
 		c.forwardErrors.Inc()
-		return 0, nil, fmt.Errorf("%w: %s (retry cooldown)", ErrPeerDown, peer)
+		return 0, nil, err
 	}
-	if !ps.verified {
-		if err := c.handshake(ctx, ps); err != nil {
-			ps.mu.Unlock()
-			ps.markDown(c, err.Error())
-			c.forwardErrors.Inc()
-			return 0, nil, err
-		}
-		ps.verified = true
-		c.logf("cluster: peer %s up (code version verified)", peer)
-	}
-	ps.mu.Unlock()
-	ps.up.Store(1)
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
 	if err != nil {
@@ -353,14 +436,14 @@ func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte, h
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		ps.markDown(c, err.Error())
+		ps.markDown(c, err.Error(), false)
 		c.forwardErrors.Inc()
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(resp.Body)
 	if err != nil {
-		ps.markDown(c, err.Error())
+		ps.markDown(c, err.Error(), false)
 		c.forwardErrors.Inc()
 		return 0, nil, err
 	}

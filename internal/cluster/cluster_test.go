@@ -48,6 +48,7 @@ func testCluster(t *testing.T, peerURL, version string) (*Cluster, *fakeClock) {
 		Self:          "http://self.invalid:1",
 		Peers:         []string{"http://self.invalid:1", peerURL},
 		Version:       version,
+		Secret:        "test-secret",
 		RetryCooldown: 2 * time.Second,
 		now:           clk.Now,
 	})
@@ -77,12 +78,13 @@ func (c *fakeClock) Advance(d time.Duration) {
 
 func TestNewValidates(t *testing.T) {
 	cases := []Config{
-		{Version: "v", Self: "http://a:1", Peers: nil},                                    // no peers
-		{Version: "v", Self: "http://a:1", Peers: []string{"http://b:1"}},                 // self missing
-		{Version: "v", Self: "http://a:1", Peers: []string{"http://a:1", "http://a:1"}},   // duplicate
-		{Version: "v", Self: "http://a:1", Peers: []string{"http://a:1", "ftp://b:1"}},    // bad scheme
-		{Version: "", Self: "http://a:1", Peers: []string{"http://a:1"}},                  // no version
-		{Version: "v", Self: "http://a:1/", Peers: []string{"http://a:1", "http://a:1/"}}, // dup after trim
+		{Version: "v", Self: "http://a:1", Peers: nil},                                                  // no peers
+		{Version: "v", Self: "http://a:1", Peers: []string{"http://b:1"}},                               // self missing
+		{Version: "v", Self: "http://a:1", Peers: []string{"http://a:1", "http://a:1"}, Secret: "s"},    // duplicate
+		{Version: "v", Self: "http://a:1", Peers: []string{"http://a:1", "ftp://b:1"}, Secret: "s"},     // bad scheme
+		{Version: "", Self: "http://a:1", Peers: []string{"http://a:1"}},                                // no version
+		{Version: "v", Self: "http://a:1/", Peers: []string{"http://a:1", "http://a:1/"}, Secret: "s"},  // dup after trim
+		{Version: "v", Self: "http://a:1", Peers: []string{"http://a:1", "http://b:1"}},                 // multi-peer without secret
 	}
 	for i, cfg := range cases {
 		if _, err := New(cfg); err == nil {
@@ -183,6 +185,88 @@ func TestForwardPeerDownCooldown(t *testing.T) {
 	clk.Advance(3 * time.Second)
 	if _, _, err := c.Forward(context.Background(), peer.ts.URL, "/v1/simulate", nil, nil); errors.Is(err, ErrPeerDown) {
 		t.Fatalf("post-cooldown forward still failing fast: %v", err)
+	}
+}
+
+// TestForwardHandshakeNonBlocking: a blackholed peer must not stall the
+// rest of the node. The probing forward is bounded by HandshakeTimeout
+// (not the caller's much larger forward budget), exactly one probe runs
+// for any number of concurrent forwards (the rest wait on the probe
+// channel, never on the mutex), and Status() — the /readyz path —
+// answers from state words without touching the network.
+func TestForwardHandshakeNonBlocking(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(started) })
+		select { // blackhole: never answer until the probe gives up
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	defer close(release)
+
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, err := New(Config{
+		Self:             "http://self.invalid:1",
+		Peers:            []string{"http://self.invalid:1", ts.URL},
+		Version:          "v1",
+		Secret:           "test-secret",
+		RetryCooldown:    2 * time.Second,
+		HandshakeTimeout: time.Second,
+		now:              clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Bind(obs.NewRegistry())
+
+	errc := make(chan error, 2)
+	go func() {
+		_, _, err := c.Forward(context.Background(), ts.URL, "/v1/simulate", nil, nil)
+		errc <- err
+	}()
+	<-started // the probe is now blocked inside the peer
+	go func() { // a concurrent forward shares the probe, it does not start a second one
+		_, _, err := c.Forward(context.Background(), ts.URL, "/v1/simulate", nil, nil)
+		errc <- err
+	}()
+
+	// Status answers immediately while the probe is still in flight: a
+	// readiness check never queues behind peer network I/O.
+	statusc := make(chan string, 1)
+	go func() { statusc <- c.Status()[ts.URL].State }()
+	select {
+	case st := <-statusc:
+		if st != "unverified" {
+			t.Errorf("mid-handshake peer state = %q, want unverified", st)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("Status() blocked behind an in-flight handshake")
+	}
+
+	// Both forwards are released by HandshakeTimeout — far below the
+	// 120s forward budget — with errors, and the peer lands in its down
+	// cooldown. Only one probe ever reached the peer.
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Fatal("blackholed handshake reported success")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("forward not bounded by HandshakeTimeout")
+		}
+	}
+	if st := c.Status()[ts.URL]; st.State != "down" {
+		t.Errorf("post-timeout peer state = %q, want down", st.State)
+	}
+	if got := c.handshakes.Load(); got != 1 {
+		t.Errorf("handshakes = %d, want 1 (concurrent forwards share one probe)", got)
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -23,6 +24,11 @@ type clusterNode struct {
 	srv *Server
 	ts  *httptest.Server
 }
+
+// testClusterSecret is the shared cluster token every in-process test
+// node is configured with; requests forging the forwarded headers
+// without it must be refused.
+const testClusterSecret = "test-cluster-secret"
 
 func (n *clusterNode) server() *Server {
 	n.mu.Lock()
@@ -50,6 +56,7 @@ func newTestClusterNodes(t *testing.T, size int, mkCfg func(i int) Config) []*cl
 			Self:    urls[i],
 			Peers:   urls,
 			Version: CodeVersion,
+			Secret:  testClusterSecret,
 			Logf:    t.Logf,
 		})
 		if err != nil {
@@ -415,7 +422,8 @@ func TestForwardedRequestNeverReForwarded(t *testing.T) {
 	})
 
 	// A cell owned by node 1, delivered to node 0 already marked as
-	// forwarded (as a confused peer with a divergent peer list would).
+	// forwarded (as a confused peer with a divergent peer list would —
+	// a real peer, so it holds the cluster secret).
 	var c Request
 	for i := uint64(0); ; i++ {
 		c = fakeCell(50_000 + i)
@@ -424,7 +432,8 @@ func TestForwardedRequestNeverReForwarded(t *testing.T) {
 		}
 	}
 	resp, body := postJSONHeaders(t, nodes[0].ts.URL+"/v1/simulate",
-		SimulateRequest{Cells: []Request{c}}, map[string]string{HeaderForwarded: CodeVersion})
+		SimulateRequest{Cells: []Request{c}},
+		map[string]string{HeaderForwarded: CodeVersion, HeaderClusterAuth: testClusterSecret})
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
 	}
@@ -443,19 +452,102 @@ func TestForwardedRequestNeverReForwarded(t *testing.T) {
 }
 
 // TestForwardedVersionMismatch409: the per-request half of the version
-// handshake — a hop from a peer on a different simulator build is
-// refused with 409 before any simulation.
+// handshake — a correctly authenticated hop from a peer on a different
+// simulator build is refused with 409 before any simulation.
 func TestForwardedVersionMismatch409(t *testing.T) {
-	runner := newFakeRunner(false)
-	_, ts := newTestServer(t, Config{runCell: runner.run})
-	resp, body := postJSONHeaders(t, ts.URL+"/v1/simulate",
+	runners := make([]*fakeRunner, 2)
+	nodes := newTestClusterNodes(t, 2, func(i int) Config {
+		runners[i] = newFakeRunner(false)
+		return Config{runCell: runners[i].run}
+	})
+	resp, body := postJSONHeaders(t, nodes[0].ts.URL+"/v1/simulate",
 		SimulateRequest{Cells: []Request{fakeCell(60_000)}},
-		map[string]string{HeaderForwarded: "informing-sim/0-stale"})
+		map[string]string{HeaderForwarded: "informing-sim/0-stale", HeaderClusterAuth: testClusterSecret})
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("status = %d, want 409\n%s", resp.StatusCode, body)
 	}
-	if runner.total() != 0 {
+	if runners[0].total()+runners[1].total() != 0 {
 		t.Error("mismatched hop reached the simulator")
+	}
+}
+
+// TestForwardedHopRequiresClusterSecret: the forwarded branch bypasses
+// API-key auth and tenant admission, so it must be unforgeable. A client
+// that types the forwarded headers without the shared cluster secret is
+// refused with 403 — it gets neither anonymous-bypass on a DenyAnonymous
+// node nor a free pass around its token bucket — and a node that is not
+// a cluster member refuses the header outright.
+func TestForwardedHopRequiresClusterSecret(t *testing.T) {
+	// Not a cluster member: the header is rejected no matter what.
+	runner := newFakeRunner(false)
+	_, ts := newTestServer(t, Config{runCell: runner.run})
+	resp, body := postJSONHeaders(t, ts.URL+"/v1/simulate",
+		SimulateRequest{Cells: []Request{fakeCell(61_000)}},
+		map[string]string{HeaderForwarded: CodeVersion})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("single node: status = %d, want 403\n%s", resp.StatusCode, body)
+	}
+	if runner.total() != 0 {
+		t.Error("forged hop reached the simulator on a non-cluster node")
+	}
+
+	// Cluster member with keyed-only tenants: forging the forwarded
+	// headers (with a tenant name, without the secret or with a wrong
+	// one) must not bypass authentication.
+	runners := make([]*fakeRunner, 2)
+	nodes := newTestClusterNodes(t, 2, func(i int) Config {
+		runners[i] = newFakeRunner(false)
+		tenants, err := NewTenantSet(TenantsFile{
+			DenyAnonymous: true,
+			Tenants:       []TenantSpec{{Name: "alice", Key: "k-alice", RatePerSec: 1, Burst: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{runCell: runners[i].run, Tenants: tenants}
+	})
+	for _, hdr := range []map[string]string{
+		{HeaderForwarded: CodeVersion, HeaderForwardedTenant: "alice"},
+		{HeaderForwarded: CodeVersion, HeaderForwardedTenant: "alice", HeaderClusterAuth: "wrong-secret"},
+	} {
+		resp, body := postJSONHeaders(t, nodes[0].ts.URL+"/v1/simulate",
+			SimulateRequest{Cells: []Request{fakeCell(62_000)}}, hdr)
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("forged hop %v: status = %d, want 403\n%s", hdr, resp.StatusCode, body)
+		}
+	}
+	if runners[0].total()+runners[1].total() != 0 {
+		t.Error("forged hop reached the simulator")
+	}
+}
+
+// TestForwardFallbackLifecycleRetry: a remote flight that ended in the
+// first caller's drain/shutdown race (remoteFlight.retry) must not hand
+// that verdict to coalesced waiters — each waiter re-runs the local path
+// under its own admission and gets a real answer.
+func TestForwardFallbackLifecycleRetry(t *testing.T) {
+	runner := newFakeRunner(false)
+	s, _ := newTestServer(t, Config{runCell: runner.run})
+	c := mustCanon(t, fakeCell(63_000))
+	key := Fingerprint(c)
+
+	rf := &remoteFlight{done: make(chan struct{}), out: outcome{err: errShutdown}, retry: true}
+	close(rf.done)
+	tn := s.tenants.resolveForwarded("")
+	res := s.await(context.Background(), ticket{key: key, req: c, tn: tn, remote: rf})
+	if res.Error != nil {
+		t.Fatalf("waiter inherited the first caller's shutdown verdict: %+v", res.Error)
+	}
+	if got := runner.count(c); got != 1 {
+		t.Errorf("retry computed the cell %d times locally, want 1", got)
+	}
+
+	// Sanity: the classifier separates lifecycle races from verdicts.
+	if !lifecycleReject(errShutdown) || !lifecycleReject(&WireError{Code: CodeCanceled, Message: "server draining"}) {
+		t.Error("lifecycle rejections not classified as retryable")
+	}
+	if lifecycleReject(nil) || lifecycleReject(&WireError{Code: CodeBudget, Message: "budget exhausted"}) {
+		t.Error("deterministic verdicts classified as retryable")
 	}
 }
 

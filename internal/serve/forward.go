@@ -33,11 +33,14 @@ import (
 	"net/http"
 
 	"informing/internal/cluster"
+	"informing/internal/govern"
 )
 
-// Cluster-hop headers. Forwarded requests only ever originate from peer
-// nodes; the cluster listener belongs on an internal network (README
-// "Operating an informd cluster").
+// Cluster-hop headers. The forwarded branch bypasses API-key auth and
+// tenant admission (both already performed at the ingress node), so it
+// is itself authenticated: every hop carries the shared cluster secret
+// and the receiver refuses the branch without it — a client forging the
+// forwarded headers gets 403, not a free pass (resolveTenant).
 const (
 	// HeaderForwarded marks a request that already took its one allowed
 	// peer hop (the loop guard). Its value is the forwarding node's
@@ -48,15 +51,26 @@ const (
 	// at the ingress node, by name, so the owner node attributes the
 	// work without re-charging the tenant's token bucket.
 	HeaderForwardedTenant = "X-Informd-Tenant"
+	// HeaderClusterAuth carries the shared cluster secret
+	// (cluster.Config.Secret) proving the hop originates from a cluster
+	// member. Compared in constant time; required before HeaderForwarded
+	// is honored.
+	HeaderClusterAuth = "X-Informd-Cluster-Auth"
 )
 
 // remoteFlight is one in-flight forward to an owner peer, shared by every
-// ingress request that asked for the same fingerprint while it ran. out
-// and cached are written before done is closed.
+// ingress request that asked for the same fingerprint while it ran. out,
+// cached and retry are written before done is closed.
 type remoteFlight struct {
 	done   chan struct{}
 	out    outcome
 	cached bool // the owner (or the ingress fallback path) served it from cache
+	// retry: the flight ended in this node's own drain/shutdown rejection
+	// rather than an authoritative answer. Coalesced waiters from other
+	// requests were admitted in their own right, so they re-run the local
+	// path themselves (await) instead of inheriting the first caller's
+	// race with the lifecycle.
+	retry bool
 }
 
 // submitRemote coalesces onto an existing forward for key or starts a
@@ -96,7 +110,23 @@ func (s *Server) runForward(rf *remoteFlight, key string, c Request, tn *tenant,
 	}
 	s.mu.Unlock()
 	rf.out, rf.cached = out, cached
+	rf.retry = !ok && lifecycleReject(out.err)
 	close(rf.done)
+}
+
+// lifecycleReject reports whether err is a this-node drain/shutdown
+// rejection (a race with the server lifecycle, different per waiter)
+// rather than a deterministic simulation verdict that any waiter would
+// reproduce.
+func lifecycleReject(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, govern.ErrCanceled) {
+		return true
+	}
+	var we *WireError
+	return errors.As(err, &we) && we.Code == CodeCanceled
 }
 
 // forwardToOwner performs the peer hop. ok=false means "the peer did not
@@ -111,6 +141,7 @@ func (s *Server) forwardToOwner(key string, c Request, tn *tenant, owner string)
 	hdr.Set("Content-Type", "application/json")
 	hdr.Set(HeaderForwarded, CodeVersion)
 	hdr.Set(HeaderForwardedTenant, tn.name)
+	hdr.Set(HeaderClusterAuth, s.cluster.Secret())
 
 	// The forward rides the server context, not any single waiter's:
 	// coalesced waiters come and go, and a completed forward warms the

@@ -36,6 +36,7 @@ package serve
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -362,8 +363,14 @@ func (s *Server) storePut(key string, out outcome) {
 
 // ticket is the submit result for one cell: an immediate cached outcome,
 // a local flight to await, or a remote (forwarded) flight to await.
+// Remote tickets also carry what this waiter submitted (req, tn, block)
+// so await can re-run the local path under the waiter's own admission
+// when the shared forward ends in a lifecycle race (remoteFlight.retry).
 type ticket struct {
 	key    string
+	req    Request
+	tn     *tenant
+	block  bool
 	cached *outcome
 	f      *flight
 	remote *remoteFlight
@@ -396,7 +403,7 @@ func (s *Server) submit(reqCtx context.Context, c Request, tn *tenant, block, fo
 	if !forwarded && s.cluster != nil {
 		if owner := s.cluster.Owner(key); owner != s.cluster.Self() {
 			if rf := s.submitRemote(key, c, tn, owner); rf != nil {
-				return ticket{key: key, remote: rf}, nil
+				return ticket{key: key, req: c, tn: tn, block: block, remote: rf}, nil
 			}
 			// Draining: fall through — the local path answers it.
 		}
@@ -523,6 +530,21 @@ func (s *Server) await(reqCtx context.Context, t ticket) CellResult {
 		// ingress cache even if this waiter leaves.
 		select {
 		case <-t.remote.done:
+			if t.remote.retry {
+				// The shared forward ended in the first caller's race with
+				// the server lifecycle (drain/shutdown), not an
+				// authoritative verdict. This waiter was admitted in its
+				// own right: re-run the local path under its own context —
+				// a genuinely draining server rejects it there, honestly.
+				if out, ok := s.cache.get(t.key); ok {
+					return cellResult(t.key, out, true)
+				}
+				lt, we := s.submitLocal(reqCtx, t.key, t.req, t.tn, t.block)
+				if we != nil {
+					return CellResult{Key: t.key, Error: we}
+				}
+				return s.await(reqCtx, lt) // lt is never remote: depth ≤ 2
+			}
 			return cellResult(t.key, t.remote.out, t.remote.cached)
 		case <-reqCtx.Done():
 			return CellResult{Key: t.key, Error: &WireError{
@@ -816,16 +838,35 @@ func isForwarded(r *http.Request) bool {
 // an unauthenticated client learns nothing beyond 401). On failure the
 // response has been written.
 //
-// A forwarded request (X-Informd-Forwarded, only ever set by a cluster
-// peer — cluster listeners belong on an internal network, see README) is
-// handled differently: the header value is the forwarding node's
-// CodeVersion (rejected with 409 on mismatch, the per-request half of the
-// cluster handshake), and the tenant was already resolved AND admitted at
-// the ingress node — it is carried by name (X-Informd-Tenant) so the
-// owner attributes metrics and fair-queue weight to the right tenant
-// without charging its token bucket a second time.
+// A forwarded request (X-Informd-Forwarded) is handled differently: the
+// tenant was already resolved AND admitted at the ingress node — it is
+// carried by name (X-Informd-Tenant) so the owner attributes metrics and
+// fair-queue weight to the right tenant without charging its token
+// bucket a second time. Because that branch skips both the API-key check
+// and the bucket, it is only honored when the hop proves it originates
+// from a cluster member: the shared cluster secret must match
+// (X-Informd-Cluster-Auth, constant-time compare), and a node that is
+// not a cluster member refuses the header outright — any client can
+// type the header, only peers hold the secret. The HeaderForwarded value
+// itself is the forwarding node's CodeVersion (rejected with 409 on
+// mismatch, the per-request half of the cluster handshake).
 func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
 	if v := r.Header.Get(HeaderForwarded); v != "" {
+		if s.cluster == nil {
+			writeError(w, http.StatusForbidden, &WireError{
+				Code:    CodeUnauthorized,
+				Message: "forwarded cluster hop refused: this node is not a cluster member",
+			})
+			return nil, false
+		}
+		auth := r.Header.Get(HeaderClusterAuth)
+		if subtle.ConstantTimeCompare([]byte(auth), []byte(s.cluster.Secret())) != 1 {
+			writeError(w, http.StatusForbidden, &WireError{
+				Code:    CodeUnauthorized,
+				Message: "forwarded cluster hop refused: bad or missing cluster secret",
+			})
+			return nil, false
+		}
 		if v != CodeVersion {
 			writeError(w, http.StatusConflict, &WireError{
 				Code:    CodeInvalid,
