@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-serve fuzz verify clean bench bench-gate bench-smoke obs-smoke serve-smoke chaos-smoke cluster-smoke bench-cluster
+.PHONY: build test test-short race race-serve fuzz fuzz-diff verify clean bench bench-gate bench-smoke obs-smoke serve-smoke chaos-smoke cluster-smoke bench-cluster trace-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ race-serve:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/isa
+
+# fuzz-diff is the cross-engine differential fuzzer (internal/progen):
+# seeded random programs must produce bit-identical architectural state
+# on the functional interpreter, the in-order core and the out-of-order
+# core, across all three informing schemes.
+fuzz-diff:
+	$(GO) test -run=^$$ -fuzz=FuzzCrossEngine -fuzztime=10s ./internal/progen
 
 # bench regenerates the committed hot-path report (EXPERIMENTS.md "Hot-path
 # benchmarks"): ns/inst, allocs/inst and cells/sec for the per-instruction
@@ -95,6 +102,28 @@ cluster-smoke:
 	$(GO) test -race -short -run 'TestOwnership|TestForward|TestNewValidates|TestNon200|TestCluster|TestReadyzSubsystem' ./internal/cluster/ ./internal/serve/
 	$(GO) test -run 'TestClusterGoldenGrid|TestClusterExperimentScatterGather' -v ./internal/serve/
 
+# trace-smoke is the closed-loop trace lane (DESIGN.md §16): record a
+# full schema-v2 trace and the run statistics with informsim, validate
+# the trace format, replay it through the same geometry with no ISA
+# program, and demand exact (delta-0) reconciliation of every per-level
+# reference and miss counter. Repeated for both machine geometries, plus
+# a -j sweep parity check on the geometry-sensitivity table.
+trace-smoke:
+	$(GO) build -o /tmp/informsim ./cmd/informsim
+	$(GO) build -o /tmp/tracecheck ./cmd/tracecheck
+	$(GO) build -o /tmp/tracereplay ./cmd/tracereplay
+	/tmp/informsim -machine ooo -scheme trap-branch -trace-out /tmp/smoke_ooo.jsonl -trace-sample 1 \
+		-stats-out /tmp/smoke_ooo.json cmd/tracereplay/testdata/smoke.s > /dev/null
+	/tmp/tracecheck /tmp/smoke_ooo.jsonl
+	/tmp/tracereplay -machine ooo -expect /tmp/smoke_ooo.json /tmp/smoke_ooo.jsonl
+	/tmp/informsim -machine inorder -scheme condcode -trace-out /tmp/smoke_io.jsonl -trace-sample 1 \
+		-stats-out /tmp/smoke_io.json cmd/tracereplay/testdata/smoke.s > /dev/null
+	/tmp/tracecheck /tmp/smoke_io.jsonl
+	/tmp/tracereplay -machine inorder -expect /tmp/smoke_io.json /tmp/smoke_io.jsonl
+	/tmp/tracereplay -sweep -j 1 /tmp/smoke_ooo.jsonl > /tmp/smoke_sweep_j1.txt
+	/tmp/tracereplay -sweep -j 4 /tmp/smoke_ooo.jsonl > /tmp/smoke_sweep_jN.txt
+	cmp /tmp/smoke_sweep_j1.txt /tmp/smoke_sweep_jN.txt
+
 # bench-cluster regenerates the committed cluster-scaling report
 # (EXPERIMENTS.md "Cluster scaling"): 1-node vs 3-node in-process
 # throughput on a duplicate-free workload, cold and warm.
@@ -106,8 +135,10 @@ verify: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz
+	$(MAKE) fuzz-diff
 	$(MAKE) bench-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) trace-smoke
 
 clean:
 	$(GO) clean ./...

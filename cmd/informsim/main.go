@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		dis     = flag.Bool("dis", false, "print the disassembled program before running")
 		dump    = flag.Bool("dump", false, "print round-trippable assembler text and exit")
 		trace   = flag.Int("trace", 0, "print pipeline timing for the first N instructions")
+		statsTo = flag.String("stats-out", "", "write the run statistics as JSON to this file (tracereplay -expect consumes it)")
 	)
 	of := obs.RegisterFlags()
 	flag.Parse()
@@ -149,7 +151,23 @@ func main() {
 		// metrics collected so far.
 		sess.CloseThenExit(1)
 	}
+	if *statsTo != "" {
+		if err := writeStats(*statsTo, run); err != nil {
+			fail(err)
+		}
+	}
 	report(cfg, run)
+}
+
+// writeStats dumps the run counters as JSON. Every field of stats.Run is
+// integral, so the file round-trips exactly — cmd/tracereplay's -expect
+// reconciliation depends on that.
+func writeStats(path string, run stats.Run) error {
+	b, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func report(cfg core.Config, run stats.Run) {

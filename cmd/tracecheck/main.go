@@ -2,40 +2,33 @@
 // -trace-out (see internal/obs and the EXPERIMENTS.md observability
 // section): every line must parse against the stable schema, carry the
 // required fields, and respect the per-instruction stage ordering
-// fetch ≤ issue ≤ complete. It is the CI gate for the trace format —
-// partial traces flushed by aborted runs must pass it too.
+// fetch ≤ issue ≤ complete ≤ graduate. It is the CI gate for the trace
+// format — partial traces flushed by aborted runs must pass it too.
 //
 //	tracecheck trace.jsonl        validate a file
 //	tracecheck -                  validate stdin
 //
 // Exit status 0 with a one-line summary when the trace is valid; 1 with
-// the offending line otherwise. Sequence numbers may reset mid-file:
-// experiment sweeps concatenate the traces of many independent runs.
+// the offending line otherwise. Sequence numbers may reset mid-file
+// (experiment sweeps concatenate the traces of many independent runs)
+// and sampled (-trace-sample N) traces are fine here: seq continuity is
+// a replay-time concern (internal/trace.Reader), not a format one.
+//
+// Validation is the shared internal/trace line parser — strict,
+// allocation-free, and differentially pinned against encoding/json — so
+// multi-GB traces validate without per-line garbage. Schema-v2 traces
+// (addr/kind/tid on memory events) and v1 traces both pass.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
-)
 
-// traceLine mirrors the JSONL schema written by obs.JSONLSink. Pointer
-// fields distinguish "absent" from zero so required-field checks work.
-type traceLine struct {
-	Seq      *uint64 `json:"seq"`
-	PC       *string `json:"pc"`
-	Disasm   *string `json:"disasm"`
-	Fetch    *int64  `json:"fetch"`
-	Issue    *int64  `json:"issue"`
-	Complete *int64  `json:"complete"`
-	Graduate *int64  `json:"graduate"`
-	Level    *int    `json:"level"`
-	Trap     *bool   `json:"trap"`
-}
+	"informing/internal/trace"
+)
 
 func main() {
 	quiet := flag.Bool("q", false, "suppress the summary line")
@@ -66,10 +59,14 @@ func main() {
 }
 
 // validate checks every line of the trace, returning the event and trap
-// counts or the first violation found.
+// counts or the first violation found. One scanner buffer and one Event
+// are reused across all lines (the historical implementation built a
+// fresh json.Decoder per line and converted every line to a string
+// twice; TestValidateAllocationBounded pins the fix).
 func validate(in io.Reader) (lines, traps uint64, err error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var ev trace.Event
 	n := 0
 	for sc.Scan() {
 		n++
@@ -77,32 +74,14 @@ func validate(in io.Reader) (lines, traps uint64, err error) {
 		if len(raw) == 0 {
 			return lines, traps, fmt.Errorf("line %d: empty line", n)
 		}
-		dec := json.NewDecoder(strings.NewReader(sc.Text()))
-		dec.DisallowUnknownFields()
-		var ev traceLine
-		if err := dec.Decode(&ev); err != nil {
+		if err := trace.ParseLine(raw, &ev); err != nil {
 			return lines, traps, fmt.Errorf("line %d: %v", n, err)
 		}
-		switch {
-		case ev.Seq == nil, ev.PC == nil, ev.Disasm == nil, ev.Fetch == nil,
-			ev.Issue == nil, ev.Complete == nil, ev.Graduate == nil,
-			ev.Level == nil, ev.Trap == nil:
-			return lines, traps, fmt.Errorf("line %d: missing required field", n)
-		case !strings.HasPrefix(*ev.PC, "0x"):
-			return lines, traps, fmt.Errorf("line %d: pc %q not hexadecimal", n, *ev.PC)
-		case *ev.Disasm == "":
-			return lines, traps, fmt.Errorf("line %d: empty disasm", n)
-		case *ev.Level < 0 || *ev.Level > 3:
-			return lines, traps, fmt.Errorf("line %d: memory level %d out of range", n, *ev.Level)
-		case *ev.Issue < *ev.Fetch:
-			return lines, traps, fmt.Errorf("line %d: issued (%d) before fetch (%d)", n, *ev.Issue, *ev.Fetch)
-		case *ev.Complete < *ev.Issue:
-			return lines, traps, fmt.Errorf("line %d: completed (%d) before issue (%d)", n, *ev.Complete, *ev.Issue)
-		case *ev.Trap && *ev.Level <= 1:
-			return lines, traps, fmt.Errorf("line %d: trap on level %d (traps require a miss)", n, *ev.Level)
+		if err := ev.Validate(); err != nil {
+			return lines, traps, fmt.Errorf("line %d: %v", n, err)
 		}
 		lines++
-		if *ev.Trap {
+		if ev.Trap {
 			traps++
 		}
 	}

@@ -7,17 +7,34 @@ import (
 
 const goodLine = `{"seq":1,"pc":"0x1000","disasm":"ld r1, 0(r2)","fetch":0,"issue":1,"complete":3,"graduate":4,"level":1,"trap":false}`
 
+// A schema-v2 line: memory events may carry addr/kind (and tid on
+// multiprocessor traces).
+const goodV2Line = `{"seq":2,"pc":"0x1004","disasm":"st r3, 8(r4)","fetch":1,"issue":2,"complete":5,"graduate":6,"level":2,"addr":"0x20c0","kind":"store","tid":1,"trap":false}`
+
 func TestValidateAccepts(t *testing.T) {
 	in := goodLine + "\n" +
 		`{"seq":2,"pc":"0x1004","disasm":"add r1, r1, r2","fetch":1,"issue":2,"complete":3,"graduate":5,"level":0,"trap":false}` + "\n" +
-		`{"seq":1,"pc":"0x1000","disasm":"ld r1, 0(r2)","fetch":0,"issue":1,"complete":60,"graduate":61,"level":3,"trap":true}` + "\n"
+		`{"seq":1,"pc":"0x1000","disasm":"ld r1, 0(r2)","fetch":0,"issue":1,"complete":60,"graduate":61,"level":3,"trap":true}` + "\n" +
+		goodV2Line + "\n"
 	lines, traps, err := validate(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Seq resets between runs are fine (concatenated sweep traces).
-	if lines != 3 || traps != 1 {
-		t.Errorf("(lines, traps) = (%d, %d), want (3, 1)", lines, traps)
+	if lines != 4 || traps != 1 {
+		t.Errorf("(lines, traps) = (%d, %d), want (4, 1)", lines, traps)
+	}
+}
+
+// Sampled traces (seq gaps from -trace-sample N) are valid at the format
+// level — ci.yml checks a 1-in-64 trace. Refusing them is the replayer's
+// job, not tracecheck's.
+func TestValidateAcceptsSampledTrace(t *testing.T) {
+	in := strings.Replace(goodLine, `"seq":1`, `"seq":63`, 1) + "\n" +
+		strings.Replace(goodLine, `"seq":1`, `"seq":127`, 1) + "\n"
+	lines, _, err := validate(strings.NewReader(in))
+	if err != nil || lines != 2 {
+		t.Errorf("sampled trace rejected: lines=%d err=%v", lines, err)
 	}
 }
 
@@ -33,10 +50,56 @@ func TestValidateRejects(t *testing.T) {
 		"complete<issue":  strings.Replace(goodLine, `"complete":3`, `"complete":0`, 1),
 		"trap on L1 hit":  strings.Replace(goodLine, `"trap":false`, `"trap":true`, 1),
 		"empty mid-trace": goodLine + "\n\n" + goodLine,
+
+		// The satellite bugfix: graduate < complete used to pass silently.
+		// Both cores graduate strictly after completion and never emit a
+		// zero sentinel, so these are always corruption.
+		"graduate<complete": strings.Replace(goodLine, `"graduate":4`, `"graduate":2`, 1),
+		"graduate zero":     strings.Replace(goodLine, `"graduate":4`, `"graduate":0`, 1),
+
+		// Schema-v2 pairing violations.
+		"addr without kind":  strings.Replace(goodV2Line, `,"kind":"store"`, ``, 1),
+		"kind without addr":  strings.Replace(goodV2Line, `,"addr":"0x20c0"`, ``, 1),
+		"bad kind":           strings.Replace(goodV2Line, `"store"`, `"move"`, 1),
+		"non-hex addr":       strings.Replace(goodV2Line, `"0x20c0"`, `"8384"`, 1),
+		"addr on non-memory": strings.Replace(goodV2Line, `"level":2`, `"level":0`, 1),
 	}
 	for name, in := range cases {
 		if _, _, err := validate(strings.NewReader(in + "\n")); err == nil {
 			t.Errorf("%s: accepted %q", name, in)
 		}
+	}
+}
+
+// The graduate check must point at the offending line, not just fail.
+func TestValidateReportsLineNumber(t *testing.T) {
+	in := goodLine + "\n" + strings.Replace(goodLine, `"graduate":4`, `"graduate":1`, 1) + "\n"
+	_, _, err := validate(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want a line-2 graduate violation", err)
+	}
+}
+
+// TestValidateAllocationBounded pins the satellite allocation fix: the
+// old validate built a string and a json.Decoder per line (5+ allocations
+// each); the shared trace.ParseLine path reuses one buffer and one Event,
+// so validating N lines costs O(1) allocations, not O(N).
+func TestValidateAllocationBounded(t *testing.T) {
+	var sb strings.Builder
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sb.WriteString(goodV2Line)
+		sb.WriteByte('\n')
+	}
+	in := sb.String()
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := validate(strings.NewReader(in)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One scanner buffer plus a handful of fixed allocations. The old
+	// implementation measured ~6 allocations per line (~60000 here).
+	if allocs > 20 {
+		t.Errorf("validate(%d lines) = %v allocations; per-line allocation is back", n, allocs)
 	}
 }

@@ -1,0 +1,49 @@
+# Trace-smoke workload: two strided passes over a 16 KB buffer with
+# informing loads and a counting miss handler, plus a store pass. Small
+# enough that recording a full (-trace-sample 1) trace takes well under a
+# second, but misses in both L1 and L2 so the closed-loop reconciliation
+# (tracereplay -expect) checks every counter the replay derives.
+
+.data buf 16384
+
+	j start
+
+handler:
+	addi r20, r20, 1
+	rfmh
+
+start:
+	mtmhar handler
+	la r1, buf
+
+# Pass 1: load every word.
+	li r2, 2048
+	la r3, buf
+loop1:
+	ld.i r4, 0(r3)
+	add r5, r5, r4
+	addi r3, r3, 8
+	addi r2, r2, -1
+	bne r2, r0, loop1
+
+# Pass 2: store every other word (write hits and misses).
+	li r2, 1024
+	la r3, buf
+loop2:
+	st.i r5, 0(r3)
+	addi r3, r3, 16
+	addi r2, r2, -1
+	bne r2, r0, loop2
+
+# Pass 3: reload every fourth word, prefetching one line ahead.
+	li r2, 512
+	la r3, buf
+loop3:
+	prefetch 64(r3)
+	ld.i r4, 0(r3)
+	addi r3, r3, 32
+	addi r2, r2, -1
+	bne r2, r0, loop3
+
+	mfcnt r21
+	halt

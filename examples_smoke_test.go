@@ -28,6 +28,7 @@ func TestExamplesRun(t *testing.T) {
 		"./examples/prefetch",
 		"./examples/multithread",
 		"./examples/coherence",
+		"./examples/tracereplay",
 	}
 	for _, ex := range examples {
 		ex := ex

@@ -23,6 +23,7 @@ import (
 	"informing/internal/inorder"
 	"informing/internal/interp"
 	"informing/internal/isa"
+	"informing/internal/mem"
 	"informing/internal/obs"
 	"informing/internal/ooo"
 	"informing/internal/stats"
@@ -193,6 +194,16 @@ func (c Config) WithTraceEvery(n uint64) Config {
 	c.OOO.TraceEvery = n
 	c.IO.TraceEvery = n
 	return c
+}
+
+// HierConfig returns the data-hierarchy geometry of whichever machine
+// runs: the geometry a recorded trace from this configuration must be
+// replayed through (internal/trace) for exact reconciliation.
+func (c Config) HierConfig() mem.HierConfig {
+	if c.Machine == InOrder {
+		return c.IO.Hier
+	}
+	return c.OOO.Hier
 }
 
 // Run simulates prog to completion under the configuration.

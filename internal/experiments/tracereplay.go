@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"informing/internal/mem"
+	"informing/internal/sched"
+	"informing/internal/trace"
+)
+
+// GeometrySpec is one cache geometry a recorded trace is replayed
+// through in a TraceSweep.
+type GeometrySpec struct {
+	Label string
+	Hier  mem.HierConfig
+}
+
+// TraceGeometries returns the default geometry-sensitivity sweep: the
+// paper's Table 1 hierarchy (the recording geometry when the trace came
+// from a stock informsim run) plus halved/doubled L1 capacity, a
+// direct-mapped L1, and a halved L2 — the classic questions a captured
+// trace answers without re-running the program.
+func TraceGeometries(base mem.HierConfig) []GeometrySpec {
+	half, dbl, dm, l2half := base, base, base, base
+	half.L1.SizeBytes = base.L1.SizeBytes / 2
+	dbl.L1.SizeBytes = base.L1.SizeBytes * 2
+	dm.L1.Assoc = 1
+	l2half.L2.SizeBytes = base.L2.SizeBytes / 2
+	return []GeometrySpec{
+		{"base", base},
+		{"L1/2", half},
+		{"L1x2", dbl},
+		{"L1dm", dm},
+		{"L2/2", l2half},
+	}
+}
+
+// TraceResult is one geometry's replay of the shared trace.
+type TraceResult struct {
+	Label  string
+	Hier   mem.HierConfig
+	Replay trace.ReplayResult
+}
+
+// L1MissRate returns L1 misses per reference, or 0 on an empty trace.
+func (r TraceResult) L1MissRate() float64 {
+	if r.Replay.Total.Refs == 0 {
+		return 0
+	}
+	return float64(r.Replay.Total.L1Misses) / float64(r.Replay.Total.Refs)
+}
+
+// L2MissRate returns L2 misses per L1 miss, or 0 when L1 never missed.
+func (r TraceResult) L2MissRate() float64 {
+	if r.Replay.Total.L1Misses == 0 {
+		return 0
+	}
+	return float64(r.Replay.Total.L2Misses) / float64(r.Replay.Total.L1Misses)
+}
+
+// TraceSweep replays one loaded trace through every geometry, sharding
+// the independent replays across an Options.Workers-bounded pool with
+// the same determinism contract as HandlerOverhead: results arrive in
+// spec order and are bit-identical at any worker count (the replayer is
+// a pure function of the trace and geometry; trace.Data is never
+// mutated, so sharing it across workers is safe). Only Workers and Ctx
+// are consulted from opt. On error the completed prefix is returned
+// with it.
+func TraceSweep(d *trace.Data, specs []GeometrySpec, opt Options) ([]TraceResult, error) {
+	jobs := make([]sched.Job[TraceResult], len(specs))
+	for i, spec := range specs {
+		spec := spec
+		jobs[i] = func(ctx context.Context) (TraceResult, error) {
+			res, err := trace.ReplayData(d, trace.ReplayConfig{Hier: spec.Hier, Ctx: ctx})
+			if err != nil {
+				return TraceResult{}, fmt.Errorf("replay %s: %w", spec.Label, err)
+			}
+			return TraceResult{Label: spec.Label, Hier: spec.Hier, Replay: *res}, nil
+		}
+	}
+	return sched.Map(opt.Ctx, opt.Workers, jobs)
+}
+
+// FormatTraceSweep renders a geometry sweep as a text table: one row per
+// geometry, with absolute counters, miss rates, and the per-event level
+// agreement against the recording run (drift > 0 means the replay
+// geometry no longer matches what the recorded pipeline saw — the whole
+// point of the sweep for every row but the base one).
+func FormatTraceSweep(title string, results []TraceResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&sb, "%-6s %-22s %10s %10s %10s %8s %8s %10s\n",
+		"geom", "L1/L2 (B,line,assoc)", "refs", "l1miss", "l2miss", "l1rate", "l2rate", "drift")
+	for _, r := range results {
+		geom := fmt.Sprintf("%d,%d,%d/%d,%d,%d",
+			r.Hier.L1.SizeBytes, r.Hier.L1.LineBytes, r.Hier.L1.Assoc,
+			r.Hier.L2.SizeBytes, r.Hier.L2.LineBytes, r.Hier.L2.Assoc)
+		t := r.Replay.Total
+		fmt.Fprintf(&sb, "%-6s %-22s %10d %10d %10d %8.4f %8.4f %10d\n",
+			r.Label, geom, t.Refs, t.L1Misses, t.L2Misses,
+			r.L1MissRate(), r.L2MissRate(), t.LevelMismatches)
+	}
+	return sb.String()
+}

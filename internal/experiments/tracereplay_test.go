@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"informing/internal/mem"
+	"informing/internal/trace"
+)
+
+func syntheticTrace(t *testing.T, events int) *trace.Data {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var sb strings.Builder
+	for i := 0; i < events; i++ {
+		if rng.Intn(4) == 0 { // non-memory filler
+			fmt.Fprintf(&sb, `{"seq":%d,"pc":"0x%x","disasm":"add","fetch":%d,"issue":%d,"complete":%d,"graduate":%d,"level":0,"trap":false}`+"\n",
+				i, 0x1000+4*i, i, i+1, i+2, i+3)
+			continue
+		}
+		addr := uint64(rng.Intn(512)) * 32
+		kind := "load"
+		if rng.Intn(4) == 0 {
+			kind = "store"
+		}
+		fmt.Fprintf(&sb, `{"seq":%d,"pc":"0x%x","disasm":"ld","fetch":%d,"issue":%d,"complete":%d,"graduate":%d,"level":%d,"addr":"0x%x","kind":%q,"trap":false}`+"\n",
+			i, 0x1000+4*i, i, i+1, i+2, i+3, 1+rng.Intn(3), addr, kind)
+	}
+	d, err := trace.Load(strings.NewReader(sb.String()), trace.ReaderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func sweepBase() mem.HierConfig {
+	return mem.HierConfig{
+		L1: mem.CacheConfig{SizeBytes: 1024, LineBytes: 32, Assoc: 2},
+		L2: mem.CacheConfig{SizeBytes: 4096, LineBytes: 32, Assoc: 4},
+	}
+}
+
+// The -j determinism contract extends to trace sweeps: any worker count
+// must produce byte-identical tables over the shared loaded trace.
+func TestTraceSweepParallelParity(t *testing.T) {
+	d := syntheticTrace(t, 4000)
+	specs := TraceGeometries(sweepBase())
+
+	seq, err := TraceSweep(d, specs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := TraceSweep(d, specs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("-j %d results differ from -j 1", workers)
+		}
+		if FormatTraceSweep("t", seq) != FormatTraceSweep("t", par) {
+			t.Fatalf("-j %d table differs from -j 1", workers)
+		}
+	}
+}
+
+// Shrinking a cache can only hurt: the sweep's halved-L1 and halved-L2
+// rows must miss at least as often as the base geometry, and the base
+// row must replay the recording geometry's levels with zero drift when
+// the trace was recorded through it.
+func TestTraceSweepGeometrySensitivity(t *testing.T) {
+	// Record the synthetic trace levels through the base geometry so the
+	// base row reconciles exactly.
+	base := sweepBase()
+	hier, err := mem.NewHierarchy(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var sb strings.Builder
+	for i := 0; i < 6000; i++ {
+		addr := uint64(rng.Intn(256)) * 32
+		store := rng.Intn(5) == 0
+		level := hier.ProbeData(addr, store)
+		kind := "load"
+		if store {
+			kind = "store"
+		}
+		fmt.Fprintf(&sb, `{"seq":%d,"pc":"0x0","disasm":"ld","fetch":0,"issue":1,"complete":2,"graduate":3,"level":%d,"addr":"0x%x","kind":%q,"trap":false}`+"\n",
+			i, level, addr, kind)
+	}
+	d, err := trace.Load(strings.NewReader(sb.String()), trace.ReaderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := TraceSweep(d, TraceGeometries(base), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]TraceResult{}
+	for _, r := range res {
+		byLabel[r.Label] = r
+	}
+	if got := byLabel["base"].Replay.Total.LevelMismatches; got != 0 {
+		t.Errorf("base geometry drifted %d events from the recording", got)
+	}
+	if byLabel["L1/2"].Replay.Total.L1Misses < byLabel["base"].Replay.Total.L1Misses {
+		t.Errorf("halving L1 reduced misses: %d < %d",
+			byLabel["L1/2"].Replay.Total.L1Misses, byLabel["base"].Replay.Total.L1Misses)
+	}
+	if byLabel["L2/2"].Replay.Total.L2Misses < byLabel["base"].Replay.Total.L2Misses {
+		t.Errorf("halving L2 reduced misses: %d < %d",
+			byLabel["L2/2"].Replay.Total.L2Misses, byLabel["base"].Replay.Total.L2Misses)
+	}
+	out := FormatTraceSweep("sweep", res)
+	for _, want := range []string{"base", "L1/2", "L1x2", "L1dm", "L2/2", "drift"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

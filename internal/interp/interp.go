@@ -111,7 +111,7 @@ type Rec struct {
 // on the sampled trace path, while the text depends only on the static
 // instruction and so is computed once per run.
 func (r *Rec) TraceEvent(disasm string, fetch, issue, complete, graduate int64) stats.TraceEvent {
-	return stats.TraceEvent{
+	ev := stats.TraceEvent{
 		Seq:      r.Seq,
 		PC:       r.PC,
 		Disasm:   disasm,
@@ -122,6 +122,14 @@ func (r *Rec) TraceEvent(disasm string, fetch, issue, complete, graduate int64) 
 		MemLevel: r.Level,
 		Trap:     r.Trap,
 	}
+	if r.Level > 0 {
+		// Schema v2 memory-reference fields: the effective address and
+		// access kind recorded at execution make the trace replayable
+		// through the hierarchy model on its own (internal/trace).
+		ev.Addr = r.EA
+		ev.Store = r.Inst.IsStore()
+	}
+	return ev
 }
 
 // ErrPC is returned when execution falls outside the text segment.

@@ -116,6 +116,11 @@ func (r *RingSink) Stats() (total, kept uint64) {
 // (EXPERIMENTS.md documents it; cmd/tracecheck validates it).
 // appendTraceJSON is the encoder — the struct exists as schema
 // documentation and for tests that decode the stream.
+//
+// Schema v2 (DESIGN.md §16): memory instructions (level > 0) additionally
+// carry addr and kind, and multiprocessor traces carry tid; all three are
+// omitted otherwise, so v1 consumers keep validating unchanged and v1
+// traces remain valid v2 traces (without being replayable).
 type traceJSON struct {
 	Seq      uint64 `json:"seq"`
 	PC       string `json:"pc"` // hex, human-greppable
@@ -125,6 +130,9 @@ type traceJSON struct {
 	Complete int64  `json:"complete"`
 	Graduate int64  `json:"graduate"`
 	Level    int    `json:"level"`
+	Addr     string `json:"addr,omitempty"` // hex effective address, memory ops only
+	Kind     string `json:"kind,omitempty"` // "load" or "store", memory ops only
+	Tid      int    `json:"tid,omitempty"`  // thread/processor id, 0 omitted
 	Trap     bool   `json:"trap"`
 }
 
@@ -193,6 +201,19 @@ func appendTraceJSON(b []byte, ev *stats.TraceEvent) []byte {
 	b = strconv.AppendInt(b, ev.Graduate, 10)
 	b = append(b, `,"level":`...)
 	b = strconv.AppendInt(b, int64(ev.MemLevel), 10)
+	if ev.MemLevel > 0 {
+		b = append(b, `,"addr":"0x`...)
+		b = strconv.AppendUint(b, ev.Addr, 16)
+		if ev.Store {
+			b = append(b, `","kind":"store"`...)
+		} else {
+			b = append(b, `","kind":"load"`...)
+		}
+	}
+	if ev.Tid > 0 {
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(ev.Tid), 10)
+	}
 	if ev.Trap {
 		b = append(b, `,"trap":true}`...)
 	} else {

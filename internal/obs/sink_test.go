@@ -209,9 +209,19 @@ func TestAppendTraceJSONMatchesEncodingJSON(t *testing.T) {
 		{Seq: 7, PC: 0x1030, Disasm: "addi r2, r2, 512",
 			Fetch: 34, Issue: 37, Complete: 38, Graduate: 93},
 		{Seq: 1 << 40, PC: 0xdeadbeef, Disasm: `say "hi" \ there`,
-			Fetch: -1, Issue: 2, Complete: 3, Graduate: 4, MemLevel: 3, Trap: true},
-		{Seq: 2, PC: 4, Disasm: "tab\tnl\nctl\x01end", MemLevel: 1},
+			Fetch: -1, Issue: 2, Complete: 3, Graduate: 4, MemLevel: 3,
+			Addr: 0x20c0ffee, Trap: true},
+		{Seq: 2, PC: 4, Disasm: "tab\tnl\nctl\x01end", MemLevel: 1, Addr: 0x2000},
 		{Seq: 3, PC: 8, Disasm: "bad\xffutf8 oké"},
+		// Schema v2: a store and a multiprocessor (tid > 0) reference.
+		{Seq: 4, PC: 0x100c, Disasm: "st r1, 0(r2)",
+			Fetch: 1, Issue: 2, Complete: 3, Graduate: 5, MemLevel: 2,
+			Addr: 0x3008, Store: true},
+		{Seq: 5, PC: 0x1010, Disasm: "ld r3, 8(r4)",
+			Fetch: 2, Issue: 3, Complete: 4, Graduate: 6, MemLevel: 1,
+			Addr: 0x4010, Tid: 3},
+		// Store/Addr on a non-memory event must not leak onto the wire.
+		{Seq: 6, PC: 0x1014, Disasm: "add r1, r2, r3", Addr: 0xbad, Store: true},
 	}
 	for _, e := range events {
 		got := string(appendTraceJSON(nil, &e))
@@ -224,6 +234,16 @@ func TestAppendTraceJSONMatchesEncodingJSON(t *testing.T) {
 			Disasm: strings.ToValidUTF8(e.Disasm, "�"),
 			Fetch:  e.Fetch, Issue: e.Issue, Complete: e.Complete,
 			Graduate: e.Graduate, Level: e.MemLevel, Trap: e.Trap,
+		}
+		if e.MemLevel > 0 {
+			want.Addr = "0x" + strconv.FormatUint(e.Addr, 16)
+			want.Kind = "load"
+			if e.Store {
+				want.Kind = "store"
+			}
+		}
+		if e.Tid > 0 {
+			want.Tid = e.Tid
 		}
 		if dec != want {
 			t.Errorf("seq %d: decoded %+v, want %+v", e.Seq, dec, want)

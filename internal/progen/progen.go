@@ -1,0 +1,338 @@
+// Package progen generates seeded random — but always-terminating —
+// assembler programs, richer than any hand-written kernel: counted
+// (optionally nested) loops over ALU and floating-point work, masked and
+// strided buffer loads/stores, prefetches, forward skip branches, and
+// per-seed informing schemes (off, miss traps with a counting handler,
+// condition-code BMISS chains). Paired with CrossCheck it is the
+// cross-engine differential fuzzer from ROADMAP item 1: the functional
+// interpreter (driven by a real cache hierarchy), the in-order core and
+// the out-of-order core must agree on every bit of architectural state
+// for every seed, so scenario coverage grows without hand-writing
+// kernels.
+package progen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"informing/internal/asm"
+	"informing/internal/interp"
+	"informing/internal/isa"
+	"informing/internal/mem"
+	"informing/internal/stats"
+)
+
+// Mode is the informing scheme a generated program exercises.
+type Mode uint8
+
+const (
+	// Off generates plain memory operations.
+	Off Mode = iota
+	// Trap generates informing operations with a counting miss handler
+	// installed through MHAR.
+	Trap
+	// CondCode generates informing operations followed by BMISS chains.
+	CondCode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Trap:
+		return "trap"
+	case CondCode:
+		return "condcode"
+	default:
+		return "off"
+	}
+}
+
+// InterpMode maps the generator mode to the architectural mode.
+func (m Mode) InterpMode() interp.Mode {
+	switch m {
+	case Trap:
+		return interp.ModeTrap
+	case CondCode:
+		return interp.ModeCondCode
+	default:
+		return interp.ModeOff
+	}
+}
+
+// Program is one generated workload.
+type Program struct {
+	Seed int64
+	Mode Mode
+	Prog *isa.Program
+}
+
+// Register conventions inside generated code. General-purpose picks stay
+// clear of these.
+const (
+	regBuf     = isa.R1  // data buffer base
+	regAddr    = isa.R13 // address scratch
+	regStride  = isa.R14 // strided-walk cursor
+	regCntIn   = isa.R16 // inner loop counter
+	regCntOut  = isa.R17 // outer loop counter
+	regHandler = isa.R20 // handler / bmiss hit counter
+	regLink    = isa.R21 // bmiss shadow destination
+)
+
+const bufBytes = 1 << 15 // 32 KB buffer: larger than L1, smaller than L2
+
+// Generate builds the program for a seed. The same seed always yields
+// the identical program (the generator is the only consumer of its rand
+// stream), so fuzz findings reproduce from the seed alone.
+func Generate(seed int64) *Program {
+	r := rand.New(rand.NewSource(seed))
+	mode := Mode(r.Intn(3))
+	b := asm.NewBuilder()
+	buf := b.Alloc("buf", bufBytes)
+
+	if mode == Trap {
+		// Counting miss handler: the paper's simplest profiling client.
+		b.J("main")
+		b.Label("h")
+		b.Addi(regHandler, regHandler, 1)
+		b.Rfmh()
+		b.Label("main")
+		b.MtmharLabel("h")
+	}
+
+	b.LoadImm(regBuf, int64(buf))
+	b.LoadImm(regStride, 0)
+	for i := 2; i <= 9; i++ {
+		b.LoadImm(isa.R(i), int64(int32(r.Uint64())))
+	}
+	for i := 1; i <= 6; i++ {
+		b.Fcvt(isa.F(i), isa.R(1+i))
+	}
+
+	nLoops := 1 + r.Intn(3)
+	for l := 0; l < nLoops; l++ {
+		if r.Intn(3) == 0 {
+			g := &gen{r: r, b: b, mode: mode, informing: mode != Off}
+			// Nested pair: few outer iterations, busier inner body.
+			outIters := int64(3 + r.Intn(6))
+			b.LoadImm(regCntOut, outIters)
+			outer := b.Unique("outer")
+			b.Label(outer)
+			g.countedLoop(regCntIn, int64(10+r.Intn(60)), 3+r.Intn(8))
+			b.Addi(regCntOut, regCntOut, -1)
+			b.Bne(regCntOut, isa.R0, outer)
+		} else {
+			g := &gen{r: r, b: b, mode: mode, informing: mode != Off}
+			g.countedLoop(regCntIn, int64(20+r.Intn(180)), 4+r.Intn(12))
+		}
+	}
+	b.Halt()
+	return &Program{Seed: seed, Mode: mode, Prog: b.MustFinish()}
+}
+
+// gen holds the per-program generation state.
+type gen struct {
+	r         *rand.Rand
+	b         *asm.Builder
+	mode      Mode
+	informing bool
+}
+
+var aluOps = []isa.Op{isa.Add, isa.Sub, isa.Mul, isa.And, isa.Or, isa.Xor,
+	isa.Nor, isa.Sll, isa.Srl, isa.Sra, isa.Slt, isa.Sltu,
+	isa.Addi, isa.Andi, isa.Ori, isa.Xori, isa.Slli, isa.Srli, isa.Slti}
+
+var fpOps = []isa.Op{isa.Fadd, isa.Fsub, isa.Fmul, isa.Fdiv, isa.Fmov, isa.Fneg}
+
+func (g *gen) gpr() isa.Reg { return isa.R(2 + g.r.Intn(8)) }
+func (g *gen) fpr() isa.Reg { return isa.F(1 + g.r.Intn(6)) }
+
+// countedLoop emits one loop with cnt iterations and bodyLen body items.
+func (g *gen) countedLoop(cntReg isa.Reg, cnt int64, bodyLen int) {
+	b := g.b
+	b.LoadImm(cntReg, cnt)
+	top := b.Unique("top")
+	b.Label(top)
+	for k := 0; k < bodyLen; k++ {
+		g.bodyItem()
+	}
+	b.Addi(cntReg, cntReg, -1)
+	b.Bne(cntReg, isa.R0, top)
+}
+
+// maskedAddr computes a legal buffer address into regAddr from a random
+// register (hashed access pattern) or the strided cursor.
+func (g *gen) maskedAddr() {
+	b := g.b
+	if g.r.Intn(3) == 0 {
+		// Strided walk: sequential lines with occasional jumps.
+		b.Addi(regStride, regStride, int64(8*(1+g.r.Intn(16))))
+		b.Andi(regAddr, regStride, bufBytes-8)
+	} else {
+		b.Andi(regAddr, g.gpr(), bufBytes-8)
+	}
+	b.Add(regAddr, regAddr, regBuf)
+}
+
+// bodyItem emits one random body construct.
+func (g *gen) bodyItem() {
+	b, r := g.b, g.r
+	switch r.Intn(10) {
+	case 0, 1: // integer load (+ optional condcode consumer)
+		g.maskedAddr()
+		b.Ld(g.gpr(), regAddr, 0, g.informing)
+		g.maybeBmiss()
+	case 2: // integer store
+		g.maskedAddr()
+		b.St(g.gpr(), regAddr, 0, g.informing)
+		g.maybeBmiss()
+	case 3: // FP load/store pair exercise
+		g.maskedAddr()
+		if r.Intn(2) == 0 {
+			b.Fld(g.fpr(), regAddr, 0, g.informing)
+			g.maybeBmiss()
+		} else {
+			b.Fst(g.fpr(), regAddr, 0, g.informing)
+		}
+	case 4: // software prefetch (never informs, still probes the caches)
+		g.maskedAddr()
+		b.Prefetch(regAddr, 0)
+	case 5: // forward skip branch over a short straight-line stretch
+		skip := b.Unique("skip")
+		rs1, rs2 := g.gpr(), g.gpr()
+		switch r.Intn(4) {
+		case 0:
+			b.Beq(rs1, rs2, skip)
+		case 1:
+			b.Bne(rs1, rs2, skip)
+		case 2:
+			b.Blt(rs1, rs2, skip)
+		default:
+			b.Bge(rs1, rs2, skip)
+		}
+		for n := 1 + r.Intn(3); n > 0; n-- {
+			g.alu()
+		}
+		b.Label(skip)
+	case 6: // FP arithmetic
+		op := fpOps[r.Intn(len(fpOps))]
+		b.Emit(isa.Inst{Op: op, Rd: g.fpr(), Rs1: g.fpr(), Rs2: g.fpr()})
+		if r.Intn(4) == 0 {
+			b.Fclt(g.gpr(), g.fpr(), g.fpr())
+		}
+	case 7: // read the miss counter into the dataflow
+		if g.informing {
+			b.Mfcnt(g.gpr())
+		} else {
+			g.alu()
+		}
+	default:
+		g.alu()
+	}
+}
+
+func (g *gen) alu() {
+	op := aluOps[g.r.Intn(len(aluOps))]
+	g.b.Emit(isa.Inst{Op: op, Rd: g.gpr(), Rs1: g.gpr(), Rs2: g.gpr(), Imm: int64(g.r.Intn(64))})
+}
+
+// maybeBmiss emits the condition-code consumer pattern after an
+// informing reference: branch-on-miss to a counting block.
+func (g *gen) maybeBmiss() {
+	if g.mode != CondCode || g.r.Intn(2) == 0 {
+		return
+	}
+	b := g.b
+	miss := b.Unique("miss")
+	join := b.Unique("join")
+	b.Bmiss(regLink, miss)
+	b.J(join)
+	b.Label(miss)
+	b.Addi(regHandler, regHandler, 1)
+	b.Label(join)
+}
+
+// Engines runs p on all three engines with an identical Table 1 L1/L2
+// geometry and returns their final functional machines plus the timing
+// cores' runs; CrossCheck compares them. The functional interpreter is
+// driven by a real mem.Hierarchy probe so its informing behavior (miss
+// traps, BMISS, MFCNT) sees the same levels the cores do.
+type Engines struct {
+	Interp  *interp.Machine
+	Hier    *mem.Hierarchy
+	InOrder *interp.Machine
+	OOO     *interp.Machine
+
+	InOrderRun stats.Run
+	OOORun     stats.Run
+}
+
+// CrossCheck generates-and-compares: any architectural divergence
+// between the three engines (or an internal inconsistency in either
+// run's statistics) is returned as an error naming the seed.
+func CrossCheck(p *Program, runner Runner, maxInsts uint64) error {
+	eng, err := runner(p, maxInsts)
+	if err != nil {
+		return fmt.Errorf("seed %d (%s): %w", p.Seed, p.Mode, err)
+	}
+	for name, m := range map[string]*interp.Machine{"inorder": eng.InOrder, "ooo": eng.OOO} {
+		if err := diverges(eng.Interp, m); err != nil {
+			return fmt.Errorf("seed %d (%s): interp vs %s: %w", p.Seed, p.Mode, name, err)
+		}
+	}
+	for name, run := range map[string]stats.Run{"inorder": eng.InOrderRun, "ooo": eng.OOORun} {
+		if err := run.Check(); err != nil {
+			return fmt.Errorf("seed %d (%s): %s stats: %w", p.Seed, p.Mode, name, err)
+		}
+		if run.DynInsts != eng.Interp.Seq {
+			return fmt.Errorf("seed %d (%s): %s graduated %d instrs, functional executed %d",
+				p.Seed, p.Mode, name, run.DynInsts, eng.Interp.Seq)
+		}
+		if run.MemRefs != eng.Hier.Refs || run.L1Misses != eng.Hier.L1Misses || run.L2Misses != eng.Hier.L2Misses {
+			return fmt.Errorf("seed %d (%s): %s cache counters (refs %d, l1m %d, l2m %d) != functional hierarchy (refs %d, l1m %d, l2m %d)",
+				p.Seed, p.Mode, name, run.MemRefs, run.L1Misses, run.L2Misses,
+				eng.Hier.Refs, eng.Hier.L1Misses, eng.Hier.L2Misses)
+		}
+		if run.Traps != eng.Interp.Traps {
+			return fmt.Errorf("seed %d (%s): %s counted %d traps, functional %d",
+				p.Seed, p.Mode, name, run.Traps, eng.Interp.Traps)
+		}
+	}
+	return nil
+}
+
+// Runner executes a generated program on all three engines. It lives in
+// internal/core (which owns the machine configurations); progen only
+// defines the contract to stay import-cycle-free.
+type Runner func(p *Program, maxInsts uint64) (*Engines, error)
+
+// diverges compares two final functional machines bit-for-bit.
+func diverges(ref, m *interp.Machine) error {
+	if m.Seq != ref.Seq {
+		return fmt.Errorf("executed %d instructions, reference %d", m.Seq, ref.Seq)
+	}
+	if m.G != ref.G {
+		for i := range m.G {
+			if m.G[i] != ref.G[i] {
+				return fmt.Errorf("G[%d] = %#x, reference %#x", i, m.G[i], ref.G[i])
+			}
+		}
+	}
+	for i := range m.FR {
+		if math.Float64bits(m.FR[i]) != math.Float64bits(ref.FR[i]) {
+			return fmt.Errorf("F[%d] = %v, reference %v", i, m.FR[i], ref.FR[i])
+		}
+	}
+	if m.MissCounter != ref.MissCounter {
+		return fmt.Errorf("MissCounter %d, reference %d", m.MissCounter, ref.MissCounter)
+	}
+	if m.Traps != ref.Traps {
+		return fmt.Errorf("traps %d, reference %d", m.Traps, ref.Traps)
+	}
+	if m.BmissTaken != ref.BmissTaken {
+		return fmt.Errorf("bmiss taken %d, reference %d", m.BmissTaken, ref.BmissTaken)
+	}
+	if got, want := m.Mem.Fingerprint(), ref.Mem.Fingerprint(); got != want {
+		return fmt.Errorf("memory fingerprint %#x, reference %#x", got, want)
+	}
+	return nil
+}

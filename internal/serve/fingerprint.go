@@ -45,6 +45,13 @@ func canonicalString(c Request) string {
 		src := sha256.Sum256([]byte(c.Source))
 		return fmt.Sprintf("%s|program|machine=%s|scheme=%s|maxinsts=%d|src=%s",
 			CodeVersion, c.Machine, c.Scheme, c.MaxInsts, hex.EncodeToString(src[:]))
+	case KindTrace:
+		// Like program sources, the trace content folds in as its own
+		// SHA-256 so multi-megabyte traces keep the canonical string
+		// bounded.
+		tr := sha256.Sum256([]byte(c.Trace))
+		return fmt.Sprintf("%s|trace|machine=%s|maxrefs=%d|sampled=%t|trace=%s",
+			CodeVersion, c.Machine, c.MaxRefs, c.AllowSampled, hex.EncodeToString(tr[:]))
 	}
 	// Canonicalize never emits another kind; keep unknown kinds from
 	// colliding with anything real.

@@ -180,10 +180,10 @@ func (s *Server) forwardToOwner(key string, c Request, tn *tenant, owner string)
 		// recomputing locally would reproduce it. Authoritative.
 		return outcome{err: cr.Error}, false, true
 	}
-	if (cr.Run == nil) == (cr.Multi == nil) {
+	if exactlyOne(cr.Run != nil, cr.Multi != nil, cr.Replay != nil) != 1 {
 		return outcome{}, false, false
 	}
-	out = outcome{run: cr.Run, multiRes: cr.Multi}
+	out = outcome{run: cr.Run, multiRes: cr.Multi, replay: cr.Replay}
 	// Warm the ingress LRU: repeats at this node are then zero-hop. The
 	// durable store is NOT written — durability is the owner's job.
 	s.cache.add(key, out)

@@ -10,17 +10,21 @@ import (
 	"informing/internal/govern"
 	"informing/internal/multi"
 	"informing/internal/stats"
+	"informing/internal/trace"
 	"informing/internal/workload"
 )
 
 // Request kinds. A cell is one (benchmark, machine, plan) point of the
 // §4.2 handler-overhead studies; a fig4 point is one (application, scheme)
 // point of the §4.3 coherence case study; a program is an arbitrary
-// assembler source run on one machine/scheme (informsim as a service).
+// assembler source run on one machine/scheme (informsim as a service); a
+// trace is a recorded schema-v2 JSONL trace replayed through a machine's
+// cache hierarchy with no ISA program (internal/trace, DESIGN.md §16).
 const (
 	KindCell    = "cell"
 	KindFig4    = "fig4"
 	KindProgram = "program"
+	KindTrace   = "trace"
 )
 
 // Wire machine names (canonical forms first).
@@ -37,6 +41,11 @@ const (
 	MaxScale = 10_000
 	// MaxSourceBytes bounds a program request's assembler source.
 	MaxSourceBytes = 1 << 20
+	// MaxTraceBytes bounds a trace request's JSONL text. Full
+	// (-trace-sample 1) traces of the paper-shaped workloads run tens of
+	// megabytes — tomcatv under CondCode is ~60 MB — so the bound is far
+	// above MaxSourceBytes, and maxBodyBytes accommodates one such trace.
+	MaxTraceBytes = 48 << 20
 )
 
 // Request is one simulation request on the wire. Kind selects which field
@@ -66,6 +75,14 @@ type Request struct {
 	// Program fields (KindProgram): assembler source text (internal/asm
 	// syntax).
 	Source string `json:"source,omitempty"`
+
+	// Trace fields (KindTrace): schema-v2 JSONL trace text, replayed
+	// through the Machine's cache geometry. MaxRefs doubles as the replay
+	// reference budget; AllowSampled admits traces with seq gaps
+	// (reconciliation is then impossible, but miss-rate estimates still
+	// come back).
+	Trace        string `json:"trace,omitempty"`
+	AllowSampled bool   `json:"allowsampled,omitempty"`
 }
 
 // Defaults the canonicalizer applies; exported so clients and tests can
@@ -189,18 +206,36 @@ func Canonicalize(req Request, maxInstsCap uint64) (Request, error) {
 			return Request{}, fmt.Errorf("maxinsts %d above server cap %d", c.MaxInsts, maxInstsCap)
 		}
 		return c, nil
+
+	case KindTrace:
+		if req.Trace == "" {
+			return Request{}, fmt.Errorf("trace request needs trace text")
+		}
+		if len(req.Trace) > MaxTraceBytes {
+			return Request{}, fmt.Errorf("trace %d bytes above limit %d", len(req.Trace), MaxTraceBytes)
+		}
+		_, machine, err := machineByName(req.Machine)
+		if err != nil {
+			return Request{}, err
+		}
+		c.Machine, c.Trace, c.AllowSampled = machine, req.Trace, req.AllowSampled
+		c.MaxRefs = req.MaxRefs
+		if c.MaxRefs > maxInstsCap {
+			return Request{}, fmt.Errorf("maxrefs %d above server cap %d", c.MaxRefs, maxInstsCap)
+		}
+		return c, nil
 	}
-	return Request{}, fmt.Errorf("unknown request kind %q (want %q, %q or %q)",
-		req.Kind, KindCell, KindFig4, KindProgram)
+	return Request{}, fmt.Errorf("unknown request kind %q (want %q, %q, %q or %q)",
+		req.Kind, KindCell, KindFig4, KindProgram, KindTrace)
 }
 
 // Error codes a cell result may carry; clients switch on these rather
 // than parsing messages.
 const (
-	CodeInvalid  = "invalid"  // request failed validation
-	CodeBudget   = "budget"   // govern instruction/reference budget exhausted
-	CodeCanceled = "canceled" // request context cancelled or server shutdown
-	CodeLivelock = "livelock" // govern watchdog abort
+	CodeInvalid      = "invalid"      // request failed validation
+	CodeBudget       = "budget"       // govern instruction/reference budget exhausted
+	CodeCanceled     = "canceled"     // request context cancelled or server shutdown
+	CodeLivelock     = "livelock"     // govern watchdog abort
 	CodeOverload     = "overload"     // queue full (whole-request 429)
 	CodeRateLimited  = "rate-limited" // tenant above its admission rate (429)
 	CodeUnauthorized = "unauthorized" // unknown API key, or anonymous tier disabled (401)
@@ -243,15 +278,16 @@ func wireErr(err error) *WireError {
 }
 
 // CellResult is the per-cell response: exactly one of Run (cell/program
-// kinds), Multi (fig4 kind) or Error is set. Key is the cache fingerprint
-// of the canonical request; Cached reports whether the result was served
-// from the LRU without touching the simulator.
+// kinds), Multi (fig4 kind), Replay (trace kind) or Error is set. Key is
+// the cache fingerprint of the canonical request; Cached reports whether
+// the result was served from the LRU without touching the simulator.
 type CellResult struct {
-	Key    string        `json:"key"`
-	Cached bool          `json:"cached"`
-	Run    *stats.Run    `json:"run,omitempty"`
-	Multi  *multi.Result `json:"multi,omitempty"`
-	Error  *WireError    `json:"error,omitempty"`
+	Key    string              `json:"key"`
+	Cached bool                `json:"cached"`
+	Run    *stats.Run          `json:"run,omitempty"`
+	Multi  *multi.Result       `json:"multi,omitempty"`
+	Replay *trace.ReplayResult `json:"replay,omitempty"`
+	Error  *WireError          `json:"error,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: a batch of cells

@@ -44,6 +44,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,12 +60,14 @@ import (
 	"informing/internal/sched"
 	"informing/internal/stats"
 	"informing/internal/store"
+	"informing/internal/trace"
 	"informing/internal/workload"
 )
 
-// maxBodyBytes bounds request bodies (program sources are capped at
-// MaxSourceBytes each; a full batch stays comfortably under this).
-const maxBodyBytes = 4 << 20
+// maxBodyBytes bounds request bodies. Sized for one full-trace replay
+// request (MaxTraceBytes of JSONL plus JSON string-escaping overhead);
+// program sources stay capped far lower at MaxSourceBytes each.
+const maxBodyBytes = 64 << 20
 
 // Config parameterises a Server. The zero value is valid: every field
 // falls back to the defaults documented on it.
@@ -159,11 +162,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// outcome is one completed computation: exactly one of run/multiRes set on
-// success, err on failure. Only successful outcomes enter the cache.
+// outcome is one completed computation: exactly one of run/multiRes/replay
+// set on success, err on failure. Only successful outcomes enter the cache.
 type outcome struct {
 	run      *stats.Run
 	multiRes *multi.Result
+	replay   *trace.ReplayResult
 	err      error
 }
 
@@ -748,6 +752,34 @@ func runRequest(ctx context.Context, c Request, sim *obs.Sim) outcome {
 			return outcome{err: err}
 		}
 		return outcome{multiRes: &res}
+
+	case KindTrace:
+		machine, _, err := machineByName(c.Machine)
+		if err != nil {
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		var cfg core.Config
+		if machine == core.InOrder {
+			cfg = core.Alpha21164(core.Off)
+		} else {
+			cfg = core.R10000(core.Off)
+		}
+		res, err := trace.Replay(strings.NewReader(c.Trace), trace.ReplayConfig{
+			Hier:    cfg.HierConfig(),
+			Reader:  trace.ReaderConfig{AllowSampled: c.AllowSampled},
+			Ctx:     ctx,
+			MaxRefs: c.MaxRefs,
+		})
+		if err != nil {
+			// Budget/cancel flow through wireErr's classification; every
+			// other replay failure (parse, validation, sampled-without-
+			// opt-in, missing addr, tid bound) is the client's trace text.
+			if errors.Is(err, govern.ErrBudget) || errors.Is(err, govern.ErrCanceled) || errors.Is(err, govern.ErrLivelock) {
+				return outcome{err: err}
+			}
+			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
+		}
+		return outcome{replay: res}
 	}
 	return outcome{err: &WireError{Code: CodeInvalid, Message: fmt.Sprintf("unknown kind %q", c.Kind)}}
 }
@@ -756,7 +788,7 @@ func cellResult(key string, out outcome, cached bool) CellResult {
 	if out.err != nil {
 		return CellResult{Key: key, Error: wireErr(out.err)}
 	}
-	return CellResult{Key: key, Cached: cached, Run: out.run, Multi: out.multiRes}
+	return CellResult{Key: key, Cached: cached, Run: out.run, Multi: out.multiRes, Replay: out.replay}
 }
 
 // ---- HTTP handlers ----

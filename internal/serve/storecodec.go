@@ -12,11 +12,13 @@ import (
 
 	"informing/internal/multi"
 	"informing/internal/stats"
+	"informing/internal/trace"
 )
 
 type storedOutcome struct {
-	Run   *stats.Run    `json:"run,omitempty"`
-	Multi *multi.Result `json:"multi,omitempty"`
+	Run    *stats.Run          `json:"run,omitempty"`
+	Multi  *multi.Result       `json:"multi,omitempty"`
+	Replay *trace.ReplayResult `json:"replay,omitempty"`
 }
 
 // encodeOutcome serialises a successful outcome for the store. Errored
@@ -25,7 +27,7 @@ func encodeOutcome(out outcome) ([]byte, error) {
 	if out.err != nil {
 		return nil, fmt.Errorf("serve: errored outcomes are not stored")
 	}
-	return json.Marshal(storedOutcome{Run: out.run, Multi: out.multiRes})
+	return json.Marshal(storedOutcome{Run: out.run, Multi: out.multiRes, Replay: out.replay})
 }
 
 // decodeOutcome parses a store payload back into an outcome. The payload
@@ -36,8 +38,19 @@ func decodeOutcome(b []byte) (outcome, error) {
 	if err := json.Unmarshal(b, &so); err != nil {
 		return outcome{}, fmt.Errorf("serve: stored outcome: %w", err)
 	}
-	if (so.Run == nil) == (so.Multi == nil) {
-		return outcome{}, fmt.Errorf("serve: stored outcome needs exactly one of run/multi")
+	if exactlyOne(so.Run != nil, so.Multi != nil, so.Replay != nil) != 1 {
+		return outcome{}, fmt.Errorf("serve: stored outcome needs exactly one of run/multi/replay")
 	}
-	return outcome{run: so.Run, multiRes: so.Multi}, nil
+	return outcome{run: so.Run, multiRes: so.Multi, replay: so.Replay}, nil
+}
+
+// exactlyOne counts set flags; callers compare against 1.
+func exactlyOne(flags ...bool) int {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n
 }

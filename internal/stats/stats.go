@@ -174,6 +174,12 @@ func (r Run) NormalizeTo(base Run) Normalized {
 // TraceEvent reports one instruction's pipeline timing; cores emit these
 // through Config.Trace (when set) in graduation order. Disasm is the
 // instruction's assembler form; cycles are absolute simulation cycles.
+//
+// Schema v2 (DESIGN.md §16) added the memory-reference fields Addr, Store
+// and Tid so a recorded trace can drive the hierarchy model by itself:
+// they are meaningful only when MemLevel > 0 and are omitted from the
+// JSONL wire form for non-memory instructions, keeping v1 consumers
+// working unchanged.
 type TraceEvent struct {
 	Seq      uint64
 	PC       uint64
@@ -182,6 +188,9 @@ type TraceEvent struct {
 	Issue    int64
 	Complete int64
 	Graduate int64
-	MemLevel int  // 0 non-memory, 1 L1 hit, 2 L2, 3 memory
-	Trap     bool // informing trap fired after this memory op
+	MemLevel int    // 0 non-memory, 1 L1 hit, 2 L2, 3 memory
+	Addr     uint64 // effective address; meaningful iff MemLevel > 0
+	Store    bool   // memory ops only: true for stores, false for loads/prefetches
+	Tid      int    // originating thread/processor id (0 on uniprocessor runs)
+	Trap     bool   // informing trap fired after this memory op
 }

@@ -1,0 +1,81 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"informing/internal/core"
+	"informing/internal/obs"
+	"informing/internal/trace"
+	"informing/internal/workload"
+)
+
+// TestClosedLoopGoldenCells is the tentpole acceptance proof (ISSUE 9,
+// DESIGN.md §16): three golden-grid cells are recorded with a full
+// (-trace-sample 1) pipeline trace through the real obs JSONL encoder,
+// and each trace — replayed through an identically configured hierarchy
+// with no ISA program — must reconcile the per-level reference and miss
+// counters exactly (delta 0) with the originating run, down to the
+// per-event levels.
+func TestClosedLoopGoldenCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-trace golden cells are heavy")
+	}
+	cells := []struct {
+		bench   string
+		machine core.Machine
+		scheme  core.Scheme
+		plan    func() workload.Plan
+	}{
+		{"compress", core.OutOfOrder, core.Off, func() workload.Plan { return workload.NewPlanNone() }},
+		{"espresso", core.InOrder, core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(1) }},
+		{"tomcatv", core.OutOfOrder, core.CondCode, func() workload.Plan { return workload.NewPlanCondCode(1) }},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.bench, func(t *testing.T) {
+			bm, ok := workload.ByName(c.bench)
+			if !ok {
+				t.Fatalf("unknown benchmark %s", c.bench)
+			}
+			prog, err := workload.Build(bm, c.plan(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cfg core.Config
+			if c.machine == core.InOrder {
+				cfg = core.Alpha21164(c.scheme)
+			} else {
+				cfg = core.R10000(c.scheme)
+			}
+
+			// Record: the exact path informsim's -trace-out uses.
+			var buf bytes.Buffer
+			sink := obs.NewJSONL(&buf, 1)
+			run, err := cfg.WithMaxInsts(100_000_000).WithTrace(sink.Emit).Run(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replay through the same Table 1 geometry, then reconcile.
+			res, err := trace.Replay(bytes.NewReader(buf.Bytes()), trace.ReplayConfig{Hier: cfg.HierConfig()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Reconcile(run); err != nil {
+				t.Fatalf("closed loop broken: %v", err)
+			}
+			if res.Total.Events != run.DynInsts {
+				t.Errorf("trace carries %d events, run graduated %d", res.Total.Events, run.DynInsts)
+			}
+			if len(res.Segments) != 1 {
+				t.Errorf("one run produced %d segments", len(res.Segments))
+			}
+			t.Logf("%s: %d events, %d refs, L1M %d, L2M %d reconciled exactly",
+				c.bench, res.Total.Events, res.Total.Refs, res.Total.L1Misses, res.Total.L2Misses)
+		})
+	}
+}

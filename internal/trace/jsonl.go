@@ -1,0 +1,365 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParse wraps every syntax-level rejection from ParseLine so callers
+// can distinguish malformed JSON from semantic (Validate) violations.
+var ErrParse = errors.New("trace: malformed line")
+
+func parseErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrParse, fmt.Sprintf(format, args...))
+}
+
+// ParseLine parses one JSONL trace line into ev. It is strict — unknown
+// keys, duplicate keys, malformed escapes, non-integer numbers and
+// trailing bytes after the closing brace are all errors — and it does not
+// allocate: numeric fields are accumulated in place and ev.Disasm is a
+// view into line (valid only while line's buffer is).
+//
+// ParseLine replaced the per-line json.Decoder in cmd/tracecheck (which
+// converted every line twice and allocated a decoder per line); a
+// differential test pins its accept/reject behavior against
+// encoding/json with DisallowUnknownFields.
+func ParseLine(line []byte, ev *Event) error {
+	*ev = Event{}
+	i := skipWS(line, 0)
+	if i >= len(line) || line[i] != '{' {
+		return parseErr("expected '{'")
+	}
+	i = skipWS(line, i+1)
+	if i < len(line) && line[i] == '}' {
+		// Empty object: syntactically fine; Validate rejects it for the
+		// missing required fields.
+		return expectEnd(line, i+1)
+	}
+	for {
+		key, j, err := scanString(line, i)
+		if err != nil {
+			return err
+		}
+		i = skipWS(line, j)
+		if i >= len(line) || line[i] != ':' {
+			return parseErr("expected ':' after key %q", key)
+		}
+		i = skipWS(line, i+1)
+		if i, err = parseField(line, i, key, ev); err != nil {
+			return err
+		}
+		i = skipWS(line, i)
+		if i >= len(line) {
+			return parseErr("unterminated object")
+		}
+		switch line[i] {
+		case ',':
+			i = skipWS(line, i+1)
+		case '}':
+			return expectEnd(line, i+1)
+		default:
+			return parseErr("expected ',' or '}' after value of %q", key)
+		}
+	}
+}
+
+// parseField dispatches one key's value. It returns the index just past
+// the value.
+func parseField(line []byte, i int, key []byte, ev *Event) (int, error) {
+	set := func(f uint32) error {
+		if ev.Fields&f != 0 {
+			return parseErr("duplicate key %q", key)
+		}
+		ev.Fields |= f
+		return nil
+	}
+	var err error
+	switch string(key) {
+	case "seq":
+		if err = set(FieldSeq); err == nil {
+			ev.Seq, i, err = scanUint(line, i, key)
+		}
+	case "pc":
+		if err = set(FieldPC); err == nil {
+			ev.PC, i, err = scanHexString(line, i, key)
+		}
+	case "disasm":
+		if err = set(FieldDisasm); err == nil {
+			ev.Disasm, i, err = scanString(line, i)
+		}
+	case "fetch":
+		if err = set(FieldFetch); err == nil {
+			ev.Fetch, i, err = scanInt(line, i, key)
+		}
+	case "issue":
+		if err = set(FieldIssue); err == nil {
+			ev.Issue, i, err = scanInt(line, i, key)
+		}
+	case "complete":
+		if err = set(FieldComplete); err == nil {
+			ev.Complete, i, err = scanInt(line, i, key)
+		}
+	case "graduate":
+		if err = set(FieldGraduate); err == nil {
+			ev.Graduate, i, err = scanInt(line, i, key)
+		}
+	case "level":
+		if err = set(FieldLevel); err == nil {
+			var v int64
+			v, i, err = scanInt(line, i, key)
+			ev.Level = int(v)
+		}
+	case "addr":
+		if err = set(FieldAddr); err == nil {
+			ev.Addr, i, err = scanHexString(line, i, key)
+		}
+	case "kind":
+		if err = set(FieldKind); err == nil {
+			var body []byte
+			body, i, err = scanString(line, i)
+			if err == nil {
+				switch string(body) {
+				case "load":
+					ev.Store = false
+				case "store":
+					ev.Store = true
+				default:
+					err = parseErr("kind %q, want \"load\" or \"store\"", body)
+				}
+			}
+		}
+	case "tid":
+		if err = set(FieldTid); err == nil {
+			var v uint64
+			v, i, err = scanUint(line, i, key)
+			if err == nil && v > 1<<20 {
+				err = parseErr("tid %d out of range", v)
+			}
+			ev.Tid = int(v)
+		}
+	case "trap":
+		if err = set(FieldTrap); err == nil {
+			ev.Trap, i, err = scanBool(line, i, key)
+		}
+	default:
+		err = parseErr("unknown key %q", key)
+	}
+	return i, err
+}
+
+func skipWS(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\r', '\n':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+func expectEnd(b []byte, i int) error {
+	if i = skipWS(b, i); i != len(b) {
+		return parseErr("trailing data after object")
+	}
+	return nil
+}
+
+// scanString scans a JSON string at b[i] and returns the still-escaped
+// body (the bytes between the quotes). Escape sequences are checked for
+// shape; invalid UTF-8 passes through, matching encoding/json's lenient
+// replacement behavior.
+func scanString(b []byte, i int) (body []byte, next int, err error) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, i, parseErr("expected string")
+	}
+	start := i + 1
+	for j := start; j < len(b); {
+		c := b[j]
+		switch {
+		case c == '"':
+			return b[start:j], j + 1, nil
+		case c == '\\':
+			if j+1 >= len(b) {
+				return nil, j, parseErr("unterminated escape")
+			}
+			switch b[j+1] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				j += 2
+			case 'u':
+				if j+6 > len(b) || !isHex4(b[j+2:j+6]) {
+					return nil, j, parseErr("bad \\u escape")
+				}
+				j += 6
+			default:
+				return nil, j, parseErr("bad escape '\\%c'", b[j+1])
+			}
+		case c < 0x20:
+			return nil, j, parseErr("raw control character in string")
+		default:
+			j++
+		}
+	}
+	return nil, i, parseErr("unterminated string")
+}
+
+func isHex4(b []byte) bool {
+	for _, c := range b {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// scanUint scans a non-negative JSON integer (no sign, fraction,
+// exponent or leading zeros).
+func scanUint(b []byte, i int, key []byte) (uint64, int, error) {
+	start := i
+	var v uint64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		d := uint64(b[i] - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, i, parseErr("%q overflows uint64", key)
+		}
+		v = v*10 + d
+		i++
+	}
+	switch {
+	case i == start:
+		return 0, i, parseErr("%q: expected unsigned integer", key)
+	case b[start] == '0' && i-start > 1:
+		return 0, i, parseErr("%q: leading zero", key)
+	}
+	return v, i, nil
+}
+
+// scanInt scans a JSON integer with optional leading minus.
+func scanInt(b []byte, i int, key []byte) (int64, int, error) {
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	v, i, err := scanUint(b, i, key)
+	if err != nil {
+		return 0, i, err
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, i, parseErr("%q overflows int64", key)
+		}
+		return -int64(v), i, nil
+	}
+	if v > 1<<63-1 {
+		return 0, i, parseErr("%q overflows int64", key)
+	}
+	return int64(v), i, nil
+}
+
+// scanHexString scans a JSON string of the form "0x<hex>" (the schema's
+// pc/addr encoding) into a uint64.
+func scanHexString(b []byte, i int, key []byte) (uint64, int, error) {
+	body, next, err := scanString(b, i)
+	if err != nil {
+		return 0, next, err
+	}
+	if len(body) < 3 || body[0] != '0' || body[1] != 'x' {
+		return 0, next, parseErr("%q value %q not hex (want 0x prefix)", key, body)
+	}
+	var v uint64
+	for _, c := range body[2:] {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, next, parseErr("%q value %q not hex", key, body)
+		}
+		if v > 1<<60-1 {
+			return 0, next, parseErr("%q value %q overflows uint64", key, body)
+		}
+		v = v<<4 | d
+	}
+	return v, next, nil
+}
+
+func scanBool(b []byte, i int, key []byte) (bool, int, error) {
+	if len(b)-i >= 4 && string(b[i:i+4]) == "true" {
+		return true, i + 4, nil
+	}
+	if len(b)-i >= 5 && string(b[i:i+5]) == "false" {
+		return false, i + 5, nil
+	}
+	return false, i, parseErr("%q: expected true or false", key)
+}
+
+// Validate applies the schema's semantic rules to a parsed event. The
+// rules for v1 fields match what cmd/tracecheck has always enforced,
+// plus the graduation-ordering check the old validator missed:
+//
+//   - all v1 fields present; level in 0..3; non-empty disasm;
+//   - fetch ≤ issue ≤ complete ≤ graduate. Both timing cores emit a real
+//     graduation cycle strictly after complete (in-order retires the
+//     cycle after writeback; out-of-order graduates from the ROB after
+//     completion), and neither ever emits a zero "absent" sentinel — so
+//     graduate < complete is always corruption, never a sentinel;
+//   - trap requires level ≥ 2 (informing traps fire only on misses);
+//   - v2 pairing: addr and kind appear together or not at all, and only
+//     on memory events (level ≥ 1). Events without them stay valid (v1
+//     compatibility) but are not replayable.
+func (e *Event) Validate() error {
+	if miss := requiredFields &^ e.Fields; miss != 0 {
+		return fmt.Errorf("trace: missing required field %s", fieldName(miss))
+	}
+	if len(e.Disasm) == 0 {
+		return errors.New("trace: empty disasm")
+	}
+	if e.Level < 0 || e.Level > 3 {
+		return fmt.Errorf("trace: level %d out of range [0,3]", e.Level)
+	}
+	if e.Issue < e.Fetch {
+		return fmt.Errorf("trace: issue %d before fetch %d", e.Issue, e.Fetch)
+	}
+	if e.Complete < e.Issue {
+		return fmt.Errorf("trace: complete %d before issue %d", e.Complete, e.Issue)
+	}
+	if e.Graduate < e.Complete {
+		return fmt.Errorf("trace: graduate %d before complete %d", e.Graduate, e.Complete)
+	}
+	if e.Trap && e.Level < 2 {
+		return fmt.Errorf("trace: trap on level %d (traps fire on misses only)", e.Level)
+	}
+	if e.Has(FieldAddr) != e.Has(FieldKind) {
+		return errors.New("trace: addr and kind must appear together")
+	}
+	if e.Has(FieldAddr) && e.Level == 0 {
+		return errors.New("trace: addr/kind on a non-memory event (level 0)")
+	}
+	return nil
+}
+
+// fieldName names the lowest set bit of a field mask, for error text.
+func fieldName(mask uint32) string {
+	names := []struct {
+		f    uint32
+		name string
+	}{
+		{FieldSeq, "seq"}, {FieldPC, "pc"}, {FieldDisasm, "disasm"},
+		{FieldFetch, "fetch"}, {FieldIssue, "issue"},
+		{FieldComplete, "complete"}, {FieldGraduate, "graduate"},
+		{FieldLevel, "level"}, {FieldAddr, "addr"}, {FieldKind, "kind"},
+		{FieldTid, "tid"}, {FieldTrap, "trap"},
+	}
+	for _, n := range names {
+		if mask&n.f != 0 {
+			return n.name
+		}
+	}
+	return "?"
+}

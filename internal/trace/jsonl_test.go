@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const goodV1 = `{"seq":0,"pc":"0x1000","disasm":"ld r1, 0(r2)","fetch":1,"issue":2,"complete":5,"graduate":6,"level":2,"trap":false}`
+const goodV2 = `{"seq":1,"pc":"0x1004","disasm":"st r3, 8(r4)","fetch":2,"issue":3,"complete":6,"graduate":7,"level":3,"addr":"0x20c0","kind":"store","tid":2,"trap":true}`
+
+func mustParse(t *testing.T, line string) Event {
+	t.Helper()
+	var ev Event
+	if err := ParseLine([]byte(line), &ev); err != nil {
+		t.Fatalf("ParseLine(%s): %v", line, err)
+	}
+	return ev
+}
+
+func TestParseLineV1AndV2(t *testing.T) {
+	v1 := mustParse(t, goodV1)
+	if v1.Seq != 0 || v1.PC != 0x1000 || v1.Level != 2 || v1.Trap || v1.Has(FieldAddr) {
+		t.Errorf("v1 parsed wrong: %+v", v1)
+	}
+	if err := v1.Validate(); err != nil {
+		t.Errorf("v1 Validate: %v", err)
+	}
+	if v1.Replayable() {
+		// A v1 memory event has no addr: validates, but not replayable.
+		t.Error("Replayable() true for a memory event without addr")
+	}
+
+	v2 := mustParse(t, goodV2)
+	if v2.Addr != 0x20c0 || !v2.Store || v2.Tid != 2 || !v2.Trap || !v2.Has(FieldAddr) {
+		t.Errorf("v2 parsed wrong: %+v", v2)
+	}
+	if err := v2.Validate(); err != nil {
+		t.Errorf("v2 Validate: %v", err)
+	}
+	if string(v2.Disasm) != "st r3, 8(r4)" {
+		t.Errorf("disasm = %q", v2.Disasm)
+	}
+}
+
+// fix rewrites one key's raw value in a known-good line, building the
+// violation corpus without hand-writing whole lines.
+func fix(line, key, rawValue string) string {
+	i := strings.Index(line, `"`+key+`":`)
+	if i < 0 {
+		panic("no key " + key)
+	}
+	start := i + len(key) + 3
+	end := start
+	depth := 0
+	for ; end < len(line); end++ {
+		c := line[end]
+		if c == '"' {
+			depth ^= 1
+		}
+		if depth == 0 && (c == ',' || c == '}') {
+			break
+		}
+	}
+	return line[:start] + rawValue + line[end:]
+}
+
+func TestParseLineRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"not json":         "ld r1, 0(r2)",
+		"torn line":        goodV1[:40],
+		"trailing garbage": goodV1 + "x",
+		"second object":    goodV1 + goodV1,
+		"unknown key":      fix(goodV1, "trap", `false,"bogus":1`),
+		"duplicate key":    fix(goodV1, "trap", `false,"seq":9`),
+		"non-hex pc":       fix(goodV1, "pc", `"4096"`),
+		"pc not string":    fix(goodV1, "pc", `4096`),
+		"float seq":        fix(goodV1, "seq", `1.5`),
+		"exponent fetch":   fix(goodV1, "fetch", `1e3`),
+		"leading zero":     fix(goodV1, "seq", `01`),
+		"negative seq":     fix(goodV1, "seq", `-1`),
+		"bad kind":         fix(goodV2, "kind", `"move"`),
+		"addr not hex":     fix(goodV2, "addr", `"8384"`),
+		"negative tid":     fix(goodV2, "tid", `-2`),
+		"trap not bool":    fix(goodV1, "trap", `"false"`),
+		"bad escape":       fix(goodV1, "disasm", `"bad \q esc"`),
+		"raw control char": fix(goodV1, "disasm", "\"nl\nin string\""),
+		"unterminated":     fix(goodV1, "disasm", `"open`),
+		"seq overflow":     fix(goodV1, "seq", `99999999999999999999`),
+		"addr overflow":    fix(goodV2, "addr", `"0x10000000000000000"`),
+		"missing colon":    strings.Replace(goodV1, `"seq":`, `"seq" `, 1),
+		"array value":      fix(goodV1, "level", `[2]`),
+		"object value":     fix(goodV1, "level", `{"v":2}`),
+		"null disasm":      fix(goodV1, "disasm", `null`),
+	}
+	var ev Event
+	for name, line := range cases {
+		if err := ParseLine([]byte(line), &ev); err == nil {
+			t.Errorf("%s: ParseLine accepted %s", name, line)
+		} else if !errors.Is(err, ErrParse) {
+			t.Errorf("%s: error not wrapping ErrParse: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing seq":           strings.Replace(goodV1, `"seq":0,`, ``, 1),
+		"missing trap":          strings.Replace(goodV1, `,"trap":false`, ``, 1),
+		"empty disasm":          fix(goodV1, "disasm", `""`),
+		"level out of range":    fix(goodV1, "level", `4`),
+		"issue before fetch":    fix(goodV1, "issue", `0`),
+		"complete before issue": fix(goodV1, "complete", `1`),
+		// The satellite bugfix: the old validator accepted these.
+		"graduate before complete": fix(goodV1, "graduate", `4`),
+		"graduate zero on late op": fix(goodV1, "graduate", `0`),
+		"trap on l1":               fix(goodV2, "level", `1`),
+		"addr without kind":        strings.Replace(goodV2, `,"kind":"store"`, ``, 1),
+		"kind without addr":        strings.Replace(goodV2, `,"addr":"0x20c0"`, ``, 1),
+		"addr on non-memory":       fix(strings.Replace(goodV1, `"level":2`, `"level":0`, 1), "trap", `false,"addr":"0x10","kind":"load"`),
+	}
+	var ev Event
+	for name, line := range cases {
+		if err := ParseLine([]byte(line), &ev); err != nil {
+			t.Errorf("%s: ParseLine rejected (want Validate to): %v", name, err)
+			continue
+		}
+		if err := ev.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %s", name, line)
+		}
+	}
+}
+
+// jsonMirror is the encoding/json view of a line, pointer-typed so the
+// differential can see which keys appeared.
+type jsonMirror struct {
+	Seq      *uint64 `json:"seq"`
+	PC       *string `json:"pc"`
+	Disasm   *string `json:"disasm"`
+	Fetch    *int64  `json:"fetch"`
+	Issue    *int64  `json:"issue"`
+	Complete *int64  `json:"complete"`
+	Graduate *int64  `json:"graduate"`
+	Level    *int    `json:"level"`
+	Addr     *string `json:"addr"`
+	Kind     *string `json:"kind"`
+	Tid      *int    `json:"tid"`
+	Trap     *bool   `json:"trap"`
+}
+
+// TestParseLineDifferentialJSON pins the hand-rolled parser against
+// encoding/json: every line the parser accepts must decode identically
+// under a strict json.Decoder, and every line it rejects must either be
+// rejected by encoding/json too or fall in the parser's documented
+// stricter set (duplicate keys, trailing bytes after the object).
+func TestParseLineDifferentialJSON(t *testing.T) {
+	lines := []string{
+		goodV1, goodV2,
+		`{"seq":3,"pc":"0xffffffffffffffff","disasm":"say \"hi\" \\ there A","fetch":-5,"issue":-1,"complete":0,"graduate":0,"level":0,"trap":false}`,
+		"  { \"seq\" : 9 , \"pc\" : \"0x0\" , \"disasm\" : \"nop\" , \"fetch\" : 0 , \"issue\" : 0 , \"complete\" : 0 , \"graduate\" : 0 , \"level\" : 0 , \"trap\" : false }  ",
+		`{"trap":true,"level":2,"graduate":9,"complete":8,"issue":7,"fetch":6,"disasm":"reordered","pc":"0x10","seq":4}`,
+		`{}`,
+		`{"seq":1}`,
+		fix(goodV1, "seq", `1.5`),
+		fix(goodV1, "fetch", `1e3`),
+		fix(goodV1, "seq", `01`),
+		fix(goodV1, "trap", `"false"`),
+		fix(goodV1, "disasm", `null`),
+		fix(goodV1, "level", `[2]`),
+		goodV1 + "x",
+		fix(goodV1, "trap", `false,"seq":9`),
+		fix(goodV1, "trap", `false,"bogus":1`),
+		"not json at all",
+	}
+	for _, line := range lines {
+		var ev Event
+		perr := ParseLine([]byte(line), &ev)
+
+		dec := json.NewDecoder(bytes.NewReader([]byte(line)))
+		dec.DisallowUnknownFields()
+		var m jsonMirror
+		jerr := dec.Decode(&m)
+		var trailing bool
+		if jerr == nil {
+			// encoding/json stops at the end of the first value; anything
+			// besides whitespace after it is the parser's stricter case.
+			trailing = dec.More()
+		}
+
+		if perr == nil {
+			if jerr != nil {
+				t.Errorf("parser accepted, encoding/json rejected (%v): %s", jerr, line)
+				continue
+			}
+			diff := func(name string, got, want any, present bool) {
+				if present && got != want {
+					t.Errorf("%s differs: parser %v, json %v: %s", name, got, want, line)
+				}
+			}
+			if m.Seq != nil {
+				diff("seq", ev.Seq, *m.Seq, ev.Has(FieldSeq))
+			}
+			if m.Fetch != nil {
+				diff("fetch", ev.Fetch, *m.Fetch, ev.Has(FieldFetch))
+			}
+			if m.Level != nil {
+				diff("level", ev.Level, *m.Level, ev.Has(FieldLevel))
+			}
+			if m.Trap != nil {
+				diff("trap", ev.Trap, *m.Trap, ev.Has(FieldTrap))
+			}
+			if m.Tid != nil {
+				diff("tid", ev.Tid, *m.Tid, ev.Has(FieldTid))
+			}
+			continue
+		}
+		// Parser rejected: encoding/json must reject too, unless the line
+		// hits the parser's documented stricter rules (duplicate keys, or
+		// null where the schema demands a concrete type — encoding/json
+		// leaves the pointer nil instead of erroring).
+		stricter := strings.Contains(perr.Error(), "duplicate key") ||
+			strings.Contains(perr.Error(), "expected string")
+		if jerr == nil && !trailing && !stricter {
+			t.Errorf("parser rejected (%v), encoding/json accepted: %s", perr, line)
+		}
+	}
+}
+
+// TestParseLineZeroAlloc is the allocation half of the tracecheck
+// satellite fix: parsing and validating a line allocates nothing, so
+// multi-GB traces validate without per-line garbage.
+func TestParseLineZeroAlloc(t *testing.T) {
+	line := []byte(goodV2)
+	var ev Event
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := ParseLine(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ParseLine+Validate allocates %v per line, want 0", allocs)
+	}
+}

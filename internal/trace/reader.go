@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrSampled reports a trace that is missing events: a segment whose
+// first event's seq is nonzero, or a seq gap inside a segment. Replaying
+// such a trace (typically a -trace-sample 1-in-N recording) would
+// silently produce wrong miss rates, so the reader refuses it unless
+// ReaderConfig.AllowSampled is set.
+var ErrSampled = errors.New("trace: sampled trace (seq gaps); replay needs a full -trace-sample 1 recording, or pass AllowSampled/-allow-sampled for an approximate replay")
+
+// ErrNoAddr reports a memory event without the schema-v2 addr/kind pair:
+// the trace predates schema v2 (or was recorded by a v1 writer) and
+// cannot drive the memory model.
+var ErrNoAddr = errors.New("trace: memory event lacks addr/kind (schema v1 traces validate but cannot be replayed)")
+
+// DefaultMaxLineBytes bounds one trace line. The encoder emits well under
+// 1 KiB per event; the bound only guards the reader's memory against
+// malformed input.
+const DefaultMaxLineBytes = 1 << 20
+
+// ReaderConfig parameterises a Reader. The zero value is the strict
+// default: full (unsampled) traces only.
+type ReaderConfig struct {
+	// AllowSampled accepts traces with seq gaps (see ErrSampled).
+	AllowSampled bool
+
+	// MaxLineBytes bounds a single line (0 = DefaultMaxLineBytes).
+	MaxLineBytes int
+}
+
+// Reader streams trace events from JSONL with bounded memory: one line
+// buffer, one Event, no per-line allocation. It validates each line
+// (ParseLine + Validate), splits the stream into segments at seq resets
+// (concatenated sweep traces restart seq at 0 per cell), and applies the
+// sampled-trace policy.
+type Reader struct {
+	sc  *bufio.Scanner
+	cfg ReaderConfig
+
+	line     int
+	events   uint64
+	traps    uint64
+	segments int
+	prevSeq  uint64
+
+	// err is sticky: once Next fails, it fails the same way forever.
+	err error
+}
+
+// NewReader wraps r. The reader takes no ownership of r.
+func NewReader(r io.Reader, cfg ReaderConfig) *Reader {
+	maxLine := cfg.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	return &Reader{sc: sc, cfg: cfg}
+}
+
+// Next parses the next event into ev, returning io.EOF at a clean end of
+// stream. ev.Disasm points into the reader's line buffer and is
+// invalidated by the following Next call.
+//
+// SegmentStart reports whether the returned event began a new segment.
+func (r *Reader) Next(ev *Event) (segmentStart bool, err error) {
+	if r.err != nil {
+		return false, r.err
+	}
+	fail := func(err error) (bool, error) {
+		r.err = err
+		return false, err
+	}
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return fail(fmt.Errorf("trace: line %d: %w", r.line+1, err))
+		}
+		return fail(io.EOF)
+	}
+	r.line++
+	b := r.sc.Bytes()
+	if len(b) == 0 {
+		return fail(fmt.Errorf("trace: line %d: empty line", r.line))
+	}
+	if err := ParseLine(b, ev); err != nil {
+		return fail(fmt.Errorf("trace: line %d: %w", r.line, err))
+	}
+	if err := ev.Validate(); err != nil {
+		return fail(fmt.Errorf("line %d: %w", r.line, err))
+	}
+
+	// Segmentation and the sampled-trace policy. A seq at or below its
+	// predecessor starts a new segment (concatenated traces restart at 0);
+	// within a segment seq must advance by exactly 1, and a segment must
+	// start at 0 — anything else means events were dropped (sampling).
+	segmentStart = r.events == 0 || ev.Seq <= r.prevSeq
+	if segmentStart {
+		r.segments++
+		if ev.Seq != 0 && !r.cfg.AllowSampled {
+			return fail(fmt.Errorf("line %d: segment starts at seq %d, want 0: %w", r.line, ev.Seq, ErrSampled))
+		}
+	} else if ev.Seq != r.prevSeq+1 && !r.cfg.AllowSampled {
+		return fail(fmt.Errorf("line %d: seq gap %d -> %d: %w", r.line, r.prevSeq, ev.Seq, ErrSampled))
+	}
+	r.prevSeq = ev.Seq
+	r.events++
+	if ev.Trap {
+		r.traps++
+	}
+	return segmentStart, nil
+}
+
+// Line returns the number of lines consumed so far.
+func (r *Reader) Line() int { return r.line }
+
+// Events returns the number of valid events consumed so far.
+func (r *Reader) Events() uint64 { return r.events }
+
+// Traps returns the number of trap events seen so far.
+func (r *Reader) Traps() uint64 { return r.traps }
+
+// Segments returns the number of segments seen so far.
+func (r *Reader) Segments() int { return r.segments }
+
+// Ref is one memory reference in a loaded trace, compact enough that
+// multi-hundred-thousand-event traces load into a few MB.
+type Ref struct {
+	Addr  uint64
+	Tid   int32
+	Level int8 // recorded level (1..3) from the originating run
+	Store bool
+}
+
+// Data is a fully loaded trace: the memory references (non-memory events
+// are counted but not stored) plus segment boundaries, ready for
+// repeated replay under different hierarchy configurations (the
+// experiments sweep replays one Data across a geometry grid).
+type Data struct {
+	Refs      []Ref
+	SegStart  []int    // Refs index where each segment begins, ascending
+	SegEvents []uint64 // events per segment, including non-memory
+
+	Events uint64 // all events, including non-memory
+	Traps  uint64
+}
+
+// Load reads an entire trace into a Data. Memory is bounded by the
+// number of memory references, not the JSONL size.
+func Load(r io.Reader, cfg ReaderConfig) (*Data, error) {
+	rd := NewReader(r, cfg)
+	d := &Data{}
+	var ev Event
+	for {
+		segStart, err := rd.Next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if segStart {
+			d.SegStart = append(d.SegStart, len(d.Refs))
+			d.SegEvents = append(d.SegEvents, 0)
+		}
+		d.SegEvents[len(d.SegEvents)-1]++
+		if ev.Mem() {
+			if !ev.Has(FieldAddr) {
+				return nil, fmt.Errorf("line %d: %w", rd.Line(), ErrNoAddr)
+			}
+			d.Refs = append(d.Refs, Ref{Addr: ev.Addr, Tid: int32(ev.Tid), Level: int8(ev.Level), Store: ev.Store})
+		}
+	}
+	d.Events = rd.Events()
+	d.Traps = rd.Traps()
+	return d, nil
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// line builds a schema-valid JSONL line for reader tests. level 0 means a
+// non-memory event; addr/kind ride along for level > 0 unless v1 is set.
+func line(seq uint64, level int, addr uint64, store bool, v1 bool) string {
+	base := fmt.Sprintf(`{"seq":%d,"pc":"0x1000","disasm":"x","fetch":1,"issue":2,"complete":3,"graduate":4,"level":%d`, seq, level)
+	if level > 0 && !v1 {
+		kind := "load"
+		if store {
+			kind = "store"
+		}
+		base += fmt.Sprintf(`,"addr":"0x%x","kind":%q`, addr, kind)
+	}
+	return base + `,"trap":false}`
+}
+
+func joinTrace(lines ...string) io.Reader {
+	return strings.NewReader(strings.Join(lines, "\n") + "\n")
+}
+
+func drain(t *testing.T, r *Reader) error {
+	t.Helper()
+	var ev Event
+	for {
+		if _, err := r.Next(&ev); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func TestReaderSegmentsOnSeqReset(t *testing.T) {
+	r := NewReader(joinTrace(
+		line(0, 0, 0, false, false),
+		line(1, 1, 0x40, false, false),
+		line(2, 0, 0, false, false),
+		line(0, 0, 0, false, false), // concatenated second trace
+		line(1, 2, 0x80, true, false),
+	), ReaderConfig{})
+	if err := drain(t, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Segments() != 2 || r.Events() != 5 {
+		t.Errorf("segments=%d events=%d, want 2/5", r.Segments(), r.Events())
+	}
+}
+
+func TestReaderRefusesSampled(t *testing.T) {
+	cases := map[string]io.Reader{
+		// A -trace-sample 64 recording: first kept event has seq 63.
+		"first seq nonzero": joinTrace(line(63, 1, 0x40, false, false)),
+		// A gap inside a segment.
+		"seq gap": joinTrace(
+			line(0, 0, 0, false, false),
+			line(1, 1, 0x40, false, false),
+			line(3, 1, 0x80, false, false),
+		),
+		// A reset into a sampled tail.
+		"gap in second segment": joinTrace(
+			line(0, 0, 0, false, false),
+			line(0, 0, 0, false, false),
+			line(2, 0, 0, false, false),
+		),
+	}
+	for name, in := range cases {
+		r := NewReader(in, ReaderConfig{})
+		if err := drain(t, r); !errors.Is(err, ErrSampled) {
+			t.Errorf("%s: err = %v, want ErrSampled", name, err)
+		}
+	}
+}
+
+func TestReaderAllowSampled(t *testing.T) {
+	r := NewReader(joinTrace(
+		line(63, 1, 0x40, false, false),
+		line(127, 1, 0x80, false, false),
+	), ReaderConfig{AllowSampled: true})
+	if err := drain(t, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Events() != 2 {
+		t.Errorf("events = %d, want 2", r.Events())
+	}
+}
+
+func TestReaderFullTraceAccepted(t *testing.T) {
+	var lines []string
+	for i := 0; i < 100; i++ {
+		lines = append(lines, line(uint64(i), i%4, uint64(0x40*i), i%2 == 0, false))
+	}
+	r := NewReader(joinTrace(lines...), ReaderConfig{})
+	if err := drain(t, r); err != nil {
+		t.Fatalf("full trace rejected: %v", err)
+	}
+	if r.Segments() != 1 || r.Events() != 100 {
+		t.Errorf("segments=%d events=%d, want 1/100", r.Segments(), r.Events())
+	}
+}
+
+func TestReaderRejectsEmptyLineMidTrace(t *testing.T) {
+	in := strings.NewReader(line(0, 0, 0, false, false) + "\n\n" + line(1, 0, 0, false, false) + "\n")
+	r := NewReader(in, ReaderConfig{})
+	err := drain(t, r)
+	if err == nil || !strings.Contains(err.Error(), "empty line") {
+		t.Errorf("err = %v, want empty-line rejection", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(strings.NewReader("junk\n"+line(0, 0, 0, false, false)+"\n"), ReaderConfig{})
+	var ev Event
+	_, err1 := r.Next(&ev)
+	_, err2 := r.Next(&ev)
+	if err1 == nil || err2 == nil || err1.Error() != err2.Error() {
+		t.Errorf("sticky error broken: %v then %v", err1, err2)
+	}
+}
+
+func TestLoadExtractsRefsAndSegments(t *testing.T) {
+	d, err := Load(joinTrace(
+		line(0, 0, 0, false, false),
+		line(1, 1, 0x40, false, false),
+		line(2, 3, 0x80, true, false),
+		line(0, 2, 0xc0, false, false), // second segment
+	), ReaderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 4 || len(d.Refs) != 3 || len(d.SegStart) != 2 {
+		t.Fatalf("events=%d refs=%d segs=%d, want 4/3/2", d.Events, len(d.Refs), len(d.SegStart))
+	}
+	if d.SegStart[0] != 0 || d.SegStart[1] != 2 {
+		t.Errorf("SegStart = %v, want [0 2]", d.SegStart)
+	}
+	if d.SegEvents[0] != 3 || d.SegEvents[1] != 1 {
+		t.Errorf("SegEvents = %v, want [3 1]", d.SegEvents)
+	}
+	want := []Ref{
+		{Addr: 0x40, Level: 1},
+		{Addr: 0x80, Level: 3, Store: true},
+		{Addr: 0xc0, Level: 2},
+	}
+	for i, r := range d.Refs {
+		if r != want[i] {
+			t.Errorf("ref %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestLoadRejectsV1MemoryEvents(t *testing.T) {
+	_, err := Load(joinTrace(
+		line(0, 0, 0, false, true),
+		line(1, 2, 0, false, true), // memory event without addr
+	), ReaderConfig{})
+	if !errors.Is(err, ErrNoAddr) {
+		t.Errorf("err = %v, want ErrNoAddr", err)
+	}
+}
+
+// The reader's memory is bounded by one line buffer: loading a trace
+// never retains per-line allocations beyond the compact Refs slice.
+func TestReaderBoundedAllocation(t *testing.T) {
+	var sb strings.Builder
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sb.WriteString(line(uint64(i), 1, uint64(0x40*(i%8)), false, false))
+		sb.WriteByte('\n')
+	}
+	input := sb.String()
+	allocs := testing.AllocsPerRun(5, func() {
+		r := NewReader(strings.NewReader(input), ReaderConfig{})
+		if err := drain(t, r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One scanner buffer + reader plumbing; emphatically not O(lines).
+	if allocs > 20 {
+		t.Errorf("reading %d lines allocated %v times; per-line allocation crept back in", n, allocs)
+	}
+}

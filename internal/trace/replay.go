@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"informing/internal/govern"
+	"informing/internal/mem"
+	"informing/internal/stats"
+)
+
+// DefaultMaxTids bounds the number of distinct thread ids a replay will
+// build hierarchies for; beyond it the trace is rejected rather than
+// letting hostile input allocate unbounded cache state.
+const DefaultMaxTids = 64
+
+// ReplayConfig parameterises a trace replay.
+type ReplayConfig struct {
+	// Hier is the hierarchy geometry to replay through. Reconciling
+	// against an originating run requires the same geometry that run used
+	// (e.g. ooo.DefaultConfig().Hier).
+	Hier mem.HierConfig
+
+	// Reader is the streaming-read policy (sampled refusal, line bound).
+	Reader ReaderConfig
+
+	// Ctx cancels a long replay; nil means context.Background(). The
+	// returned error wraps govern.ErrCanceled.
+	Ctx context.Context
+
+	// MaxRefs bounds the number of memory references replayed (0 =
+	// unlimited). Exceeding it aborts with an error wrapping
+	// govern.ErrBudget.
+	MaxRefs uint64
+
+	// MaxTids bounds distinct thread ids (0 = DefaultMaxTids).
+	MaxTids int
+}
+
+// SegmentResult is the replay outcome of one trace segment (each segment
+// replays through fresh hierarchy state: concatenated sweep traces are
+// independent workloads).
+type SegmentResult struct {
+	Events uint64 // events consumed, including non-memory
+	Refs   uint64 // memory references replayed
+	Loads  uint64 // loads + prefetches
+	Stores uint64
+
+	L1Misses uint64
+	L2Misses uint64
+
+	// LevelMismatches counts references whose replayed level differs from
+	// the recorded one. Zero for a faithful closed-loop replay (same
+	// geometry, full trace, uniprocessor); nonzero is expected when
+	// replaying under a different geometry, a sampled trace, or a
+	// multiprocessor trace whose recording didn't model coherence.
+	LevelMismatches uint64
+
+	// Tids is the number of distinct thread ids, Invalidations the lines
+	// removed from other threads' caches by stores (coherence replay).
+	Tids          int
+	Invalidations uint64
+}
+
+func (s *SegmentResult) add(o SegmentResult) {
+	s.Events += o.Events
+	s.Refs += o.Refs
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.L1Misses += o.L1Misses
+	s.L2Misses += o.L2Misses
+	s.LevelMismatches += o.LevelMismatches
+	s.Invalidations += o.Invalidations
+	if o.Tids > s.Tids {
+		s.Tids = o.Tids
+	}
+}
+
+// ReplayResult is the aggregate outcome: totals across segments plus the
+// per-segment breakdown.
+type ReplayResult struct {
+	Total    SegmentResult
+	Segments []SegmentResult
+}
+
+// Reconcile checks the closed-loop contract against the originating
+// run's counters: per-level references and misses must match exactly.
+// A nil error is the acceptance proof that the trace carries the run's
+// complete memory behavior.
+func (r *ReplayResult) Reconcile(run stats.Run) error {
+	var errs []error
+	check := func(name string, got, want uint64) {
+		if got != want {
+			errs = append(errs, fmt.Errorf("%s: replay %d, run %d (delta %+d)", name, got, want, int64(got)-int64(want)))
+		}
+	}
+	check("mem refs", r.Total.Refs, run.MemRefs)
+	check("L1 misses", r.Total.L1Misses, run.L1Misses)
+	check("L2 misses", r.Total.L2Misses, run.L2Misses)
+	if r.Total.LevelMismatches != 0 {
+		errs = append(errs, fmt.Errorf("per-reference levels: %d mismatches", r.Total.LevelMismatches))
+	}
+	if len(errs) != 0 {
+		return fmt.Errorf("trace: reconcile failed: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// replayer drives per-tid hierarchies over one segment at a time.
+type replayer struct {
+	cfg     ReplayConfig
+	gov     *govern.Governor
+	maxTids int
+
+	// Per-tid hierarchy state for the current segment. tids preserves
+	// first-appearance order; hiers is parallel to it.
+	tids  []int32
+	hiers []*mem.Hierarchy
+
+	res     ReplayResult
+	seg     SegmentResult
+	inSeg   bool
+	allRefs uint64
+}
+
+func newReplayer(cfg ReplayConfig) *replayer {
+	maxTids := cfg.MaxTids
+	if maxTids <= 0 {
+		maxTids = DefaultMaxTids
+	}
+	return &replayer{
+		cfg: cfg,
+		gov: govern.New(govern.Config{
+			Ctx:            cfg.Ctx,
+			MaxInsts:       cfg.MaxRefs,
+			WatchdogCycles: -1,
+		}),
+		maxTids: maxTids,
+	}
+}
+
+func (rp *replayer) hier(tid int32) (*mem.Hierarchy, error) {
+	for i, t := range rp.tids {
+		if t == tid {
+			return rp.hiers[i], nil
+		}
+	}
+	if len(rp.tids) >= rp.maxTids {
+		return nil, fmt.Errorf("trace: more than %d distinct tids", rp.maxTids)
+	}
+	h, err := mem.NewHierarchy(rp.cfg.Hier)
+	if err != nil {
+		return nil, fmt.Errorf("trace: replay hierarchy: %w", err)
+	}
+	rp.tids = append(rp.tids, tid)
+	rp.hiers = append(rp.hiers, h)
+	return h, nil
+}
+
+// beginSegment closes the current segment (if any) and starts the next
+// with fresh hierarchy state.
+func (rp *replayer) beginSegment() {
+	rp.endSegment()
+	rp.inSeg = true
+}
+
+func (rp *replayer) endSegment() {
+	if !rp.inSeg {
+		return
+	}
+	rp.seg.Tids = len(rp.tids)
+	if rp.seg.Tids == 0 {
+		// A segment with zero memory references still existed.
+		rp.seg.Tids = 1
+	}
+	rp.res.Segments = append(rp.res.Segments, rp.seg)
+	rp.res.Total.add(rp.seg)
+	rp.seg = SegmentResult{}
+	rp.tids = rp.tids[:0]
+	rp.hiers = rp.hiers[:0]
+	rp.inSeg = false
+}
+
+// ref replays one memory reference. recorded is the trace's level (0 to
+// skip the mismatch check — Data always records it).
+func (rp *replayer) ref(r Ref) error {
+	rp.allRefs++
+	if rp.cfg.MaxRefs != 0 && rp.allRefs > rp.cfg.MaxRefs {
+		return fmt.Errorf("trace: %w: replay budget %d references", govern.ErrBudget, rp.cfg.MaxRefs)
+	}
+	if err := rp.gov.Tick(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	h, err := rp.hier(r.Tid)
+	if err != nil {
+		return err
+	}
+	level := h.ProbeData(r.Addr, r.Store)
+	rp.seg.Refs++
+	if r.Store {
+		rp.seg.Stores++
+		// User-level invalidation coherence (the multiprocessor model's
+		// protocol): a store removes the line from every other thread's
+		// hierarchy, so their next reference misses — the informing
+		// mechanism the paper's §5 protocol observes.
+		for i, t := range rp.tids {
+			if t == r.Tid {
+				continue
+			}
+			o := rp.hiers[i]
+			if o.L1.Invalidate(r.Addr) {
+				rp.seg.Invalidations++
+			}
+			if o.L2.Invalidate(r.Addr) {
+				rp.seg.Invalidations++
+			}
+		}
+	} else {
+		rp.seg.Loads++
+	}
+	switch level {
+	case 2:
+		rp.seg.L1Misses++
+	case 3:
+		rp.seg.L1Misses++
+		rp.seg.L2Misses++
+	}
+	if r.Level != 0 && int(r.Level) != level {
+		rp.seg.LevelMismatches++
+	}
+	return nil
+}
+
+func (rp *replayer) finish() *ReplayResult {
+	rp.endSegment()
+	return &rp.res
+}
+
+// Replay streams a JSONL trace from r through the configured hierarchy
+// model and returns the per-level outcome. Memory use is bounded: one
+// line buffer plus per-tid hierarchy state; the trace itself is never
+// held in memory.
+func Replay(r io.Reader, cfg ReplayConfig) (*ReplayResult, error) {
+	rd := NewReader(r, cfg.Reader)
+	rp := newReplayer(cfg)
+	var ev Event
+	for {
+		segStart, err := rd.Next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if segStart {
+			rp.beginSegment()
+		}
+		rp.seg.Events++
+		if !ev.Mem() {
+			continue
+		}
+		if !ev.Has(FieldAddr) {
+			return nil, fmt.Errorf("line %d: %w", rd.Line(), ErrNoAddr)
+		}
+		if err := rp.ref(Ref{Addr: ev.Addr, Tid: int32(ev.Tid), Level: int8(ev.Level), Store: ev.Store}); err != nil {
+			return nil, err
+		}
+	}
+	return rp.finish(), nil
+}
+
+// ReplayData replays an already loaded trace. Data can be replayed many
+// times under different geometries (the experiments sweep does exactly
+// that); each call starts from cold caches.
+func ReplayData(d *Data, cfg ReplayConfig) (*ReplayResult, error) {
+	rp := newReplayer(cfg)
+	for i, start := range d.SegStart {
+		end := len(d.Refs)
+		if i+1 < len(d.SegStart) {
+			end = d.SegStart[i+1]
+		}
+		rp.beginSegment()
+		if i < len(d.SegEvents) {
+			rp.seg.Events = d.SegEvents[i]
+		}
+		for _, r := range d.Refs[start:end] {
+			if err := rp.ref(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rp.finish(), nil
+}
