@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-serve fuzz fuzz-diff verify clean bench bench-gate bench-smoke obs-smoke serve-smoke chaos-smoke cluster-smoke bench-cluster trace-smoke
+.PHONY: build test test-short race race-serve fuzz fuzz-diff verify clean bench bench-gate bench-smoke obs-smoke serve-smoke chaos-smoke cluster-smoke bench-cluster trace-smoke policy-smoke
 
 build:
 	$(GO) build ./...
@@ -124,6 +124,28 @@ trace-smoke:
 	/tmp/tracereplay -sweep -j 4 /tmp/smoke_ooo.jsonl > /tmp/smoke_sweep_jN.txt
 	cmp /tmp/smoke_sweep_j1.txt /tmp/smoke_sweep_jN.txt
 
+# policy-smoke is the replacement-policy acceptance lane (DESIGN.md §17):
+# `-policy lru` must be byte-identical to the default tables (LRU is the
+# canonical empty policy, so naming it must change nothing), a non-LRU
+# sweep must actually move the numbers (brrip: su2cor's streaming cells
+# are srrip-neutral but not brrip-neutral, so this proves the dimension
+# is live, not plumbed-and-ignored), the §6 prefetch case study must
+# render its
+# taxonomy table, and the policy-differential battery, the
+# policy×taxonomy golden grid and the /v1/explain round trip must hold.
+policy-smoke:
+	$(GO) build -o /tmp/handlerbench ./cmd/handlerbench
+	/tmp/handlerbench -experiment fig3 > /tmp/fig3_default.txt
+	/tmp/handlerbench -experiment fig3 -policy lru > /tmp/fig3_lru.txt
+	cmp /tmp/fig3_default.txt /tmp/fig3_lru.txt
+	/tmp/handlerbench -experiment fig3 -policy brrip > /tmp/fig3_brrip.txt
+	! cmp -s /tmp/fig3_default.txt /tmp/fig3_brrip.txt
+	/tmp/handlerbench -experiment prefetch > /tmp/prefetch.txt
+	grep -q 'Miss taxonomy under prefetch handlers' /tmp/prefetch.txt
+	$(GO) test -run 'TestPolicy|TestRRIPNotInclusive|TestTaxonomy' ./internal/mem/
+	$(GO) test -run 'TestPolicyGolden|TestPolicyArchitecturalNeutrality' ./internal/core/
+	$(GO) test -run 'TestExplain' ./internal/serve/
+
 # bench-cluster regenerates the committed cluster-scaling report
 # (EXPERIMENTS.md "Cluster scaling"): 1-node vs 3-node in-process
 # throughput on a duplicate-free workload, cold and warm.
@@ -139,6 +161,7 @@ verify: build
 	$(MAKE) bench-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) policy-smoke
 
 clean:
 	$(GO) clean ./...

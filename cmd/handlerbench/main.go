@@ -8,12 +8,16 @@
 //	handlerbench -experiment condcode  explicit condition-code checks vs traps
 //	handlerbench -experiment sampling  sampled 100-instruction handlers
 //	handlerbench -experiment counters  §1 strawman: serializing miss counters
+//	handlerbench -experiment prefetch  §6 case study: stride prefetching as a miss handler
 //	handlerbench -experiment all       everything above
 //
 // handlerbench -list describes the benchmark suite.
 //
 // Use -scale to grow/shrink the workloads, -raw for per-run statistics,
-// and -j to bound the worker pool that shards the sweep's independent
+// -policy to select the data-hierarchy replacement policy (lru, srrip,
+// brrip, trrip — the tables then measure that policy's cells, with the
+// miss taxonomy attributing every miss to its cause), and -j to bound
+// the worker pool that shards the sweep's independent
 // (benchmark, machine, plan) cells (default: GOMAXPROCS; -j 1 is the
 // sequential reference path and produces byte-identical tables).
 // -cpuprofile/-memprofile write pprof profiles of the sweep (the hot-path
@@ -39,11 +43,12 @@ var sess *obs.Session
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "fig2|fig3|h100|trapmode|condcode|sampling|counters|all")
-		scale = flag.Int64("scale", 1, "workload iteration multiplier")
-		raw   = flag.Bool("raw", false, "also print raw per-run statistics")
-		list  = flag.Bool("list", false, "describe the benchmark suite and exit")
-		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
+		exp    = flag.String("experiment", "all", "fig2|fig3|h100|trapmode|condcode|sampling|counters|prefetch|all")
+		scale  = flag.Int64("scale", 1, "workload iteration multiplier")
+		policy = flag.String("policy", "", "data-hierarchy replacement policy (lru|srrip|brrip|trrip; empty = lru)")
+		raw    = flag.Bool("raw", false, "also print raw per-run statistics")
+		list   = flag.Bool("list", false, "describe the benchmark suite and exit")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker count (1 = sequential)")
 	)
 	pf := prof.Register()
 	of := obs.RegisterFlags()
@@ -77,6 +82,7 @@ func main() {
 
 	opt := experiments.DefaultOptions()
 	opt.Scale = *scale
+	opt.Policy = *policy
 	opt.Ctx = ctx
 	opt.Workers = *jobs
 	// The obs sinks are goroutine-safe, so one session serves the whole
@@ -131,6 +137,12 @@ func main() {
 			fmt.Println()
 			fmt.Print(experiments.FormatOverheadSummary(res))
 		}
+		if name == "prefetch" {
+			// The case study's payload is the taxonomy shift, not the
+			// overhead bars: show where the misses went.
+			fmt.Println()
+			fmt.Print(experiments.FormatTaxonomy("Miss taxonomy under prefetch handlers", res))
+		}
 		if *raw {
 			fmt.Print(experiments.FormatRuns(res))
 		}
@@ -144,7 +156,7 @@ func main() {
 func runAll(run func(string) error, exp string, stopProf func()) {
 	names := []string{exp}
 	if exp == "all" {
-		names = []string{"fig2", "fig3", "h100", "trapmode", "condcode", "sampling", "counters"}
+		names = []string{"fig2", "fig3", "h100", "trapmode", "condcode", "sampling", "counters", "prefetch"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -8,10 +8,16 @@
 // Endpoints:
 //
 //	POST /v1/simulate     batch of cells: handler-overhead cells, Figure 4
-//	                      coherence points, or assembler programs
+//	                      coherence points, or assembler programs; cells
+//	                      accept a "policy" field selecting the replacement
+//	                      policy (lru, srrip, brrip, trrip)
+//	POST /v1/explain      the same cells, answered with the per-level miss
+//	                      taxonomy (compulsory/capacity/conflict/coherence
+//	                      counts and fractions) instead of timing
 //	POST /v1/experiment   a named §4.2 experiment (fig2, fig3, h100,
-//	                      condcode, sampling, counters) or a custom
-//	                      benchmarks × plans grid; returns the CLI tables
+//	                      condcode, sampling, counters, prefetch) or a
+//	                      custom benchmarks × plans grid; returns the CLI
+//	                      tables
 //	GET  /metrics         serve_* and sim_* metrics (internal/obs registry)
 //	GET  /healthz         liveness, code version, cache/store state
 //	GET  /readyz          readiness (store recovered, dispatcher running)

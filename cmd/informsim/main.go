@@ -30,6 +30,7 @@ func main() {
 	var (
 		machine = flag.String("machine", "ooo", "machine model: ooo|inorder")
 		scheme  = flag.String("scheme", "off", "informing scheme: off|condcode|trap-branch|trap-exception")
+		policy  = flag.String("policy", "", "data-hierarchy replacement policy: lru|srrip|brrip|trrip (empty = lru)")
 		maxInst = flag.Uint64("maxinsts", 100_000_000, "dynamic instruction limit")
 		dis     = flag.Bool("dis", false, "print the disassembled program before running")
 		dump    = flag.Bool("dump", false, "print round-trippable assembler text and exit")
@@ -92,7 +93,7 @@ func main() {
 		fail(fmt.Errorf("unknown machine %q", *machine))
 	}
 
-	cfg = cfg.WithMaxInsts(*maxInst).WithObs(sess.Sim)
+	cfg = cfg.WithPolicy(*policy).WithMaxInsts(*maxInst).WithObs(sess.Sim)
 	var printTrace func(stats.TraceEvent)
 	if *trace > 0 {
 		n := 0
@@ -177,6 +178,8 @@ func report(cfg core.Config, run stats.Run) {
 	fmt.Printf("instructions:       %d (IPC %.2f)\n", run.Instrs, run.IPC())
 	fmt.Printf("memory references:  %d (L1 miss %.2f%%, L2 miss %d)\n",
 		run.MemRefs, 100*run.L1MissRate(), run.L2Misses)
+	fmt.Printf("L1 miss taxonomy:   %v\n", run.L1Tax)
+	fmt.Printf("L2 miss taxonomy:   %v\n", run.L2Tax)
 	fmt.Printf("icache misses:      %d\n", run.IMisses)
 	fmt.Printf("informing traps:    %d (handler instructions %d)\n", run.Traps, run.HandlerInsts)
 	fmt.Printf("bmiss taken:        %d\n", run.BmissTaken)

@@ -196,6 +196,21 @@ func (c Config) WithTraceEvery(n uint64) Config {
 	return c
 }
 
+// WithPolicy selects the data-hierarchy replacement policy (both levels,
+// both machines): "" or "lru" for the built-in true-LRU path, or one of
+// mem.PolicyNames. Invalid names surface as a construction error from
+// Run (the library panic-to-error policy).
+func (c Config) WithPolicy(name string) Config {
+	if name == mem.PolicyLRU {
+		name = "" // canonical spelling of the default path
+	}
+	c.OOO.Hier.L1.Policy = name
+	c.OOO.Hier.L2.Policy = name
+	c.IO.Hier.L1.Policy = name
+	c.IO.Hier.L2.Policy = name
+	return c
+}
+
 // HierConfig returns the data-hierarchy geometry of whichever machine
 // runs: the geometry a recorded trace from this configuration must be
 // replayed through (internal/trace) for exact reconciliation.

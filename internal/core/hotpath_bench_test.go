@@ -155,9 +155,14 @@ func BenchmarkHotpathFig2Cell(b *testing.B) {
 // TestTimingHotLoopAllocationFree is the CI allocation regression gate:
 // the per-instruction simulation pipeline (interp.Step plus the ooo and
 // inorder schedulers, including the memoized cache and data-memory paths)
-// must not allocate per dynamic instruction. Each cell runs twice at
-// different instruction counts; the allocation delta per extra
-// instruction must be ~0 (setup allocations cancel out).
+// must not allocate per dynamic instruction. The miss taxonomy is always
+// enabled on the data hierarchy, so every cell here also gates the
+// classifier's hot path (the shadow's preallocated node pool; the seen
+// filter's amortized map growth rides inside the budget); the policy
+// cells gate the RRIP paths — including TRRIP, whose temperature history
+// is bounded at 1024 entries and must not grow with the run. Each cell
+// runs twice at different instruction counts; the allocation delta per
+// extra instruction must be ~0 (setup allocations cancel out).
 func TestTimingHotLoopAllocationFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation gate runs full cells")
@@ -166,11 +171,14 @@ func TestTimingHotLoopAllocationFree(t *testing.T) {
 		name    string
 		machine Machine
 		kernel  bool
+		policy  string
 	}{
-		{"ooo", OutOfOrder, true},
-		{"inorder", InOrder, true},
-		{"ooo-perinst", OutOfOrder, false},
-		{"inorder-perinst", InOrder, false},
+		{"ooo", OutOfOrder, true, ""},
+		{"inorder", InOrder, true, ""},
+		{"ooo-perinst", OutOfOrder, false, ""},
+		{"inorder-perinst", InOrder, false, ""},
+		{"ooo-srrip", OutOfOrder, true, "srrip"},
+		{"inorder-trrip", InOrder, true, "trrip"},
 	}
 	for _, c := range cells {
 		t.Run(c.name, func(t *testing.T) {
@@ -189,7 +197,7 @@ func TestTimingHotLoopAllocationFree(t *testing.T) {
 				} else {
 					cfg = R10000(TrapBranch)
 				}
-				cfg = cfg.WithBlockKernel(c.kernel)
+				cfg = cfg.WithBlockKernel(c.kernel).WithPolicy(c.policy)
 				runtime.GC()
 				var m0, m1 runtime.MemStats
 				runtime.ReadMemStats(&m0)

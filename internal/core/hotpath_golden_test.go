@@ -87,6 +87,12 @@ func machineFingerprint(m *interp.Machine) uint64 {
 }
 
 func runGoldenCell(t *testing.T, c goldenCell, blockKernel bool) (stats.Run, uint64) {
+	return runGoldenCellPolicy(t, c, "", blockKernel)
+}
+
+// runGoldenCellPolicy runs a golden cell under a named replacement policy
+// ("" = the default true-LRU path; see TestPolicyGolden).
+func runGoldenCellPolicy(t *testing.T, c goldenCell, policy string, blockKernel bool) (stats.Run, uint64) {
 	t.Helper()
 	bm, ok := workload.ByName(c.bench)
 	if !ok {
@@ -102,7 +108,7 @@ func runGoldenCell(t *testing.T, c goldenCell, blockKernel bool) (stats.Run, uin
 	} else {
 		cfg = R10000(c.scheme)
 	}
-	run, m, err := cfg.WithMaxInsts(100_000_000).WithBlockKernel(blockKernel).RunDetailed(prog)
+	run, m, err := cfg.WithPolicy(policy).WithMaxInsts(100_000_000).WithBlockKernel(blockKernel).RunDetailed(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,9 +136,18 @@ func TestHotpathGolden(t *testing.T) {
 			}
 			t.Run(name, func(t *testing.T) {
 				run, fp := runGoldenCell(t, c, kernel)
+				// The taxonomy conservation invariant holds on every
+				// golden cell: the per-level classes sum exactly to the
+				// per-level miss counters.
+				if err := run.CheckTaxonomy(); err != nil {
+					t.Error(err)
+				}
 				if printMode {
 					if kernel {
-						fmt.Printf("\t%q: {%#v, %#x},\n", c.key(), run, fp)
+						legacy := run
+						legacy.L1Tax, legacy.L2Tax = stats.MissClasses{}, stats.MissClasses{}
+						fmt.Printf("\t%q: {%#v, %#x},\n", c.key(), legacy, fp)
+						fmt.Printf("\tTAX %q: {%#v, %#v},\n", c.key(), run.L1Tax, run.L2Tax)
 					}
 					return
 				}
@@ -140,11 +155,25 @@ func TestHotpathGolden(t *testing.T) {
 				if !ok {
 					t.Fatalf("no golden entry for %s (regenerate with HOTPATH_GOLDEN_PRINT=1)", c.key())
 				}
-				if run != want.run {
-					t.Errorf("stats.Run diverged from pre-optimization reference:\n got: %+v\nwant: %+v", run, want.run)
+				// The legacy table predates the miss taxonomy (its
+				// entries carry zero classes); compare against it with
+				// the taxonomy masked so the pre-PR pin stays untouched,
+				// and pin the taxonomy itself in hotpathTaxGolden.
+				legacy := run
+				legacy.L1Tax, legacy.L2Tax = stats.MissClasses{}, stats.MissClasses{}
+				if legacy != want.run {
+					t.Errorf("stats.Run diverged from pre-optimization reference:\n got: %+v\nwant: %+v", legacy, want.run)
 				}
 				if fp != want.fingerprint {
 					t.Errorf("final architectural state diverged: fingerprint %#x, want %#x", fp, want.fingerprint)
+				}
+				wantTax, ok := hotpathTaxGolden[c.key()]
+				if !ok {
+					t.Fatalf("no taxonomy golden entry for %s (regenerate with HOTPATH_GOLDEN_PRINT=1)", c.key())
+				}
+				if run.L1Tax != wantTax.l1 || run.L2Tax != wantTax.l2 {
+					t.Errorf("miss taxonomy diverged:\n got: L1{%v} L2{%v}\nwant: L1{%v} L2{%v}",
+						run.L1Tax, run.L2Tax, wantTax.l1, wantTax.l2)
 				}
 			})
 		}
@@ -154,4 +183,11 @@ func TestHotpathGolden(t *testing.T) {
 type goldenEntry struct {
 	run         stats.Run
 	fingerprint uint64
+}
+
+// taxEntry pins the per-level miss taxonomy of a golden cell (the legacy
+// goldenEntry table predates the taxonomy and is deliberately left
+// untouched — matching it under the default policy is the point).
+type taxEntry struct {
+	l1, l2 stats.MissClasses
 }

@@ -1,0 +1,29 @@
+package core
+
+import "informing/internal/stats"
+
+// hotpathTaxGolden pins the per-level miss taxonomy of every golden-grid
+// cell under the default (true-LRU) policy. Captured with
+// HOTPATH_GOLDEN_PRINT=1 (the TAX lines); the classes of each entry sum
+// exactly to the cell's pinned L1Misses/L2Misses — the conservation
+// property TestHotpathGolden also checks live.
+var hotpathTaxGolden = map[string]taxEntry{
+	"compress/out-of-order/off/N":          {stats.MissClasses{Compulsory: 0x800, Capacity: 0x10dc, Conflict: 0x3a9, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x800, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"compress/out-of-order/trap-branch/S1": {stats.MissClasses{Compulsory: 0x800, Capacity: 0x10dc, Conflict: 0x3a9, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x800, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"compress/out-of-order/condcode/CC1":   {stats.MissClasses{Compulsory: 0x800, Capacity: 0x10dc, Conflict: 0x3a9, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x800, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"compress/in-order/off/N":              {stats.MissClasses{Compulsory: 0x800, Capacity: 0x27b5, Conflict: 0x34e, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x800, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"compress/in-order/trap-branch/S1":     {stats.MissClasses{Compulsory: 0x800, Capacity: 0x27b5, Conflict: 0x34e, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x800, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"compress/in-order/condcode/CC1":       {stats.MissClasses{Compulsory: 0x800, Capacity: 0x27b5, Conflict: 0x34e, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x800, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"espresso/out-of-order/off/N":          {stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"espresso/out-of-order/trap-branch/S1": {stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"espresso/out-of-order/condcode/CC1":   {stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"espresso/in-order/off/N":              {stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"espresso/in-order/trap-branch/S1":     {stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"espresso/in-order/condcode/CC1":       {stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0xc0, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"tomcatv/out-of-order/off/N":           {stats.MissClasses{Compulsory: 0x1001, Capacity: 0x5000, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x1001, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"tomcatv/out-of-order/trap-branch/S1":  {stats.MissClasses{Compulsory: 0x1001, Capacity: 0x5000, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x1001, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"tomcatv/out-of-order/condcode/CC1":    {stats.MissClasses{Compulsory: 0x1001, Capacity: 0x5000, Conflict: 0x0, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x1001, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"tomcatv/in-order/off/N":               {stats.MissClasses{Compulsory: 0x1001, Capacity: 0x5000, Conflict: 0x15000, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x1001, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"tomcatv/in-order/trap-branch/S1":      {stats.MissClasses{Compulsory: 0x1001, Capacity: 0x5000, Conflict: 0x15000, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x1001, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+	"tomcatv/in-order/condcode/CC1":        {stats.MissClasses{Compulsory: 0x1001, Capacity: 0x5000, Conflict: 0x15000, Coherence: 0x0}, stats.MissClasses{Compulsory: 0x1001, Capacity: 0x0, Conflict: 0x0, Coherence: 0x0}},
+}

@@ -20,6 +20,11 @@ import (
 // The paper's largest handler is 100 instructions.
 const maxHandlerK = 1000
 
+// maxPrefetchDist bounds the byte displacement a PF<d> label may request
+// (the useful range is a handful of cache lines; the bound just keeps
+// remote input sane).
+const maxPrefetchDist = 1 << 16
+
 // PlanByLabel resolves a report-style plan label into the PlanSpec that
 // produces it, accepting exactly the labels the experiment tables print:
 //
@@ -28,6 +33,7 @@ const maxHandlerK = 1000
 //	S<k>, U<k>       single/unique K-instruction trap handlers
 //	CC<k>            the explicit condition-code check
 //	SMP<k>/<p>       sampled single handler (p a power of two)
+//	PF<d>            per-site stride-prefetch handler, d bytes ahead (§6)
 //	S<k>/exception   trap delivered as a graduation exception (§3.2);
 //	                 the "/branch" suffix is accepted and canonicalised
 //	                 away, branch delivery being the default
@@ -64,6 +70,15 @@ func PlanByLabel(label string) (PlanSpec, error) {
 		}
 		return PlanSpec{plan.Name(), core.TrapBranch,
 			func() workload.Plan { return workload.MustPlanSampled(k, p) }}, nil
+	}
+
+	if rest, ok := strings.CutPrefix(label, "PF"); ok {
+		d, err := strconv.Atoi(rest)
+		if err != nil || d < 1 || d > maxPrefetchDist {
+			return bad()
+		}
+		return PlanSpec{fmt.Sprintf("PF%d", d), core.TrapBranch,
+			func() workload.Plan { return workload.NewPlanPrefetch(int64(d)) }}, nil
 	}
 
 	if rest, ok := strings.CutPrefix(label, "CC"); ok {
@@ -209,6 +224,13 @@ func Named(name string) (NamedExperiment, error) {
 			Benchmarks: mustBench("compress", "espresso", "alvinn", "tomcatv"),
 			Specs:      MotivationPlans(),
 		}, nil
+	case "prefetch":
+		return NamedExperiment{
+			Name:       name,
+			Title:      "§6 case study: stride prefetching written as a miss handler",
+			Benchmarks: mustBench("compress", "espresso", "tomcatv"),
+			Specs:      PrefetchPlans(),
+		}, nil
 	}
 	return NamedExperiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
 }
@@ -216,5 +238,5 @@ func Named(name string) (NamedExperiment, error) {
 // NamedExperimentNames lists the experiments Named resolves, in the order
 // cmd/handlerbench runs them.
 func NamedExperimentNames() []string {
-	return []string{"fig2", "fig3", "h100", "condcode", "sampling", "counters"}
+	return []string{"fig2", "fig3", "h100", "condcode", "sampling", "counters", "prefetch"}
 }

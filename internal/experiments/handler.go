@@ -113,6 +113,11 @@ type Options struct {
 	// bit-identical results — see internal/sched's determinism contract.
 	Workers int
 
+	// Policy selects the data-hierarchy replacement policy for every cell
+	// ("" or "lru" = the built-in true-LRU path; see mem.PolicyNames).
+	// Invalid names surface as the first cell's run error.
+	Policy string
+
 	// Baseline names the plan label every result is normalised against
 	// (the figures' y-axis). Empty selects the spec labelled "N"; when no
 	// such spec exists HandlerOverhead returns an error instead of
@@ -219,7 +224,8 @@ func HandlerOverhead(bms []workload.Benchmark, specs []PlanSpec, opt Options) ([
 			if err != nil {
 				return Result{}, fmt.Errorf("%s/%s: %w", c.bm.Name, c.spec.Label, err)
 			}
-			cfg := configFor(c.machine, c.spec.Scheme).WithMaxInsts(opt.MaxInsts).WithContext(ctx)
+			cfg := configFor(c.machine, c.spec.Scheme).WithPolicy(opt.Policy).
+				WithMaxInsts(opt.MaxInsts).WithContext(ctx)
 			if opt.Obs != nil {
 				cfg = cfg.WithObs(opt.Obs)
 			}
@@ -282,6 +288,35 @@ func H100(opt Options) ([]Result, error) {
 		bms = append(bms, bm)
 	}
 	return HandlerOverhead(bms, H100Plans(), opt)
+}
+
+// PrefetchPlans returns the §6 case-study bars: the baseline against
+// stride-prefetch miss handlers reaching one and four 32-byte lines
+// beyond the missing reference.
+func PrefetchPlans() []PlanSpec {
+	return []PlanSpec{
+		{"N", core.Off, func() workload.Plan { return workload.NewPlanNone() }},
+		{"PF32", core.TrapBranch, func() workload.Plan { return workload.NewPlanPrefetch(32) }},
+		{"PF128", core.TrapBranch, func() workload.Plan { return workload.NewPlanPrefetch(128) }},
+	}
+}
+
+// PrefetchCaseStudy runs the §6 case study — prefetching written as an
+// informing miss handler — on the three golden-grid benchmarks. The
+// results carry the per-class miss taxonomy in each Run (L1Tax/L2Tax),
+// which FormatTaxonomy renders as the case-study table: the point is not
+// the handler's overhead but how the prefetch distance moves misses
+// between taxonomy classes.
+func PrefetchCaseStudy(opt Options) ([]Result, error) {
+	var bms []workload.Benchmark
+	for _, name := range []string{"compress", "espresso", "tomcatv"} {
+		bm, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		bms = append(bms, bm)
+	}
+	return HandlerOverhead(bms, PrefetchPlans(), opt)
 }
 
 // TrapModeComparison reproduces the §4.2.2 branch-vs-exception result:

@@ -109,6 +109,37 @@ func FormatOverheadSummary(results []Result) string {
 	return sb.String()
 }
 
+// FormatTaxonomy renders the miss-taxonomy companion table of a sweep:
+// one row per cell showing the L1 miss count, its compulsory / capacity /
+// conflict / coherence split, and the normalised execution time. This is
+// the §6 case-study view — a stride-prefetch handler's effect shows up as
+// demand misses leaving the capacity/conflict classes, which the overhead
+// figures alone cannot distinguish from the handler merely being cheap.
+func FormatTaxonomy(title string, results []Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	sb.WriteString("(L1 misses by cause; norm = execution time vs. baseline)\n")
+	for _, machine := range []core.Machine{core.OutOfOrder, core.InOrder} {
+		first := true
+		for _, r := range results {
+			if r.Machine != machine {
+				continue
+			}
+			if first {
+				fmt.Fprintf(&sb, "\n--- %v machine ---\n", machine)
+				fmt.Fprintf(&sb, "%-10s %-8s %10s %10s %10s %10s %10s %7s\n",
+					"benchmark", "plan", "l1miss", "compulsory", "capacity", "conflict", "coherence", "norm")
+				first = false
+			}
+			tx := r.Run.L1Tax
+			fmt.Fprintf(&sb, "%-10s %-8s %10d %10d %10d %10d %10d %7.2f\n",
+				r.Benchmark, r.Plan, r.Run.L1Misses,
+				tx.Compulsory, tx.Capacity, tx.Conflict, tx.Coherence, r.Norm.Total())
+		}
+	}
+	return sb.String()
+}
+
 // FormatRuns prints the raw per-run statistics (for -v output and
 // EXPERIMENTS.md appendices).
 func FormatRuns(results []Result) string {

@@ -533,5 +533,10 @@ loop:
 	out.MSHRFullStalls = timing.MSHRFullStalls
 	out.MSHRMerges = timing.Merges
 	out.MSHRPeak = timing.PeakInUse
+	// Per-class miss taxonomy, classified at fill time inside the
+	// hierarchy; the classes sum to out.L1Misses/out.L2Misses
+	// (stats.Run.CheckTaxonomy).
+	out.L1Tax = hier.L1.Taxonomy()
+	out.L2Tax = hier.L2.Taxonomy()
 	return out, m, nil
 }

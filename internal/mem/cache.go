@@ -9,11 +9,15 @@ package mem
 
 import "fmt"
 
-// CacheConfig describes one cache.
+// CacheConfig describes one cache. Policy names the replacement policy
+// ("" or "lru" for the built-in true-LRU path; "srrip", "brrip", "trrip"
+// for the Policy-seam implementations — see NewPolicy). The config stays
+// a comparable value type so hierarchy configs remain usable as map keys.
 type CacheConfig struct {
 	SizeBytes int
 	LineBytes int
 	Assoc     int
+	Policy    string
 }
 
 // Sets returns the number of sets implied by the configuration.
@@ -33,7 +37,7 @@ func (c CacheConfig) validate() error {
 	case c.Sets()&(c.Sets()-1) != 0:
 		return fmt.Errorf("mem: set count %d not a power of two", c.Sets())
 	}
-	return nil
+	return ValidPolicy(c.Policy)
 }
 
 // Cache is a set-associative cache with true-LRU replacement. It tracks
@@ -59,6 +63,16 @@ type Cache struct {
 	memoIdx  int32  // global way index of the memoized line
 	memoOK   bool
 
+	// pol, when non-nil, is the replacement policy the cache was built
+	// with; polMeta is its per-way metadata (set-major, parallel to
+	// ways). nil pol selects the built-in true-LRU path, which uses
+	// way.used/stamp and never consults the seam.
+	pol     Policy
+	polMeta []uint64
+
+	// tax, when non-nil, classifies every miss online (see Taxonomy).
+	tax *Taxonomy
+
 	// Statistics.
 	Accesses uint64
 	Misses   uint64
@@ -82,12 +96,21 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	for 1<<shift < cfg.LineBytes {
 		shift++
 	}
-	return &Cache{
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
 		cfg:       cfg,
 		lineShift: shift,
 		setMask:   uint64(cfg.Sets() - 1),
 		ways:      make([]way, cfg.Sets()*cfg.Assoc),
-	}, nil
+		pol:       pol,
+	}
+	if pol != nil {
+		c.polMeta = make([]uint64, cfg.Sets()*cfg.Assoc)
+	}
+	return c, nil
 }
 
 // MustCache is NewCache that panics on error; for tests and static
@@ -116,7 +139,7 @@ func (c *Cache) set(addr uint64) []way {
 // eviction of a dirty line occurred, the evicted line address.
 func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback uint64, wb bool) {
 	tag := addr >> c.lineShift
-	if c.memoOK && c.memoLine == tag {
+	if c.pol == nil && c.memoOK && c.memoLine == tag {
 		// Way-memo fast path: same line as the previous hit/fill.
 		c.Accesses++
 		c.stamp++
@@ -124,6 +147,9 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback uint64, wb 
 		w.used = c.stamp
 		if write {
 			w.dirty = true
+		}
+		if c.tax != nil {
+			c.tax.hit(tag, int(c.memoIdx))
 		}
 		return true, 0, false
 	}
@@ -133,8 +159,11 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback uint64, wb 
 // accessSlow is the full set scan; a single pass finds the hit way and, in
 // the same loop, the replacement victim (first invalid way, else true LRU
 // with lowest-index tie break — the same choice the historical two-scan
-// code made).
+// code made). Caches built with a non-LRU policy divert to accessPolicy.
 func (c *Cache) accessSlow(tag uint64, write bool) (hit bool, writeback uint64, wb bool) {
+	if c.pol != nil {
+		return c.accessPolicy(tag, write)
+	}
 	c.Accesses++
 	base := int(tag&c.setMask) * c.cfg.Assoc
 	set := c.ways[base : base+c.cfg.Assoc]
@@ -148,6 +177,9 @@ func (c *Cache) accessSlow(tag uint64, write bool) (hit bool, writeback uint64, 
 				w.dirty = true
 			}
 			c.memoLine, c.memoIdx, c.memoOK = tag, int32(base+i), true
+			if c.tax != nil {
+				c.tax.hit(tag, base+i)
+			}
 			return true, 0, false
 		}
 		if !invalidFound {
@@ -159,6 +191,9 @@ func (c *Cache) accessSlow(tag uint64, write bool) (hit bool, writeback uint64, 
 		}
 	}
 	c.Misses++
+	if c.tax != nil {
+		c.tax.miss(tag, base+victim)
+	}
 	w := &set[victim]
 	if w.valid && w.dirty {
 		writeback = w.tag << c.lineShift
@@ -168,6 +203,57 @@ func (c *Cache) accessSlow(tag uint64, write bool) (hit bool, writeback uint64, 
 	// Retarget the memo at the freshly filled line: the replacement may
 	// just have evicted the memoized line from this very way, and the new
 	// line is the MRU re-reference candidate either way.
+	c.memoLine, c.memoIdx, c.memoOK = tag, int32(base+victim), true
+	return false, writeback, wb
+}
+
+// accessPolicy is the Policy-seam access path: hit detection and the
+// first-invalid fill rule stay in the cache; replacement ordering (Touch/
+// Fill/Victim/Evict) belongs to the policy. The way memo is maintained
+// with the same invariant as the LRU path — the memoized (line, way)
+// always names a valid resident line — so Contains' memo consult stays
+// exact under every policy.
+func (c *Cache) accessPolicy(tag uint64, write bool) (hit bool, writeback uint64, wb bool) {
+	c.Accesses++
+	base := int(tag&c.setMask) * c.cfg.Assoc
+	set := c.ways[base : base+c.cfg.Assoc]
+	meta := c.polMeta[base : base+c.cfg.Assoc]
+	victim, invalidFound := -1, false
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			c.pol.Touch(meta, i)
+			if write {
+				w.dirty = true
+			}
+			c.memoLine, c.memoIdx, c.memoOK = tag, int32(base+i), true
+			if c.tax != nil {
+				c.tax.hit(tag, base+i)
+			}
+			return true, 0, false
+		}
+		if !invalidFound && !w.valid {
+			victim, invalidFound = i, true
+		}
+	}
+	c.Misses++
+	if !invalidFound {
+		victim = c.pol.Victim(meta)
+		c.pol.Evict(set[victim].tag, meta[victim])
+	}
+	if c.tax != nil {
+		// After victim selection so the classifier can re-aim the way
+		// memo at the filled way; the classifier shares no state with
+		// the policy, so the move is observation-order neutral.
+		c.tax.miss(tag, base+victim)
+	}
+	w := &set[victim]
+	if w.valid && w.dirty {
+		writeback = w.tag << c.lineShift
+		wb = true
+	}
+	*w = way{tag: tag, valid: true, dirty: write}
+	c.pol.Fill(meta, victim, tag)
 	c.memoLine, c.memoIdx, c.memoOK = tag, int32(base+victim), true
 	return false, writeback, wb
 }
@@ -196,23 +282,40 @@ func (c *Cache) Invalidate(addr uint64) bool {
 	if c.memoOK && c.memoLine == tag {
 		c.memoOK = false
 		c.ways[c.memoIdx] = way{}
+		if c.polMeta != nil {
+			c.polMeta[c.memoIdx] = 0
+		}
 		return true
 	}
 	set := c.set(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i] = way{}
+			if c.polMeta != nil {
+				c.polMeta[int(addr>>c.lineShift&c.setMask)*c.cfg.Assoc+i] = 0
+			}
 			return true
 		}
 	}
 	return false
 }
 
-// Flush invalidates the entire cache (context switch modelling).
+// Flush invalidates the entire cache (context switch modelling). The
+// taxonomy's fully-associative shadow is flushed alongside, so post-flush
+// re-references classify as capacity misses rather than inheriting
+// pre-switch recency.
 func (c *Cache) Flush() {
 	c.memoOK = false
 	for i := range c.ways {
 		c.ways[i] = way{}
+	}
+	if c.polMeta != nil {
+		for i := range c.polMeta {
+			c.polMeta[i] = 0
+		}
+	}
+	if c.tax != nil {
+		c.tax.flush()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"informing/internal/obs"
+	"informing/internal/stats"
 )
 
 // HierConfig describes a two-level data hierarchy (Table 1).
@@ -37,6 +38,7 @@ type Hierarchy struct {
 
 	// prev* are the counter values at the last FlushObs.
 	prevRefs, prevL1M, prevL2M uint64
+	prevT1, prevT2             stats.MissClasses
 }
 
 // FlushObs pushes the per-level reference counts accumulated since the
@@ -51,10 +53,17 @@ func (h *Hierarchy) FlushObs() {
 	h.Obs.Levels[2].Add((l1m - h.prevL1M) - (l2m - h.prevL2M))
 	h.Obs.Levels[3].Add(l2m - h.prevL2M)
 	h.prevRefs, h.prevL1M, h.prevL2M = refs, l1m, l2m
+	t1, t2 := h.L1.Taxonomy(), h.L2.Taxonomy()
+	h.Obs.AddMissClasses(1, t1.Sub(h.prevT1))
+	h.Obs.AddMissClasses(2, t2.Sub(h.prevT2))
+	h.prevT1, h.prevT2 = t1, t2
 }
 
 // NewHierarchy builds the hierarchy, rejecting invalid level
-// configurations with an error.
+// configurations with an error. The online miss taxonomy (DESIGN.md §17)
+// is enabled on both data levels: classification is observation-only, so
+// the hierarchy's hit/miss/LRU behaviour stays bit-identical to an
+// unclassified one.
 func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 	l1, err := NewCache(cfg.L1)
 	if err != nil {
@@ -64,6 +73,8 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("L2: %w", err)
 	}
+	l1.EnableTaxonomy()
+	l2.EnableTaxonomy()
 	return &Hierarchy{L1: l1, L2: l2}, nil
 }
 
@@ -79,7 +90,7 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 func (h *Hierarchy) ProbeData(addr uint64, write bool) int {
 	l1 := h.L1
 	tag := addr >> l1.lineShift
-	if l1.memoOK && l1.memoLine == tag {
+	if l1.pol == nil && l1.memoOK && l1.memoLine == tag {
 		h.Refs++
 		l1.Accesses++
 		l1.stamp++
@@ -87,6 +98,9 @@ func (h *Hierarchy) ProbeData(addr uint64, write bool) int {
 		w.used = l1.stamp
 		if write {
 			w.dirty = true
+		}
+		if t := l1.tax; t != nil {
+			t.hit(tag, int(l1.memoIdx))
 		}
 		return 1
 	}

@@ -1,0 +1,197 @@
+package mem
+
+import "fmt"
+
+// Policy is the replacement-policy seam (DESIGN.md §17). A Cache built
+// with a named non-LRU policy routes every hit, fill and victim decision
+// through these hooks; the default true-LRU replacement stays on the
+// historical inline path (bit-identical to the pre-seam cache) and never
+// sees a Policy call.
+//
+// The hooks operate on a per-set slice of per-way metadata words. The
+// cache owns the words and guarantees:
+//
+//   - meta has exactly Assoc entries, in way order, zero on construction
+//     and after any invalidation of the way;
+//   - Touch is called on every hit (including memoized hits) with the
+//     hitting way — and never from Contains, which must not disturb
+//     replacement state;
+//   - Fill is called after the victim's way has been loaded with the new
+//     tag (the cache fills the first invalid way itself; Victim is
+//     consulted only when the set is full);
+//   - Evict is called just before a valid victim is overwritten, with the
+//     evicted tag and its final metadata word, so history-keeping
+//     policies (TRRIP) can record the line's fate.
+type Policy interface {
+	// Name returns the registry name the policy was built under.
+	Name() string
+	// Touch records a hit on way w.
+	Touch(meta []uint64, w int)
+	// Fill initialises way w's metadata for newly filled tag.
+	Fill(meta []uint64, w int, tag uint64)
+	// Victim picks the way to replace in a full set.
+	Victim(meta []uint64) int
+	// Evict observes the eviction of tag whose final metadata was m.
+	Evict(tag uint64, m uint64)
+}
+
+// PolicyLRU is the default replacement policy name; it (and the empty
+// string) select the built-in true-LRU fast path rather than a Policy
+// implementation.
+const PolicyLRU = "lru"
+
+// PolicyNames lists the valid CacheConfig.Policy values, default first.
+func PolicyNames() []string { return []string{PolicyLRU, "srrip", "brrip", "trrip"} }
+
+// NewPolicy resolves a replacement-policy name. The empty string and
+// "lru" return nil: the built-in true-LRU path needs no Policy object.
+// Unknown names are an error (the library panic-to-error policy).
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", PolicyLRU:
+		return nil, nil
+	case "srrip":
+		return &srrip{}, nil
+	case "brrip":
+		return &brrip{}, nil
+	case "trrip":
+		return newTRRIP(), nil
+	}
+	return nil, fmt.Errorf("mem: unknown replacement policy %q (have %v)", name, PolicyNames())
+}
+
+// ValidPolicy reports whether name resolves (request validation in
+// internal/serve and the CLIs, without constructing state).
+func ValidPolicy(name string) error {
+	_, err := NewPolicy(name)
+	return err
+}
+
+// RRIP metadata layout (shared by srrip/brrip/trrip): bits 0..1 hold the
+// 2-bit re-reference prediction value (RRPV; 0 = imminent, 3 = distant),
+// bit 2 is the reuse bit — set on the first hit after fill, read at
+// eviction by the temperature-informed variant.
+const (
+	rrpvMask   = 0b11
+	rrpvMax    = 3
+	reuseBit   = 1 << 2
+	rrpvLong   = 2 // SRRIP insertion: long re-reference interval
+	rrpvDist   = 3 // BRRIP common insertion: distant
+	rrpvNear   = 1 // TRRIP hot insertion: near-imminent
+	brripEvery = 32
+)
+
+// srrip is Static RRIP (SRRIP-HP): insert at RRPV 2, promote to 0 on
+// hit, evict the first way (lowest index) at RRPV 3, aging the whole set
+// until one exists.
+type srrip struct{}
+
+func (*srrip) Name() string { return "srrip" }
+
+func (*srrip) Touch(meta []uint64, w int) { meta[w] = reuseBit } // RRPV 0 + reused
+
+func (*srrip) Fill(meta []uint64, w int, tag uint64) { meta[w] = rrpvLong }
+
+func (*srrip) Victim(meta []uint64) int { return rripVictim(meta) }
+
+func (*srrip) Evict(tag uint64, m uint64) {}
+
+// rripVictim scans for the first way at maximum RRPV, aging every way by
+// one until such a way exists. Terminates: each aging pass strictly
+// increases the set's maximum RRPV toward rrpvMax.
+func rripVictim(meta []uint64) int {
+	for {
+		for i, m := range meta {
+			if m&rrpvMask == rrpvMax {
+				return i
+			}
+		}
+		for i := range meta {
+			meta[i]++ // low bits only ever reach rrpvMax before returning
+		}
+	}
+}
+
+// brrip is Bimodal RRIP: like SRRIP but inserting at distant RRPV 3,
+// except every 32nd fill which inserts at 2. The "bimodal" choice is a
+// deterministic fill counter rather than a random draw so runs are
+// reproducible (the repository-wide determinism contract).
+type brrip struct {
+	fills uint64
+}
+
+func (*brrip) Name() string { return "brrip" }
+
+func (*brrip) Touch(meta []uint64, w int) { meta[w] = reuseBit }
+
+func (b *brrip) Fill(meta []uint64, w int, tag uint64) {
+	b.fills++
+	if b.fills%brripEvery == 0 {
+		meta[w] = rrpvLong
+	} else {
+		meta[w] = rrpvDist
+	}
+}
+
+func (*brrip) Victim(meta []uint64) int { return rripVictim(meta) }
+
+func (*brrip) Evict(tag uint64, m uint64) {}
+
+// trrip is the TRRIP-style temperature-informed RRIP variant (PAPERS.md):
+// a bounded filter remembers recently evicted tags together with whether
+// the line was reused during its residency. Refills of tags that proved
+// hot (reused before eviction) insert near-imminent (RRPV 1); refills of
+// tags that proved cold insert distant (RRPV 3); unknown tags take the
+// SRRIP default (RRPV 2).
+type trrip struct {
+	temp map[uint64]uint8 // evicted tag -> tempHot/tempCold
+	ring []uint64         // FIFO of remembered tags, bounding temp
+	next int
+}
+
+const (
+	trripHistory = 1024
+	tempCold     = 1
+	tempHot      = 2
+)
+
+func newTRRIP() *trrip {
+	return &trrip{
+		temp: make(map[uint64]uint8, trripHistory),
+		ring: make([]uint64, 0, trripHistory),
+	}
+}
+
+func (*trrip) Name() string { return "trrip" }
+
+func (*trrip) Touch(meta []uint64, w int) { meta[w] = reuseBit }
+
+func (t *trrip) Fill(meta []uint64, w int, tag uint64) {
+	switch t.temp[tag] {
+	case tempHot:
+		meta[w] = rrpvNear
+	case tempCold:
+		meta[w] = rrpvDist
+	default:
+		meta[w] = rrpvLong
+	}
+}
+
+func (*trrip) Victim(meta []uint64) int { return rripVictim(meta) }
+
+func (t *trrip) Evict(tag uint64, m uint64) {
+	temp := uint8(tempCold)
+	if m&reuseBit != 0 {
+		temp = tempHot
+	}
+	if _, known := t.temp[tag]; !known {
+		if len(t.ring) < trripHistory {
+			t.ring = append(t.ring, tag)
+		} else {
+			delete(t.temp, t.ring[t.next])
+			t.ring[t.next] = tag
+			t.next = (t.next + 1) % trripHistory
+		}
+	}
+	t.temp[tag] = temp
+}

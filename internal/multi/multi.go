@@ -18,6 +18,7 @@ import (
 	"informing/internal/interp"
 	"informing/internal/mem"
 	"informing/internal/obs"
+	"informing/internal/stats"
 )
 
 // Config holds the machine parameters of Table 2.
@@ -150,6 +151,16 @@ type Result struct {
 	ProtocolCycles int64 // state changes + messages
 	MemoryCycles   int64 // cache-miss stall
 	ComputeCycles  int64
+
+	// Miss taxonomy aggregated across the private cache pairs
+	// (DESIGN.md §17). Protocol invalidations are attributed through
+	// InvalidateCoherence, so re-references to invalidated lines classify
+	// as coherence misses. The classes sum to CacheL1Misses/CacheL2Misses
+	// — the raw cache-level miss counts — not to Result.L1Misses, which
+	// counts only shared sufficient-protection misses and protocol
+	// actions (private-reference misses are priced but not broken out).
+	L1Tax, L2Tax                 stats.MissClasses
+	CacheL1Misses, CacheL2Misses uint64
 }
 
 type dirEntry struct {
@@ -192,6 +203,11 @@ func newMachine(cfg Config, pol AccessPolicy) (*machine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("multi: proc %d L2: %w", i, err)
 		}
+		// Observation-only miss classification (DESIGN.md §17); protocol
+		// invalidations arrive via InvalidateCoherence so re-references
+		// attribute to the coherence class.
+		l1.EnableTaxonomy()
+		l2.EnableTaxonomy()
 		m.procs[i] = proc{
 			l1:     l1,
 			l2:     l2,
@@ -230,9 +246,10 @@ func (m *machine) setState(p int, line uint64, s ProtState) {
 	if s == Invalid {
 		delete(pr.state, line)
 		// Invalid blocks are evicted from the caches (the basis of
-		// miss-driven detection).
-		pr.l1.Invalidate(line)
-		pr.l2.Invalidate(line)
+		// miss-driven detection); the coherence-marked invalidation makes
+		// the taxonomy attribute the line's next miss to the protocol.
+		pr.l1.InvalidateCoherence(line)
+		pr.l2.InvalidateCoherence(line)
 	} else {
 		pr.state[line] = s
 	}
@@ -461,11 +478,17 @@ func (m *machine) invariants() error {
 }
 
 func (m *machine) result() Result {
+	m.res.L1Tax, m.res.L2Tax = stats.MissClasses{}, stats.MissClasses{}
+	m.res.CacheL1Misses, m.res.CacheL2Misses = 0, 0
 	for p := range m.procs {
 		m.res.PerProc[p] = m.procs[p].clock
 		if m.procs[p].clock > m.res.Cycles {
 			m.res.Cycles = m.procs[p].clock
 		}
+		m.res.L1Tax = m.res.L1Tax.Add(m.procs[p].l1.Taxonomy())
+		m.res.L2Tax = m.res.L2Tax.Add(m.procs[p].l2.Taxonomy())
+		m.res.CacheL1Misses += m.procs[p].l1.Misses
+		m.res.CacheL2Misses += m.procs[p].l2.Misses
 	}
 	return m.res
 }
@@ -535,6 +558,8 @@ func Simulate(app App, pol AccessPolicy, cfg Config) (Result, error) {
 	res := m.result()
 	if cfg.Obs != nil {
 		cfg.Obs.Cycles.Add(uint64(res.Cycles))
+		cfg.Obs.AddMissClasses(1, res.L1Tax)
+		cfg.Obs.AddMissClasses(2, res.L2Tax)
 	}
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"informing/internal/isa"
+	"informing/internal/stats"
 )
 
 // Canonical metric names registered by NewSim. The per-opcode issue-stall
@@ -17,7 +18,12 @@ const (
 	MetricTrapLatency = "sim_trap_latency_cycles"
 	MetricHandlerOcc  = "sim_handler_instrs"
 	MetricIssueStall  = "sim_issue_stall_cycles"
+	MetricMissClass   = "sim_miss_class_l" // + level + ":" + class name
 )
+
+// MissClassNames indexes the miss-taxonomy counters (DESIGN.md §17); the
+// order matches the TaxL1/TaxL2 arrays and stats.MissClasses' fields.
+var MissClassNames = [4]string{"compulsory", "capacity", "conflict", "coherence"}
 
 // latencyBounds covers the cycle latencies the Table 1 machines can
 // produce: L1 hits (2), L2 hits (11-12), memory (50-75) and MSHR/bank
@@ -64,6 +70,12 @@ type Sim struct {
 	TrapLatency *Histogram
 	HandlerOcc  *Histogram
 	IssueStalls [isa.NumOps]*Counter
+
+	// TaxL1/TaxL2 are the per-level miss-taxonomy counters, indexed by
+	// MissClassNames order (compulsory, capacity, conflict, coherence);
+	// fed as deltas by mem.Hierarchy.FlushObs and internal/multi.
+	TaxL1 [4]*Counter
+	TaxL2 [4]*Counter
 }
 
 // NewSim builds a registry pre-populated with every simulator metric and
@@ -88,7 +100,30 @@ func NewSim() *Sim {
 	for op := 0; op < isa.NumOps; op++ {
 		s.IssueStalls[op] = reg.Counter(fmt.Sprintf("%s:%v", MetricIssueStall, isa.Op(op)))
 	}
+	for i, name := range MissClassNames {
+		s.TaxL1[i] = reg.Counter(fmt.Sprintf("%s1:%s", MetricMissClass, name))
+		s.TaxL2[i] = reg.Counter(fmt.Sprintf("%s2:%s", MetricMissClass, name))
+	}
 	return s
+}
+
+// AddMissClasses accumulates a per-class miss delta for hierarchy level
+// lvl (1 = L1, 2 = L2); other levels are ignored. The four counts are
+// passed in MissClassNames order.
+func (s *Sim) AddMissClasses(lvl int, d stats.MissClasses) {
+	var tax *[4]*Counter
+	switch lvl {
+	case 1:
+		tax = &s.TaxL1
+	case 2:
+		tax = &s.TaxL2
+	default:
+		return
+	}
+	tax[0].Add(d.Compulsory)
+	tax[1].Add(d.Capacity)
+	tax[2].Add(d.Conflict)
+	tax[3].Add(d.Coherence)
 }
 
 // Level counts one data reference resolved at hierarchy level lvl

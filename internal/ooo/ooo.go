@@ -824,5 +824,12 @@ func RunDetailed(prog *isa.Program, cfg Config) (stats.Run, *interp.Machine, err
 	out.MSHRFullStalls = timing.MSHRFullStalls
 	out.MSHRMerges = timing.Merges
 	out.MSHRPeak = timing.PeakInUse
+	// Per-class miss taxonomy, classified at fill time inside the
+	// hierarchy. With SpecInjectEvery off the hierarchy sees exactly the
+	// architectural reference stream, so the classes sum to
+	// out.L1Misses/out.L2Misses (stats.Run.CheckTaxonomy); injected §3.3
+	// probes additionally classify their own misses.
+	out.L1Tax = hier.L1.Taxonomy()
+	out.L2Tax = hier.L2.Taxonomy()
 	return out, m, nil
 }

@@ -1,9 +1,13 @@
 // Package progen generates seeded random — but always-terminating —
 // assembler programs, richer than any hand-written kernel: counted
 // (optionally nested) loops over ALU and floating-point work, masked and
-// strided buffer loads/stores, prefetches, forward skip branches, and
-// per-seed informing schemes (off, miss traps with a counting handler,
-// condition-code BMISS chains). Paired with CrossCheck it is the
+// strided buffer loads/stores, prefetches, forward skip branches,
+// per-seed informing schemes (off, miss traps with a counting handler —
+// or, for half the Trap seeds, a §6-style handler that also prefetches a
+// stride ahead of the miss — condition-code BMISS chains), and a
+// per-seed replacement policy drawn from mem.PolicyNames so the Policy
+// seam is fuzzed alongside the default LRU path. Paired with CrossCheck
+// it is the
 // cross-engine differential fuzzer from ROADMAP item 1: the functional
 // interpreter (driven by a real cache hierarchy), the in-order core and
 // the out-of-order core must agree on every bit of architectural state
@@ -63,7 +67,15 @@ func (m Mode) InterpMode() interp.Mode {
 type Program struct {
 	Seed int64
 	Mode Mode
-	Prog *isa.Program
+	// Policy is the seed-derived data-hierarchy replacement policy every
+	// engine must run under (one of mem.PolicyNames), so the differential
+	// fuzzer covers the Policy seam as well as the default LRU path.
+	Policy string
+	// Prefetch reports that a Trap-mode program's miss handler issues a
+	// stride-ahead software prefetch (the §6 case-study handler shape)
+	// in addition to counting.
+	Prefetch bool
+	Prog     *isa.Program
 }
 
 // Register conventions inside generated code. General-purpose picks stay
@@ -86,13 +98,27 @@ const bufBytes = 1 << 15 // 32 KB buffer: larger than L1, smaller than L2
 func Generate(seed int64) *Program {
 	r := rand.New(rand.NewSource(seed))
 	mode := Mode(r.Intn(3))
+	policy := mem.PolicyNames()[r.Intn(len(mem.PolicyNames()))]
 	b := asm.NewBuilder()
 	buf := b.Alloc("buf", bufBytes)
 
+	prefetch := false
 	if mode == Trap {
 		// Counting miss handler: the paper's simplest profiling client.
+		// Half the seeds grow it into the §6 case-study shape — the
+		// handler also prefetches a fixed stride ahead of the miss. The
+		// ISA has no miss-address register, so the handler reads the
+		// reference's address from regAddr, which every informing access
+		// below computes immediately before the access and which the
+		// handler itself never clobbers (the PlanPrefetch technique:
+		// base registers stay live into the handler).
+		prefetch = r.Intn(2) == 1
+		dist := int64(32 * (1 + r.Intn(8)))
 		b.J("main")
 		b.Label("h")
+		if prefetch {
+			b.Prefetch(regAddr, dist)
+		}
 		b.Addi(regHandler, regHandler, 1)
 		b.Rfmh()
 		b.Label("main")
@@ -126,7 +152,7 @@ func Generate(seed int64) *Program {
 		}
 	}
 	b.Halt()
-	return &Program{Seed: seed, Mode: mode, Prog: b.MustFinish()}
+	return &Program{Seed: seed, Mode: mode, Policy: policy, Prefetch: prefetch, Prog: b.MustFinish()}
 }
 
 // gen holds the per-program generation state.
@@ -296,6 +322,22 @@ func CrossCheck(p *Program, runner Runner, maxInsts uint64) error {
 			return fmt.Errorf("seed %d (%s): %s counted %d traps, functional %d",
 				p.Seed, p.Mode, name, run.Traps, eng.Interp.Traps)
 		}
+		// Miss-taxonomy conservation: on every engine the four classes
+		// partition the misses exactly (CheckTaxonomy compares against the
+		// classifier-side totals, which on the out-of-order core include
+		// speculative wrong-path probes).
+		if err := run.CheckTaxonomy(); err != nil {
+			return fmt.Errorf("seed %d (%s): %s taxonomy: %w", p.Seed, p.Mode, name, err)
+		}
+	}
+	// The in-order core probes the hierarchy in exactly the architectural
+	// reference order the functional interpreter does, so its taxonomy must
+	// reproduce the functional hierarchy's class for class. (The
+	// out-of-order core's wrong-path probes perturb the classifiers, so
+	// only conservation is required of it.)
+	if l1, l2 := eng.Hier.L1.Taxonomy(), eng.Hier.L2.Taxonomy(); eng.InOrderRun.L1Tax != l1 || eng.InOrderRun.L2Tax != l2 {
+		return fmt.Errorf("seed %d (%s): inorder taxonomy L1{%v} L2{%v} != functional hierarchy L1{%v} L2{%v}",
+			p.Seed, p.Mode, eng.InOrderRun.L1Tax, eng.InOrderRun.L2Tax, l1, l2)
 	}
 	return nil
 }

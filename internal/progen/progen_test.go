@@ -23,9 +23,9 @@ func runEngines(p *progen.Program, maxInsts uint64) (*progen.Engines, error) {
 	default:
 		scheme = core.Off
 	}
-	ooo := core.R10000(scheme)
-	io := core.Alpha21164(scheme)
-	io.IO.Hier = ooo.OOO.Hier // common geometry for cross-engine equality
+	ooo := core.R10000(scheme).WithPolicy(p.Policy)
+	io := core.Alpha21164(scheme).WithPolicy(p.Policy)
+	io.IO.Hier = ooo.OOO.Hier // common geometry (and policy) for cross-engine equality
 
 	hier, err := mem.NewHierarchy(ooo.HierConfig())
 	if err != nil {
@@ -67,16 +67,35 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
-// All three informing modes must appear across a small seed range, or the
-// fuzzer silently loses a third of its coverage.
+// All three informing modes, all four replacement policies, and both
+// Trap-handler shapes (counting-only and counting+prefetch) must appear
+// across a small seed range, or the fuzzer silently loses coverage of a
+// whole dimension.
 func TestGenerateCoversModes(t *testing.T) {
-	seen := map[progen.Mode]bool{}
-	for seed := int64(0); seed < 32; seed++ {
-		seen[progen.Generate(seed).Mode] = true
+	modes := map[progen.Mode]bool{}
+	policies := map[string]bool{}
+	prefetch := map[bool]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		p := progen.Generate(seed)
+		modes[p.Mode] = true
+		policies[p.Policy] = true
+		if p.Mode == progen.Trap {
+			prefetch[p.Prefetch] = true
+		}
 	}
 	for _, m := range []progen.Mode{progen.Off, progen.Trap, progen.CondCode} {
-		if !seen[m] {
-			t.Errorf("mode %v never generated in seeds 0..31", m)
+		if !modes[m] {
+			t.Errorf("mode %v never generated in seeds 0..63", m)
+		}
+	}
+	for _, pol := range mem.PolicyNames() {
+		if !policies[pol] {
+			t.Errorf("policy %q never generated in seeds 0..63", pol)
+		}
+	}
+	for _, pf := range []bool{false, true} {
+		if !prefetch[pf] {
+			t.Errorf("trap handler shape prefetch=%v never generated in seeds 0..63", pf)
 		}
 	}
 }
@@ -97,9 +116,12 @@ func TestCrossEngineSeeds(t *testing.T) {
 
 // FuzzCrossEngine feeds arbitrary seeds through the generator and demands
 // cross-engine agreement. The committed corpus under testdata/fuzz covers
-// all three modes plus negative and large seeds.
+// all three modes plus negative and large seeds; the explicit seeds below
+// additionally pin prefetch-handler programs (4: lru, 13: srrip, 47:
+// trrip) and a non-LRU policy without traps (43: srrip) so the Policy
+// seam and the §6 handler shape stay in the deterministic corpus.
 func FuzzCrossEngine(f *testing.F) {
-	for _, seed := range []int64{0, 1, 2, 3, 7, -1, 1 << 40} {
+	for _, seed := range []int64{0, 1, 2, 3, 7, -1, 1 << 40, 4, 13, 43, 47} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

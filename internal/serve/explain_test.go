@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+)
+
+// explainCell is the light explain-test cell: one golden-grid point,
+// small enough to simulate in tens of milliseconds.
+func explainCell(policy string) Request {
+	return Request{Kind: KindCell, Benchmark: "compress", Plan: "N", Machine: MachineOOO, Policy: policy}
+}
+
+func checkBreakdown(t *testing.T, name string, b *ClassBreakdown) {
+	t.Helper()
+	if b == nil {
+		t.Fatalf("%s: no breakdown", name)
+	}
+	if sum := b.Compulsory + b.Capacity + b.Conflict + b.Coherence; sum != b.Misses {
+		t.Errorf("%s: classes sum to %d, misses %d", name, sum, b.Misses)
+	}
+	fsum := b.CompulsoryFrac + b.CapacityFrac + b.ConflictFrac + b.CoherenceFrac
+	switch {
+	case b.Misses == 0:
+		if fsum != 0 {
+			t.Errorf("%s: zero misses but fractions sum to %g", name, fsum)
+		}
+	case math.Abs(fsum-1) > 1e-9:
+		t.Errorf("%s: fractions sum to %g, want 1", name, fsum)
+	}
+}
+
+// TestExplainRoundTrip: POST /v1/explain answers with the taxonomy of the
+// same simulation /v1/simulate runs — one cache entry serves both views.
+// The repeat (and the cross-endpoint repeat) must be served from the
+// cache with a sim_instrs delta of exactly zero.
+func TestExplainRoundTrip(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	// Simulate first: the explain of the same cell below must be a cache
+	// hit — taxonomy is part of every stored outcome, not a re-simulation.
+	cell := explainCell("")
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{Cells: []Request{cell}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("simulate status = %d\n%s", resp.StatusCode, body)
+	}
+	sr := decodeSim(t, body)
+	if sr.Results[0].Error != nil {
+		t.Fatalf("simulate failed: %+v", sr.Results[0].Error)
+	}
+	run := sr.Results[0].Run
+
+	instrsBefore := s.Sim().Instrs.Load()
+	resp, body = postJSON(t, ts.URL+"/v1/explain", ExplainRequest{Cells: []Request{cell}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain status = %d\n%s", resp.StatusCode, body)
+	}
+	var er ExplainResponse
+	decodeTo(t, body, &er)
+	if len(er.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(er.Results))
+	}
+	res := er.Results[0]
+	if res.Error != nil {
+		t.Fatalf("explain failed: %+v", res.Error)
+	}
+	if !res.Cached {
+		t.Error("explain after simulate of the same cell was not a cache hit")
+	}
+	if delta := s.Sim().Instrs.Load() - instrsBefore; delta != 0 {
+		t.Errorf("explain of a cached cell simulated %d instructions, want 0", delta)
+	}
+	if res.Key != sr.Results[0].Key {
+		t.Errorf("explain key %s != simulate key %s (must share one cache entry)", res.Key, sr.Results[0].Key)
+	}
+	if res.Policy != "lru" {
+		t.Errorf("default policy echoed as %q, want %q", res.Policy, "lru")
+	}
+	checkBreakdown(t, "L1", res.L1)
+	checkBreakdown(t, "L2", res.L2)
+	// The breakdown is exactly the run's taxonomy, and the taxonomy
+	// conserves against the run's architectural miss counters.
+	if res.L1.Compulsory != run.L1Tax.Compulsory || res.L1.Capacity != run.L1Tax.Capacity ||
+		res.L1.Conflict != run.L1Tax.Conflict || res.L1.Coherence != run.L1Tax.Coherence {
+		t.Errorf("L1 breakdown %+v does not match run taxonomy %+v", *res.L1, run.L1Tax)
+	}
+	if res.L1.Misses != run.L1Misses {
+		t.Errorf("L1 breakdown misses %d, run L1Misses %d", res.L1.Misses, run.L1Misses)
+	}
+	if res.L2.Misses != run.L2Misses {
+		t.Errorf("L2 breakdown misses %d, run L2Misses %d", res.L2.Misses, run.L2Misses)
+	}
+
+	// A different policy is a different fingerprint: fresh computation,
+	// its own taxonomy, its own cache entry.
+	resp, body = postJSON(t, ts.URL+"/v1/explain", ExplainRequest{Cells: []Request{explainCell("srrip")}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("srrip explain status = %d\n%s", resp.StatusCode, body)
+	}
+	var er2 ExplainResponse
+	decodeTo(t, body, &er2)
+	res2 := er2.Results[0]
+	if res2.Error != nil {
+		t.Fatalf("srrip explain failed: %+v", res2.Error)
+	}
+	if res2.Cached {
+		t.Error("srrip cell was served from the lru cell's cache entry")
+	}
+	if res2.Key == res.Key {
+		t.Error("policy dimension did not change the cache key")
+	}
+	if res2.Policy != "srrip" {
+		t.Errorf("policy echoed as %q, want %q", res2.Policy, "srrip")
+	}
+	checkBreakdown(t, "srrip L1", res2.L1)
+	checkBreakdown(t, "srrip L2", res2.L2)
+
+	// Unknown policies are per-cell validation errors, like any other
+	// canonicalization failure.
+	_, body = postJSON(t, ts.URL+"/v1/explain", ExplainRequest{Cells: []Request{explainCell("mru")}})
+	var er3 ExplainResponse
+	decodeTo(t, body, &er3)
+	if er3.Results[0].Error == nil || er3.Results[0].Error.Code != CodeInvalid {
+		t.Errorf("unknown policy accepted: %+v", er3.Results[0])
+	}
+}
+
+// TestClusterExplain: /v1/explain participates in cluster routing like
+// /v1/simulate — a non-owned cell forwards to its rendezvous owner, and
+// the repeat through a DIFFERENT non-owner node is served from caches
+// with a cluster-wide sim_instrs delta of exactly zero.
+func TestClusterExplain(t *testing.T) {
+	nodes := newTestClusterNodes(t, 3, func(int) Config { return Config{} })
+
+	// Find a cell the ingress node does not own, so the first request
+	// actually takes the forwarding path.
+	cell := explainCell("")
+	owner := ownerIndex(t, nodes, cell)
+	ingress := (owner + 1) % len(nodes)
+	other := (owner + 2) % len(nodes)
+
+	resp, body := postJSON(t, nodes[ingress].ts.URL+"/v1/explain", ExplainRequest{Cells: []Request{cell}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain via node %d: status = %d\n%s", ingress, resp.StatusCode, body)
+	}
+	var er ExplainResponse
+	decodeTo(t, body, &er)
+	if er.Results[0].Error != nil {
+		t.Fatalf("explain failed: %+v", er.Results[0].Error)
+	}
+	checkBreakdown(t, "L1", er.Results[0].L1)
+	checkBreakdown(t, "L2", er.Results[0].L2)
+	if fwd := nodes[ingress].server().met.Forwarded.Load(); fwd == 0 {
+		t.Error("non-owned explain cell was not forwarded")
+	}
+
+	// Repeat through the third node (neither previous ingress nor owner):
+	// its forward reaches the owner's cache; nothing re-simulates anywhere.
+	instrsBefore := clusterInstrs(nodes)
+	resp, body = postJSON(t, nodes[other].ts.URL+"/v1/explain", ExplainRequest{Cells: []Request{cell}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain via node %d: status = %d\n%s", other, resp.StatusCode, body)
+	}
+	var er2 ExplainResponse
+	decodeTo(t, body, &er2)
+	res := er2.Results[0]
+	if res.Error != nil {
+		t.Fatalf("repeat explain failed: %+v", res.Error)
+	}
+	if !res.Cached {
+		t.Error("repeat explain via a non-owner node was not served from cache")
+	}
+	if delta := clusterInstrs(nodes) - instrsBefore; delta != 0 {
+		t.Errorf("repeat explain simulated %d instructions cluster-wide, want 0", delta)
+	}
+	if *res.L1 != *er.Results[0].L1 || *res.L2 != *er.Results[0].L2 {
+		t.Error("cached explain breakdown differs from the computed one")
+	}
+}

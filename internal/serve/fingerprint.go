@@ -12,7 +12,7 @@ import (
 // could differ. Bump it whenever a change would re-record the hot-path
 // golden grid (internal/core TestHotpathGolden) — the two pins guard the
 // same property from opposite directions.
-const CodeVersion = "informing-sim/5"
+const CodeVersion = "informing-sim/6"
 
 // Fingerprint returns the cache key of a canonical request: the first 16
 // bytes of the SHA-256 of its canonical string, hex-encoded (32
@@ -36,8 +36,8 @@ func Fingerprint(c Request) string {
 func canonicalString(c Request) string {
 	switch c.Kind {
 	case KindCell:
-		return fmt.Sprintf("%s|cell|bench=%s|plan=%s|machine=%s|scale=%d|maxinsts=%d",
-			CodeVersion, c.Benchmark, c.Plan, c.Machine, c.Scale, c.MaxInsts)
+		return fmt.Sprintf("%s|cell|bench=%s|plan=%s|machine=%s|scale=%d|maxinsts=%d|policy=%s",
+			CodeVersion, c.Benchmark, c.Plan, c.Machine, c.Scale, c.MaxInsts, c.Policy)
 	case KindFig4:
 		return fmt.Sprintf("%s|fig4|app=%s|scheme=%s|procs=%d|maxrefs=%d",
 			CodeVersion, c.App, c.Scheme, c.Processors, c.MaxRefs)

@@ -20,6 +20,7 @@ func TestFingerprintSpellingInvariance(t *testing.T) {
 			{Kind: KindCell, Benchmark: "compress", Plan: "S1", Machine: "out-of-order"},
 			{Kind: KindCell, Benchmark: "compress", Plan: "S1/branch", Scale: 1},
 			{Kind: KindCell, Benchmark: "compress", Plan: "S1", MaxInsts: DefaultMaxInsts},
+			{Kind: KindCell, Benchmark: "compress", Plan: "S1", Policy: "lru"},
 		},
 		{
 			{Kind: KindCell, Benchmark: "tomcatv", Plan: "CC1", Machine: "inorder"},
@@ -94,6 +95,9 @@ func TestFingerprintSensitivity(t *testing.T) {
 		{Kind: KindCell, Benchmark: "compress", Plan: "S1", Machine: MachineInOrder},
 		{Kind: KindCell, Benchmark: "compress", Plan: "S1", Scale: 2},
 		{Kind: KindCell, Benchmark: "compress", Plan: "S1", MaxInsts: 1_000_000},
+		{Kind: KindCell, Benchmark: "compress", Plan: "S1", Policy: "srrip"},
+		{Kind: KindCell, Benchmark: "compress", Plan: "S1", Policy: "brrip"},
+		{Kind: KindCell, Benchmark: "compress", Plan: "S1", Policy: "trrip"},
 	}
 	seen := map[string]string{}
 	record := func(r Request) string {

@@ -8,6 +8,7 @@ import (
 	"informing/internal/core"
 	"informing/internal/experiments"
 	"informing/internal/govern"
+	"informing/internal/mem"
 	"informing/internal/multi"
 	"informing/internal/stats"
 	"informing/internal/trace"
@@ -55,9 +56,13 @@ const (
 type Request struct {
 	Kind string `json:"kind"`
 
-	// Cell fields (KindCell).
+	// Cell fields (KindCell). Policy selects the data-hierarchy
+	// replacement policy ("lru" when empty; see mem.PolicyNames) and is a
+	// fingerprint dimension: the same cell under two policies is two
+	// cache entries.
 	Benchmark string `json:"benchmark,omitempty"`
 	Plan      string `json:"plan,omitempty"`
+	Policy    string `json:"policy,omitempty"`
 
 	// Shared by cell and program kinds: which timing core, and the
 	// dynamic-instruction budget (0 = the server default).
@@ -139,6 +144,13 @@ func Canonicalize(req Request, maxInstsCap uint64) (Request, error) {
 			return Request{}, err
 		}
 		c.Benchmark, c.Plan, c.Machine = bm.Name, spec.Label, machine
+		c.Policy = req.Policy
+		if c.Policy == "" {
+			c.Policy = mem.PolicyLRU
+		}
+		if err := mem.ValidPolicy(c.Policy); err != nil {
+			return Request{}, err
+		}
 		c.Scale = req.Scale
 		if c.Scale == 0 {
 			c.Scale = 1

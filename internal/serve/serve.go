@@ -253,6 +253,7 @@ func New(cfg Config) *Server {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -262,7 +263,7 @@ func New(cfg Config) *Server {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "informd simulation service; see POST /v1/simulate, POST /v1/experiment, GET /metrics")
+		fmt.Fprintln(w, "informd simulation service; see POST /v1/simulate, POST /v1/explain, POST /v1/experiment, GET /metrics")
 	})
 
 	s.wg.Add(1)
@@ -701,7 +702,7 @@ func runRequest(ctx context.Context, c Request, sim *obs.Sim) outcome {
 		if err != nil {
 			return outcome{err: &WireError{Code: CodeInvalid, Message: err.Error()}}
 		}
-		cfg := experiments.ConfigFor(machine, spec.Scheme).
+		cfg := experiments.ConfigFor(machine, spec.Scheme).WithPolicy(c.Policy).
 			WithMaxInsts(c.MaxInsts).WithContext(ctx).WithObs(sim)
 		run, err := cfg.Run(prog)
 		if err != nil {

@@ -65,6 +65,61 @@ func (b Breakdown) Fractions() (busy, other, cache float64) {
 	return float64(b.BusySlots()) / t, float64(b.OtherSlots) / t, float64(b.CacheSlots) / t
 }
 
+// MissClasses is the online miss taxonomy (DESIGN.md §17): every data
+// cache miss is classified at fill time as exactly one of the classic
+// four classes, so the classes always sum to the cache's miss count.
+//
+//   - Compulsory: the line's tag has never been referenced by this cache
+//     (the per-cache infinite-tag filter misses);
+//   - Coherence: the line was invalidated by a coherence action since it
+//     last resided (internal/multi invalidations, cross-thread stores in
+//     trace replay);
+//   - Conflict: a fully-associative cache of the same capacity would have
+//     hit (the shadow model holds the line) — the miss is an artifact of
+//     set mapping;
+//   - Capacity: everything else — the line fell out of even the
+//     fully-associative shadow.
+type MissClasses struct {
+	Compulsory uint64
+	Capacity   uint64
+	Conflict   uint64
+	Coherence  uint64
+}
+
+// Total returns the number of classified misses (the four classes are
+// exhaustive and mutually exclusive, so this equals the cache's miss
+// count whenever the taxonomy was live for the whole run).
+func (m MissClasses) Total() uint64 {
+	return m.Compulsory + m.Capacity + m.Conflict + m.Coherence
+}
+
+// Add returns the element-wise sum (aggregation across processors or
+// trace segments).
+func (m MissClasses) Add(o MissClasses) MissClasses {
+	return MissClasses{
+		Compulsory: m.Compulsory + o.Compulsory,
+		Capacity:   m.Capacity + o.Capacity,
+		Conflict:   m.Conflict + o.Conflict,
+		Coherence:  m.Coherence + o.Coherence,
+	}
+}
+
+// Sub returns the element-wise difference (delta accounting in
+// observability flushes and trace segments).
+func (m MissClasses) Sub(o MissClasses) MissClasses {
+	return MissClasses{
+		Compulsory: m.Compulsory - o.Compulsory,
+		Capacity:   m.Capacity - o.Capacity,
+		Conflict:   m.Conflict - o.Conflict,
+		Coherence:  m.Coherence - o.Coherence,
+	}
+}
+
+func (m MissClasses) String() string {
+	return fmt.Sprintf("compulsory=%d capacity=%d conflict=%d coherence=%d",
+		m.Compulsory, m.Capacity, m.Conflict, m.Coherence)
+}
+
 // Run aggregates everything measured during one simulation.
 type Run struct {
 	Breakdown
@@ -85,6 +140,28 @@ type Run struct {
 	MSHRMerges      uint64
 	MSHRPeak        int
 	SpecInvalidates uint64 // §3.3 squash-path L1 invalidations
+
+	// L1Tax and L2Tax break the per-level data misses down by cause
+	// (see MissClasses). Populated from the hierarchy's taxonomy at run
+	// end; all-zero on hand-built Runs from before the taxonomy existed.
+	L1Tax MissClasses
+	L2Tax MissClasses
+}
+
+// CheckTaxonomy validates the miss-taxonomy conservation property: the
+// per-level classes sum exactly to the per-level miss counters. It is a
+// separate check from Run.Check because two legitimate cases break it:
+// hand-built Runs with no taxonomy recorded, and §3.3 speculative-inject
+// runs whose injected probes miss in the hierarchy without appearing in
+// the architectural L1Misses/L2Misses counters.
+func (r Run) CheckTaxonomy() error {
+	if got, want := r.L1Tax.Total(), r.L1Misses; got != want {
+		return fmt.Errorf("stats: L1 taxonomy classes sum to %d, want %d misses (%v)", got, want, r.L1Tax)
+	}
+	if got, want := r.L2Tax.Total(), r.L2Misses; got != want {
+		return fmt.Errorf("stats: L2 taxonomy classes sum to %d, want %d misses (%v)", got, want, r.L2Tax)
+	}
+	return nil
 }
 
 // Check validates the counter invariants of a completed run. The engines'

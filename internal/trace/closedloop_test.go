@@ -25,15 +25,20 @@ func TestClosedLoopGoldenCells(t *testing.T) {
 		bench   string
 		machine core.Machine
 		scheme  core.Scheme
+		policy  string
 		plan    func() workload.Plan
 	}{
-		{"compress", core.OutOfOrder, core.Off, func() workload.Plan { return workload.NewPlanNone() }},
-		{"espresso", core.InOrder, core.TrapBranch, func() workload.Plan { return workload.NewPlanSingle(1) }},
-		{"tomcatv", core.OutOfOrder, core.CondCode, func() workload.Plan { return workload.NewPlanCondCode(1) }},
+		{"compress", core.OutOfOrder, core.Off, "", func() workload.Plan { return workload.NewPlanNone() }},
+		{"espresso", core.InOrder, core.TrapBranch, "", func() workload.Plan { return workload.NewPlanSingle(1) }},
+		{"tomcatv", core.OutOfOrder, core.CondCode, "", func() workload.Plan { return workload.NewPlanCondCode(1) }},
+		// Policy-seam cell: the recording hierarchy and the replaying one
+		// both run SRRIP (ReplayConfig.Hier carries the policy), so the
+		// closed loop must hold under non-LRU replacement too.
+		{"compress", core.InOrder, core.Off, "srrip", func() workload.Plan { return workload.NewPlanNone() }},
 	}
 	for _, c := range cells {
 		c := c
-		t.Run(c.bench, func(t *testing.T) {
+		t.Run(c.bench+"/"+c.scheme.String()+c.policy, func(t *testing.T) {
 			bm, ok := workload.ByName(c.bench)
 			if !ok {
 				t.Fatalf("unknown benchmark %s", c.bench)
@@ -49,10 +54,13 @@ func TestClosedLoopGoldenCells(t *testing.T) {
 				cfg = core.R10000(c.scheme)
 			}
 
-			// Record: the exact path informsim's -trace-out uses.
+			// Record: the exact path informsim's -trace-out uses. The
+			// policy goes on cfg itself so the replay below inherits it
+			// through HierConfig.
+			cfg = cfg.WithPolicy(c.policy).WithMaxInsts(100_000_000)
 			var buf bytes.Buffer
 			sink := obs.NewJSONL(&buf, 1)
-			run, err := cfg.WithMaxInsts(100_000_000).WithTrace(sink.Emit).Run(prog)
+			run, err := cfg.WithTrace(sink.Emit).Run(prog)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -60,13 +68,21 @@ func TestClosedLoopGoldenCells(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Replay through the same Table 1 geometry, then reconcile.
+			// Replay through the same Table 1 geometry (and replacement
+			// policy), then reconcile.
 			res, err := trace.Replay(bytes.NewReader(buf.Bytes()), trace.ReplayConfig{Hier: cfg.HierConfig()})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if err := res.Reconcile(run); err != nil {
 				t.Fatalf("closed loop broken: %v", err)
+			}
+			// The replayed miss taxonomy must reproduce the recording
+			// run's class for class, delta 0 — stated directly here, not
+			// just through Reconcile's (gated) per-class checks.
+			if res.Total.L1Tax != run.L1Tax || res.Total.L2Tax != run.L2Tax {
+				t.Errorf("replayed taxonomy L1{%v} L2{%v} != recorded L1{%v} L2{%v}",
+					res.Total.L1Tax, res.Total.L2Tax, run.L1Tax, run.L2Tax)
 			}
 			if res.Total.Events != run.DynInsts {
 				t.Errorf("trace carries %d events, run graduated %d", res.Total.Events, run.DynInsts)

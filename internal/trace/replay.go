@@ -62,6 +62,12 @@ type SegmentResult struct {
 	// removed from other threads' caches by stores (coherence replay).
 	Tids          int
 	Invalidations uint64
+
+	// L1Tax/L2Tax break the replayed misses down by cause (DESIGN.md
+	// §17), summed across the segment's per-tid hierarchies; cross-thread
+	// store invalidations attribute to the coherence class. The classes
+	// sum to L1Misses/L2Misses.
+	L1Tax, L2Tax stats.MissClasses
 }
 
 func (s *SegmentResult) add(o SegmentResult) {
@@ -73,6 +79,8 @@ func (s *SegmentResult) add(o SegmentResult) {
 	s.L2Misses += o.L2Misses
 	s.LevelMismatches += o.LevelMismatches
 	s.Invalidations += o.Invalidations
+	s.L1Tax = s.L1Tax.Add(o.L1Tax)
+	s.L2Tax = s.L2Tax.Add(o.L2Tax)
 	if o.Tids > s.Tids {
 		s.Tids = o.Tids
 	}
@@ -99,6 +107,20 @@ func (r *ReplayResult) Reconcile(run stats.Run) error {
 	check("mem refs", r.Total.Refs, run.MemRefs)
 	check("L1 misses", r.Total.L1Misses, run.L1Misses)
 	check("L2 misses", r.Total.L2Misses, run.L2Misses)
+	// The miss taxonomy must replay delta-0 too — same stream, same
+	// classifier state. Runs recorded before the taxonomy existed carry
+	// all-zero classes and are exempt (their trace still reconciles the
+	// raw counters above).
+	if run.L1Tax.Total() != 0 || run.L2Tax.Total() != 0 {
+		check("L1 compulsory", r.Total.L1Tax.Compulsory, run.L1Tax.Compulsory)
+		check("L1 capacity", r.Total.L1Tax.Capacity, run.L1Tax.Capacity)
+		check("L1 conflict", r.Total.L1Tax.Conflict, run.L1Tax.Conflict)
+		check("L1 coherence", r.Total.L1Tax.Coherence, run.L1Tax.Coherence)
+		check("L2 compulsory", r.Total.L2Tax.Compulsory, run.L2Tax.Compulsory)
+		check("L2 capacity", r.Total.L2Tax.Capacity, run.L2Tax.Capacity)
+		check("L2 conflict", r.Total.L2Tax.Conflict, run.L2Tax.Conflict)
+		check("L2 coherence", r.Total.L2Tax.Coherence, run.L2Tax.Coherence)
+	}
 	if r.Total.LevelMismatches != 0 {
 		errs = append(errs, fmt.Errorf("per-reference levels: %d mismatches", r.Total.LevelMismatches))
 	}
@@ -170,6 +192,10 @@ func (rp *replayer) endSegment() {
 	if !rp.inSeg {
 		return
 	}
+	for _, h := range rp.hiers {
+		rp.seg.L1Tax = rp.seg.L1Tax.Add(h.L1.Taxonomy())
+		rp.seg.L2Tax = rp.seg.L2Tax.Add(h.L2.Taxonomy())
+	}
 	rp.seg.Tids = len(rp.tids)
 	if rp.seg.Tids == 0 {
 		// A segment with zero memory references still existed.
@@ -210,10 +236,10 @@ func (rp *replayer) ref(r Ref) error {
 				continue
 			}
 			o := rp.hiers[i]
-			if o.L1.Invalidate(r.Addr) {
+			if o.L1.InvalidateCoherence(r.Addr) {
 				rp.seg.Invalidations++
 			}
-			if o.L2.Invalidate(r.Addr) {
+			if o.L2.InvalidateCoherence(r.Addr) {
 				rp.seg.Invalidations++
 			}
 		}

@@ -99,24 +99,34 @@ func (g *Gen) LCG(r, tmp isa.Reg) {
 // references the paper instruments). Bookkeeping references should use
 // g.B directly instead.
 
+// wrapRef routes one reference site through the plan, handing site-aware
+// plans (SitePlan) the address expression.
+func (g *Gen) wrapRef(ref RefInfo, emit func(informing bool)) {
+	if sp, ok := g.Plan.(SitePlan); ok {
+		sp.WrapRefSite(g.B, ref, emit)
+		return
+	}
+	g.Plan.WrapRef(g.B, emit)
+}
+
 // Ld emits an instrumented integer load.
 func (g *Gen) Ld(rd, base isa.Reg, off int64) {
-	g.Plan.WrapRef(g.B, func(inf bool) { g.B.Ld(rd, base, off, inf) })
+	g.wrapRef(RefInfo{Base: base, Off: off}, func(inf bool) { g.B.Ld(rd, base, off, inf) })
 }
 
 // St emits an instrumented integer store.
 func (g *Gen) St(val, base isa.Reg, off int64) {
-	g.Plan.WrapRef(g.B, func(inf bool) { g.B.St(val, base, off, inf) })
+	g.wrapRef(RefInfo{Base: base, Off: off, Store: true}, func(inf bool) { g.B.St(val, base, off, inf) })
 }
 
 // Fld emits an instrumented floating-point load.
 func (g *Gen) Fld(fd, base isa.Reg, off int64) {
-	g.Plan.WrapRef(g.B, func(inf bool) { g.B.Fld(fd, base, off, inf) })
+	g.wrapRef(RefInfo{Base: base, Off: off}, func(inf bool) { g.B.Fld(fd, base, off, inf) })
 }
 
 // Fst emits an instrumented floating-point store.
 func (g *Gen) Fst(fv, base isa.Reg, off int64) {
-	g.Plan.WrapRef(g.B, func(inf bool) { g.B.Fst(fv, base, off, inf) })
+	g.wrapRef(RefInfo{Base: base, Off: off, Store: true}, func(inf bool) { g.B.Fst(fv, base, off, inf) })
 }
 
 // Build assembles benchmark bm under the given instrumentation plan.

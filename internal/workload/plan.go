@@ -44,6 +44,27 @@ type Plan interface {
 	Epilogue(b *asm.Builder)
 }
 
+// RefInfo describes one static reference site to a site-aware plan: the
+// address expression (base register plus immediate offset) and whether
+// the reference is a store.
+type RefInfo struct {
+	Base  isa.Reg
+	Off   int64
+	Store bool
+}
+
+// SitePlan is the optional Plan extension for instrumentation that needs
+// the reference's address expression — e.g. a stride-prefetch miss
+// handler that fetches ahead of the missing reference. Gen routes
+// references through WrapRefSite when the active plan implements it;
+// plans that don't care about addresses implement only Plan.
+type SitePlan interface {
+	Plan
+	// WrapRefSite is WrapRef with the site's address expression. emit must
+	// be called exactly once.
+	WrapRefSite(b *asm.Builder, ref RefInfo, emit func(informing bool))
+}
+
 // PlanNone is the baseline: ordinary references, no handlers.
 type PlanNone struct{}
 
@@ -139,6 +160,61 @@ func (p *PlanCondCode) Epilogue(b *asm.Builder) {
 	b.Label("imo$cc")
 	emitChain(b, p.K, true)
 	b.Jr(BmissLinkReg)
+}
+
+// PlanPrefetch is the §6 case study: prefetching written as an informing
+// miss handler. Every informing-eligible reference gets its own handler
+// (one MTMHAR per site, like PlanUnique); on a miss the handler issues a
+// non-binding Prefetch of the address Dist bytes beyond the missing
+// reference's own address expression, then returns. Handlers never write
+// kernel registers, so the site's base register still holds the value the
+// missing reference used — the handler recomputes the address from the
+// same operands, displaced by the prefetch distance.
+//
+// The interesting output is not the handler's overhead but the miss
+// taxonomy (DESIGN.md §17): a useful prefetch distance converts demand
+// misses the classifier would call capacity/conflict into hits, while a
+// useless one adds traffic without moving the classes.
+type PlanPrefetch struct {
+	// Dist is the prefetch displacement in bytes (32 = next line under the
+	// default 32-byte geometry).
+	Dist  int64
+	sites []pfSite
+}
+
+type pfSite struct {
+	label string
+	ref   RefInfo
+}
+
+// NewPlanPrefetch returns the stride-prefetch handler plan with the given
+// byte displacement.
+func NewPlanPrefetch(dist int64) *PlanPrefetch { return &PlanPrefetch{Dist: dist} }
+
+func (p *PlanPrefetch) Name() string { return fmt.Sprintf("PF%d", p.Dist) }
+
+// Prologue resets per-build state so a plan value can be reused across
+// multiple Build calls.
+func (p *PlanPrefetch) Prologue(*asm.Builder) { p.sites = p.sites[:0] }
+
+// WrapRef is the site-less fallback: with no address expression there is
+// nothing to prefetch, so the reference stays uninstrumented. Gen always
+// has the site and calls WrapRefSite instead.
+func (p *PlanPrefetch) WrapRef(b *asm.Builder, emit func(bool)) { emit(false) }
+
+func (p *PlanPrefetch) WrapRefSite(b *asm.Builder, ref RefInfo, emit func(bool)) {
+	label := b.Unique("imo$pf")
+	p.sites = append(p.sites, pfSite{label, ref})
+	b.MtmharLabel(label)
+	emit(true)
+}
+
+func (p *PlanPrefetch) Epilogue(b *asm.Builder) {
+	for _, s := range p.sites {
+		b.Label(s.label)
+		b.Prefetch(s.ref.Base, s.ref.Off+p.Dist)
+		b.Rfmh()
+	}
 }
 
 // emitChain emits the paper's generic K-instruction handler body: K
